@@ -1,0 +1,37 @@
+"""Shared configuration for the reproduction benchmarks.
+
+Each benchmark regenerates one of the paper's artifacts at the "quick"
+preset (laptop-scale) and asserts the paper's *shape* claims — who wins
+and by roughly what factor — not absolute numbers (the substrate is a
+simulator, not the authors' CloudLab testbed).  ``--preset full`` scale
+runs are recorded in EXPERIMENTS.md.
+
+pytest-benchmark measures the wall-clock cost of regenerating each
+artifact; ``rounds`` are kept at 1 because each round is a complete
+deterministic simulation (identical output every time).
+"""
+
+import pytest
+
+from repro.bench.calibration import preset
+
+
+#: an even smaller preset so the full benchmark suite stays fast
+BENCH_CAL = preset(
+    "quick",
+    num_accounts=600,
+    num_clients=30,
+    duration_ms=300.0,
+    warmup_ms=80.0,
+    avg_follows=10,
+)
+
+
+@pytest.fixture(scope="session")
+def cal():
+    return BENCH_CAL
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Run ``fn`` exactly once under pytest-benchmark and return its result."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)

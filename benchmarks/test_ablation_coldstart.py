@@ -1,0 +1,25 @@
+"""Ablation: start-up latency (§2.1) — cold containers vs warm vs
+aggregated execution with no container at all."""
+
+from repro.bench.experiments import abl_coldstart
+
+from benchmarks.conftest import run_once
+
+
+def test_coldstart_hierarchy(benchmark, cal):
+    result = run_once(benchmark, abl_coldstart, cal)
+    rows = {row["config"]: row for row in result["rows"]}
+
+    cold = rows["disaggregated, cold container"]
+    gated = rows["disaggregated, cold + gateway/log"]
+    warm = rows["disaggregated, warm container"]
+    agg = rows["aggregated (no container)"]
+
+    # The paper's hierarchy: cold start > 100 ms; warm is orders of
+    # magnitude better; the aggregated variant has no container at all.
+    assert cold["first_ms"] > 100.0
+    assert gated["first_ms"] >= cold["first_ms"]  # the gateway/log only adds
+    assert warm["first_ms"] < cold["first_ms"] / 10
+    assert agg["first_ms"] < warm["first_ms"]
+    # After the first request, the cold pool behaves like the warm one.
+    assert cold["second_ms"] < 10.0

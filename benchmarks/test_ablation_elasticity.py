@@ -1,0 +1,36 @@
+"""Ablation: elasticity (Table 1's elasticity row, measured).
+
+A burst of new clients hits both architectures: the disaggregated
+platform provisions containers (first-wave cold starts >100 ms, then
+steady); the aggregated variant absorbs the burst with zero provisioning
+latency because execution capacity *is* the storage nodes.
+"""
+
+from repro.bench.experiments import abl_elasticity
+
+from benchmarks.conftest import run_once
+
+
+def test_burst_absorption(benchmark, cal):
+    result = run_once(benchmark, abl_elasticity, cal)
+    rows = {row["variant"]: row for row in result["rows"]}
+
+    dis_first = rows["disaggregated burst (first 50 ms)"]
+    dis_steady = rows["disaggregated burst (steady)"]
+    agg_first = rows["aggregated burst (first 50 ms)"]
+    agg_steady = rows["aggregated burst (steady)"]
+    benchmark.extra_info.update(
+        {
+            "dis_first_median_ms": dis_first["median_ms"],
+            "dis_steady_median_ms": dis_steady["median_ms"],
+            "agg_first_median_ms": agg_first["median_ms"],
+        }
+    )
+
+    # The burst's first wave pays cold starts on the baseline...
+    assert dis_first["median_ms"] > 100.0
+    # ...which amortise away once containers are warm...
+    assert dis_steady["median_ms"] < dis_first["median_ms"] / 10
+    # ...while the aggregated variant has no provisioning step at all.
+    assert agg_first["median_ms"] < 10.0
+    assert abs(agg_first["median_ms"] - agg_steady["median_ms"]) < 5.0

@@ -1,0 +1,18 @@
+"""Ablation: primary failover under write load (§4.2.1) — the coordinator
+reconfigures the shard, clients retry, and no acknowledged write is lost."""
+
+from repro.bench.experiments import abl_failover
+
+from benchmarks.conftest import run_once
+
+
+def test_failover_preserves_acked_writes(benchmark, cal):
+    result = run_once(benchmark, abl_failover, cal)
+    row = result["rows"][0]
+    benchmark.extra_info.update(row)
+
+    assert row["lost_writes"] is False
+    assert row["acked_writes"] > 100
+    # Reconfiguration completes within the failure-detection timeout plus
+    # a Paxos round and retries — well under a second.
+    assert row["unavailability_ms"] < 500.0

@@ -1,0 +1,46 @@
+#!/usr/bin/env python3
+"""Head-to-head: aggregated LambdaStore vs conventional serverless.
+
+Runs a miniature version of the paper's §5 evaluation (Post workload)
+on both architectures under identical cost models and prints the
+throughput/latency comparison — the headline result of Figures 1 and 2.
+
+Run with::
+
+    python examples/compare_architectures.py
+
+For the full evaluation use ``python -m repro.bench fig1`` (and ``fig2``).
+"""
+
+from repro.bench.calibration import preset
+from repro.bench.harness import AGGREGATED, DISAGGREGATED, run_retwis
+from repro.workload.retwis_load import RetwisWorkload
+
+
+def main():
+    cal = preset(
+        "quick", num_accounts=400, num_clients=25, duration_ms=250.0, warmup_ms=60.0
+    )
+    print(
+        f"ReTwis Post workload: {cal.num_accounts} accounts, "
+        f"{cal.num_clients} concurrent clients, ~{cal.avg_follows} follows/user\n"
+    )
+
+    results = {}
+    for variant in (AGGREGATED, DISAGGREGATED):
+        print(f"running {variant} variant...")
+        results[variant] = run_retwis(variant, RetwisWorkload.POST, cal)
+
+    agg, dis = results[AGGREGATED], results[DISAGGREGATED]
+    print("\n                     aggregated   disaggregated")
+    print(f"throughput (jobs/s)  {agg.throughput:10.0f}   {dis.throughput:13.0f}")
+    print(f"median latency (ms)  {agg.median_ms:10.2f}   {dis.median_ms:13.2f}")
+    print(f"p99 latency (ms)     {agg.p99_ms:10.2f}   {dis.p99_ms:13.2f}")
+    print(f"\nspeedup: {agg.throughput / dis.throughput:.2f}x  "
+          f"(paper reports 2.66x on its testbed)")
+    print(f"median latency reduction: "
+          f"{100 * (1 - agg.median_ms / dis.median_ms):.0f}%  (paper: >= 50%)")
+
+
+if __name__ == "__main__":
+    main()

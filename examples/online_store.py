@@ -1,0 +1,67 @@
+#!/usr/bin/env python3
+"""An online store composed of LambdaObjects (§3's application sketch).
+
+Auth service + product inventory + shopping carts, composed as a graph
+of cross-object invocations on the embedded runtime.  Shows the §3.1
+commit-point semantics at work: checkout reserves per-product stock step
+by step and compensates on failure.
+
+Run with::
+
+    python examples/online_store.py
+"""
+
+from repro.apps.auth import auth_service_type
+from repro.apps.store import cart_type, product_type
+from repro.core import LocalRuntime
+from repro.errors import InvocationError
+
+
+def main():
+    runtime = LocalRuntime(seed=3)
+    runtime.register_types([auth_service_type(), product_type(), cart_type()])
+
+    auth = runtime.create_object("AuthService")
+    widget = runtime.create_object(
+        "Product", initial={"name": "widget", "price": 19, "stock": 5}
+    )
+    gadget = runtime.create_object(
+        "Product", initial={"name": "gadget", "price": 45, "stock": 1}
+    )
+    cart = runtime.create_object("Cart")
+
+    print("== register + login ==")
+    runtime.invoke(auth, "register", "dana", "hunter2")
+    token = runtime.invoke(auth, "login", "dana", "hunter2")
+    print(f"dana's session token: {token}")
+
+    # Token validation is read-only + deterministic => consistently cached.
+    runtime.invoke(auth, "validate_token", token)
+    cached = runtime.invoke_detailed(auth, "validate_token", token)
+    print(f"token re-validation served from cache: {cached.cache_hit}")
+
+    print("\n== fill the cart and check out ==")
+    runtime.invoke(cart, "add_item", widget, 2)
+    runtime.invoke(cart, "add_item", gadget, 1)
+    order = runtime.invoke(cart, "checkout", auth, token)
+    print(f"order placed for {order['user']}: {order['items']}")
+    print(f"widget stock now: {runtime.invoke(widget, 'get_stock')}")
+    print(f"gadget stock now: {runtime.invoke(gadget, 'get_stock')}")
+
+    print("\n== a failing checkout compensates ==")
+    runtime.invoke(cart, "add_item", widget, 2)
+    runtime.invoke(cart, "add_item", gadget, 1)  # gadget is out of stock now
+    try:
+        runtime.invoke(cart, "checkout", auth, token)
+    except InvocationError as error:
+        print(f"checkout failed as expected: {str(error)[:70]}...")
+    print(f"widget stock restored to: {runtime.invoke(widget, 'get_stock')}")
+    print(f"cart still holds: {runtime.invoke(cart, 'get_items')}")
+
+    print("\n== logout invalidates the cached validation ==")
+    runtime.invoke(auth, "logout", token)
+    print(f"token still valid? {runtime.invoke(auth, 'validate_token', token)}")
+
+
+if __name__ == "__main__":
+    main()

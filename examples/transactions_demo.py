@@ -1,0 +1,72 @@
+#!/usr/bin/env python3
+"""Serializable multi-call transactions — the paper's §7 future work.
+
+Plain LambdaObjects commit at every invocation boundary (§3.1), so a
+transfer between two accounts is two separate atomic steps with
+compensation on failure.  The transactional extension makes the whole
+transfer one atomic unit: strict two-phase locking over objects with
+wound-wait conflict resolution.
+
+Run with::
+
+    python examples/transactions_demo.py
+"""
+
+from repro.apps.bank import account_type
+from repro.core import LocalRuntime
+from repro.core.transactions import TransactionAborted, TransactionManager
+
+
+def main():
+    runtime = LocalRuntime(seed=1)
+    runtime.register_type(account_type())
+    manager = TransactionManager(runtime)
+
+    checking = runtime.create_object("Account", initial={"balance": 100})
+    savings = runtime.create_object("Account", initial={"balance": 500})
+
+    print("== an atomic transfer across two objects ==")
+    with manager.transaction() as txn:
+        txn.invoke(savings, "withdraw", 200)
+        # Outside the transaction nothing is visible yet:
+        outside = runtime.invoke(savings, "get_balance")
+        print(f"mid-transaction, an outside reader sees savings = {outside}")
+        txn.invoke(checking, "deposit", 200)
+    print(f"after commit: checking={runtime.invoke(checking, 'get_balance')}, "
+          f"savings={runtime.invoke(savings, 'get_balance')}")
+
+    print("\n== a failed transaction rolls everything back ==")
+    try:
+        with manager.transaction() as txn:
+            txn.invoke(checking, "withdraw", 50)
+            txn.invoke(savings, "withdraw", 10_000)  # traps: insufficient funds
+    except Exception as error:
+        print(f"aborted: {str(error)[:70]}...")
+    print(f"balances untouched: checking={runtime.invoke(checking, 'get_balance')}, "
+          f"savings={runtime.invoke(savings, 'get_balance')}")
+
+    print("\n== wound-wait: the older transaction wins conflicts ==")
+    older = manager.begin()
+    younger = manager.begin()
+    younger.invoke(checking, "withdraw", 1)
+    print(f"younger txn {younger.txn_id} holds the lock on checking")
+    older.invoke(checking, "withdraw", 5)
+    print(f"older txn {older.txn_id} wounded it: younger active = {younger.is_active}")
+    older.commit()
+    print(f"checking = {runtime.invoke(checking, 'get_balance')} (only the older debit)")
+
+    print("\n== automatic retry with manager.run ==")
+
+    def transfer(txn, source=checking, sink=savings, amount=25):
+        txn.invoke(source, "withdraw", amount)
+        txn.invoke(sink, "deposit", amount)
+        return "transferred"
+
+    print(manager.run(transfer))
+    print(f"final: checking={runtime.invoke(checking, 'get_balance')}, "
+          f"savings={runtime.invoke(savings, 'get_balance')}")
+    print(f"manager stats: {manager.stats}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Legacy setup shim.
+
+The execution environment has no network access and no ``wheel`` package,
+so PEP 660 editable installs (``pip install -e .``) cannot build. This shim
+lets ``python setup.py develop`` provide the same editable install offline.
+All real metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

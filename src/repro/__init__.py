@@ -1,0 +1,36 @@
+"""LambdaObjects / LambdaStore: re-aggregating storage and execution.
+
+A full reproduction of Mast, Arpaci-Dusseau & Arpaci-Dusseau,
+"LambdaObjects: Re-Aggregating Storage and Execution for Cloud
+Computing" (HotStorage '22).
+
+Entry points:
+
+- :mod:`repro.core` — the LambdaObjects model (embedded runtime);
+- :mod:`repro.cluster` — the distributed LambdaStore;
+- :mod:`repro.serverless` — the disaggregated baseline;
+- :mod:`repro.bench` — the evaluation harness (``python -m repro.bench``).
+"""
+
+from repro.core import (
+    CollectionField,
+    LocalRuntime,
+    ObjectId,
+    ObjectType,
+    ValueField,
+    method,
+    readonly_method,
+)
+
+__version__ = "0.1.0"
+
+__all__ = [
+    "CollectionField",
+    "LocalRuntime",
+    "ObjectId",
+    "ObjectType",
+    "ValueField",
+    "method",
+    "readonly_method",
+    "__version__",
+]

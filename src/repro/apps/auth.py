@@ -1,0 +1,99 @@
+"""User authentication: the paper's example of "a small piece of
+functionality, e.g., a user authentication mechanism, that is part of a
+larger application" (§3).
+
+One ``AuthService`` object owns the credential store and session tokens.
+Registration salts and hashes passwords; login verifies and mints a
+token; other components validate tokens via read-only (cacheable!)
+invocations.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+from repro.core import CollectionField, ObjectType, ValueField
+from repro.core.method import method, readonly_method
+
+
+def _hash_password(salt: str, password: str) -> str:
+    return hashlib.sha256(f"{salt}:{password}".encode()).hexdigest()
+
+
+def _register(self, username, password):
+    """Create an account; returns False if the name is taken."""
+    users = self.collection("users")
+    if users.get(username) is not None:
+        return False
+    salt = f"{self.random():.17f}"
+    users.put(username, {"salt": salt, "hash": _hash_password(salt, password)})
+    return True
+
+
+def _login(self, username, password):
+    """Verify credentials; returns a session token or None."""
+    record = self.collection("users").get(username)
+    if record is None:
+        return None
+    if _hash_password(record["salt"], password) != record["hash"]:
+        self.collection("audit").push({"event": "login_failed", "user": username})
+        return None
+    counter = (self.get("token_counter") or 0) + 1
+    self.set("token_counter", counter)
+    token = hashlib.sha256(f"{username}:{counter}:{record['salt']}".encode()).hexdigest()[:24]
+    self.collection("tokens").put(token, {"user": username, "counter": counter})
+    self.collection("audit").push({"event": "login", "user": username})
+    return token
+
+
+def _validate_token(self, token):
+    """Read-only token check; the username, or None.
+
+    Deterministic and read-only: LambdaStore caches this, so hot tokens
+    validate without re-execution until a logout invalidates them.
+    """
+    record = self.collection("tokens").get(token)
+    return record["user"] if record is not None else None
+
+
+def _logout(self, token):
+    """Invalidate a session token."""
+    self.collection("tokens").delete(token)
+    return True
+
+
+def _change_password(self, username, old_password, new_password):
+    """Rotate a password; existing sessions stay valid."""
+    record = self.collection("users").get(username)
+    if record is None or _hash_password(record["salt"], old_password) != record["hash"]:
+        return False
+    salt = f"{self.random():.17f}"
+    self.collection("users").put(
+        username, {"salt": salt, "hash": _hash_password(salt, new_password)}
+    )
+    return True
+
+
+def _user_count(self):
+    return len(self.collection("users"))
+
+
+def auth_service_type() -> ObjectType:
+    """Build the ``AuthService`` object type."""
+    return ObjectType(
+        "AuthService",
+        fields=[
+            ValueField("token_counter", default=0),
+            CollectionField("users"),
+            CollectionField("tokens"),
+            CollectionField("audit"),
+        ],
+        methods=[
+            method(_register, name="register"),
+            method(_login, name="login"),
+            readonly_method(_validate_token, name="validate_token"),
+            method(_logout, name="logout"),
+            method(_change_password, name="change_password"),
+            readonly_method(_user_count, name="user_count"),
+        ],
+    )

@@ -1,0 +1,136 @@
+"""ReTwis: the microblogging service of the paper's Listing 1.
+
+Each ``User`` object holds its display name, its followers, the set of
+accounts it follows, and a *timeline* containing posts of everyone it
+follows (plus its own).  ``create_post`` stores the post locally and fans
+it out to every follower's timeline through nested invocations — the
+workload whose cost the evaluation's *Post* bars measure.
+``get_timeline`` is the read-only *GetTimeline* workload and ``follow``
+the *Follow* workload.
+
+Following the paper's consistency argument (§3.2): because a nested call
+commits the caller first and invocations are serialised per object,
+blocking a user removes them from the follower list *before* any later
+post fans out — causality is respected without extra machinery.
+"""
+
+from __future__ import annotations
+
+from repro.core import CollectionField, ObjectType, ValueField
+from repro.core.method import method, readonly_method
+
+TIMELINE_LIMIT_DEFAULT = 10
+
+
+def _create_post(self, msg):
+    """Store a post and fan it out to all followers (paper Listing 1)."""
+    time = self.now()
+    name = self.get("name")
+    self.collection("posts").push({"author": name, "time": time, "text": msg})
+    self.store_post(name, time, msg)
+    for follower_oid, _meta in self.collection("followers").items():
+        self.get_object(follower_oid).store_post(name, time, msg)
+    return time
+
+
+def _store_post(self, src, time, msg):
+    """Append one post to this user's timeline (non-public)."""
+    self.collection("timeline").push({"author": src, "time": time, "text": msg})
+
+
+def _get_timeline(self, limit=TIMELINE_LIMIT_DEFAULT):
+    """The newest ``limit`` timeline entries, most recent first."""
+    result = []
+    for _key, post in self.collection("timeline").items(limit=limit, reverse=True):
+        result.append(post)
+    return result
+
+
+def _follow(self, other_oid):
+    """Start following ``other_oid`` (and register as their follower)."""
+    self.collection("following").put(other_oid, {"since": self.now()})
+    self.get_object(other_oid).add_follower(self.self_id())
+    return True
+
+
+def _unfollow(self, other_oid):
+    """Stop following ``other_oid``."""
+    self.collection("following").delete(other_oid)
+    self.get_object(other_oid).remove_follower(self.self_id())
+    return True
+
+
+def _add_follower(self, follower_oid):
+    """Register a follower (non-public; called by their ``follow``)."""
+    if self.collection("blocked").get(follower_oid) is not None:
+        return False
+    self.collection("followers").put(follower_oid, {"since": self.now()})
+    return True
+
+
+def _remove_follower(self, follower_oid):
+    self.collection("followers").delete(follower_oid)
+    return True
+
+
+def _block(self, other_oid):
+    """Block a user: they are dropped from followers immediately, so no
+    post created after this call can reach their timeline (§2's
+    motivating consistency example)."""
+    self.collection("blocked").put(other_oid, True)
+    self.collection("followers").delete(other_oid)
+    self.get_object(other_oid).drop_following(self.self_id())
+    return True
+
+
+def _drop_following(self, other_oid):
+    """Forget a following edge (non-public; called when blocked)."""
+    self.collection("following").delete(other_oid)
+    return True
+
+
+def _get_profile(self):
+    """Public profile: name plus follower/following counts."""
+    return {
+        "name": self.get("name"),
+        "followers": len(self.collection("followers")),
+        "following": len(self.collection("following")),
+    }
+
+
+def _get_followers(self):
+    return [oid for oid, _meta in self.collection("followers").items()]
+
+
+def _get_posts(self, limit=TIMELINE_LIMIT_DEFAULT):
+    """This user's own posts, newest first."""
+    return [post for _k, post in self.collection("posts").items(limit=limit, reverse=True)]
+
+
+def user_type() -> ObjectType:
+    """Build the ReTwis ``User`` object type."""
+    return ObjectType(
+        "User",
+        fields=[
+            ValueField("name"),
+            CollectionField("followers"),
+            CollectionField("following"),
+            CollectionField("blocked"),
+            CollectionField("timeline"),
+            CollectionField("posts"),
+        ],
+        methods=[
+            method(_create_post, name="create_post"),
+            method(_store_post, name="store_post", public=False),
+            readonly_method(_get_timeline, name="get_timeline"),
+            method(_follow, name="follow"),
+            method(_unfollow, name="unfollow"),
+            method(_add_follower, name="add_follower", public=False),
+            method(_remove_follower, name="remove_follower", public=False),
+            method(_block, name="block"),
+            method(_drop_following, name="drop_following", public=False),
+            readonly_method(_get_profile, name="get_profile"),
+            readonly_method(_get_followers, name="get_followers"),
+            readonly_method(_get_posts, name="get_posts"),
+        ],
+    )

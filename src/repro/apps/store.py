@@ -1,0 +1,139 @@
+"""An online store: the §3 example of composing LambdaObjects into a
+larger application.
+
+``Product`` objects own inventory; ``Cart`` objects collect items and
+drive checkout as a graph of cross-object calls: validate the session
+with the auth service, reserve stock on each product, and record the
+order.  Each step commits before the next (§3.1), so checkout uses
+explicit reservation + release rather than a distributed transaction —
+the compensation idiom the model encourages while multi-call
+transactions remain future work.
+"""
+
+from __future__ import annotations
+
+from repro.core import CollectionField, ObjectType, ValueField
+from repro.core.method import method, readonly_method
+
+
+class OutOfStock(Exception):
+    """Raised when a reservation exceeds available inventory."""
+
+
+# -- Product ------------------------------------------------------------
+
+
+def _restock(self, quantity):
+    if quantity <= 0:
+        raise ValueError("restock must be positive")
+    stock = (self.get("stock") or 0) + quantity
+    self.set("stock", stock)
+    return stock
+
+
+def _reserve(self, quantity):
+    """Atomically take ``quantity`` units, or trap without side effects."""
+    stock = self.get("stock") or 0
+    if stock < quantity:
+        raise OutOfStock(f"{self.get('name')}: stock {stock} < {quantity}")
+    self.set("stock", stock - quantity)
+    return stock - quantity
+
+
+def _release(self, quantity):
+    """Return previously reserved units (checkout compensation)."""
+    self.set("stock", (self.get("stock") or 0) + quantity)
+    return True
+
+
+def _get_stock(self):
+    return self.get("stock") or 0
+
+
+def _get_info(self):
+    return {"name": self.get("name"), "price": self.get("price"), "stock": self.get("stock") or 0}
+
+
+def product_type() -> ObjectType:
+    """Build the ``Product`` object type."""
+    return ObjectType(
+        "Product",
+        fields=[
+            ValueField("name"),
+            ValueField("price", default=0),
+            ValueField("stock", default=0),
+        ],
+        methods=[
+            method(_restock, name="restock"),
+            method(_reserve, name="reserve"),
+            method(_release, name="release"),
+            readonly_method(_get_stock, name="get_stock"),
+            readonly_method(_get_info, name="get_info"),
+        ],
+    )
+
+
+# -- Cart ------------------------------------------------------------------
+
+
+def _add_item(self, product_oid, quantity):
+    existing = self.collection("items").get(product_oid)
+    total = (existing or 0) + quantity
+    self.collection("items").put(product_oid, total)
+    return total
+
+
+def _remove_item(self, product_oid):
+    self.collection("items").delete(product_oid)
+    return True
+
+
+def _get_items(self):
+    return {oid: qty for oid, qty in self.collection("items").items()}
+
+
+def _checkout(self, auth_oid, token):
+    """Reserve every item, recording an order; compensates on failure.
+
+    Returns the order record, or raises if the session is invalid or any
+    product lacks stock (already-reserved items are released).
+    """
+    user = self.get_object(auth_oid).validate_token(token)
+    if user is None:
+        raise PermissionError("invalid session token")
+
+    items = [(oid, qty) for oid, qty in self.collection("items").items()]
+    reserved = []
+    try:
+        for product_oid, quantity in items:
+            self.get_object(product_oid).reserve(quantity)
+            reserved.append((product_oid, quantity))
+    except Exception:
+        for product_oid, quantity in reserved:
+            self.get_object(product_oid).release(quantity)
+        raise
+
+    order = {"user": user, "items": dict(items), "at": self.now()}
+    self.collection("orders").push(order)
+    for product_oid, _quantity in items:
+        self.collection("items").delete(product_oid)
+    return order
+
+
+def _get_orders(self):
+    return [order for _k, order in self.collection("orders").items()]
+
+
+def cart_type() -> ObjectType:
+    """Build the ``Cart`` object type."""
+    return ObjectType(
+        "Cart",
+        fields=[CollectionField("items"), CollectionField("orders")],
+        methods=[
+            method(_add_item, name="add_item"),
+            method(_remove_item, name="remove_item"),
+            readonly_method(_get_items, name="get_items"),
+            method(_checkout, name="checkout"),
+            readonly_method(_get_orders, name="get_orders"),
+        ],
+    )

@@ -1,0 +1,51 @@
+"""Command-line entry point: ``python -m repro.bench <experiment>``."""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.bench.calibration import preset
+from repro.bench.experiments import ALL_EXPERIMENTS, fig1, fig2, run_matrix, table1
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench",
+        description="Regenerate the paper's tables/figures and the ablations.",
+    )
+    parser.add_argument(
+        "experiment",
+        choices=sorted(ALL_EXPERIMENTS) + ["all"],
+        help="which artifact to regenerate (see DESIGN.md §4)",
+    )
+    parser.add_argument(
+        "--preset",
+        default="quick",
+        choices=["quick", "full"],
+        help="quick: laptop-scale (default); full: the paper's §5 parameters",
+    )
+    args = parser.parse_args(argv)
+    cal = preset(args.preset)
+
+    names = sorted(ALL_EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+    shared_matrix = None
+    for name in names:
+        started = time.time()
+        if name in ("fig1", "fig2", "table1"):
+            # These three share the same (workload x variant) runs.
+            if shared_matrix is None:
+                shared_matrix = run_matrix(cal)
+            result = {"fig1": fig1, "fig2": fig2, "table1": table1}[name](
+                cal, matrix=shared_matrix
+            )
+        else:
+            result = ALL_EXPERIMENTS[name](cal)
+        print(result["text"])
+        print(f"\n[{name} completed in {time.time() - started:.1f}s wall clock]\n")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

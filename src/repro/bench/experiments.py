@@ -1,0 +1,628 @@
+"""Experiment definitions: every figure/table of the paper + ablations.
+
+Each function builds fresh simulations, runs the measurement, and returns
+a result dict with ``rows`` (machine-readable) and ``text`` (rendered).
+The mapping to the paper's artifacts is in DESIGN.md §4; measured-vs-paper
+records live in EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Union
+
+from repro.bench.calibration import (
+    Calibration,
+    PAPER_FIG1,
+    PAPER_FIG2_CLAIMS,
+    PAPER_TABLE1,
+    preset,
+)
+from repro.bench.harness import (
+    AGGREGATED,
+    DISAGGREGATED,
+    VARIANTS,
+    RunResult,
+    build_aggregated,
+    build_disaggregated,
+    load_dataset,
+    run_retwis,
+)
+from repro.bench.report import format_bars, format_comparison, format_table
+from repro.core import ObjectType, ValueField, method, readonly_method
+from repro.sim import Simulation
+from repro.workload.retwis_load import RetwisWorkload
+
+CalibrationLike = Union[str, Calibration, None]
+
+
+def _calibration(cal: CalibrationLike) -> Calibration:
+    if cal is None:
+        return preset("quick")
+    if isinstance(cal, str):
+        return preset(cal)
+    return cal
+
+
+def run_matrix(cal: Calibration) -> dict[tuple[str, str], RunResult]:
+    """Run every (workload, variant) cell of the §5 evaluation."""
+    results: dict[tuple[str, str], RunResult] = {}
+    for workload in RetwisWorkload.WORKLOADS:
+        for variant in VARIANTS:
+            results[(workload, variant)] = run_retwis(variant, workload, cal)
+    return results
+
+
+# ---------------------------------------------------------------------------
+# Figure 1: normalized throughput of the ReTwis benchmark
+# ---------------------------------------------------------------------------
+
+
+def fig1(cal: CalibrationLike = None, matrix=None) -> dict:
+    """Figure 1 — throughput (absolute + normalized) per workload."""
+    cal = _calibration(cal)
+    matrix = matrix or run_matrix(cal)
+    rows = []
+    bars = []
+    for workload in RetwisWorkload.WORKLOADS:
+        agg = matrix[(workload, AGGREGATED)]
+        dis = matrix[(workload, DISAGGREGATED)]
+        peak = max(agg.throughput, dis.throughput)
+        rows.append(
+            {
+                "workload": workload,
+                "aggregated_jobs_per_sec": round(agg.throughput, 1),
+                "disaggregated_jobs_per_sec": round(dis.throughput, 1),
+                "aggregated_normalized": round(agg.throughput / peak, 3),
+                "disaggregated_normalized": round(dis.throughput / peak, 3),
+                "speedup": round(agg.throughput / dis.throughput, 2),
+            }
+        )
+        bars.append(
+            format_bars(
+                f"{workload} (jobs/sec)",
+                {
+                    "aggregated": agg.throughput,
+                    "disaggregated": dis.throughput,
+                },
+            )
+        )
+    text = format_comparison(
+        "Figure 1: ReTwis throughput, aggregated vs disaggregated", rows, PAPER_FIG1
+    )
+    text += "\n\n" + "\n\n".join(bars)
+    return {"name": "fig1", "rows": rows, "text": text, "matrix": matrix}
+
+
+# ---------------------------------------------------------------------------
+# Figure 2: latencies (median + p99)
+# ---------------------------------------------------------------------------
+
+
+def fig2(cal: CalibrationLike = None, matrix=None) -> dict:
+    """Figure 2 — median and 99th-percentile latency per workload."""
+    cal = _calibration(cal)
+    matrix = matrix or run_matrix(cal)
+    rows = []
+    for workload in RetwisWorkload.WORKLOADS:
+        agg = matrix[(workload, AGGREGATED)]
+        dis = matrix[(workload, DISAGGREGATED)]
+        rows.append(
+            {
+                "workload": workload,
+                "aggregated_median_ms": round(agg.median_ms, 3),
+                "aggregated_p99_ms": round(agg.p99_ms, 3),
+                "disaggregated_median_ms": round(dis.median_ms, 3),
+                "disaggregated_p99_ms": round(dis.p99_ms, 3),
+                "median_reduction_pct": round(100 * (1 - agg.median_ms / dis.median_ms), 1),
+            }
+        )
+    text = format_comparison("Figure 2: ReTwis latencies (ms)", rows)
+    text += "\n\nPaper claims to check:\n" + "\n".join(f"  - {c}" for c in PAPER_FIG2_CLAIMS)
+    return {"name": "fig2", "rows": rows, "text": text, "matrix": matrix}
+
+
+# ---------------------------------------------------------------------------
+# Table 1: architecture comparison
+# ---------------------------------------------------------------------------
+
+
+def table1(cal: CalibrationLike = None, matrix=None) -> dict:
+    """Table 1 — qualitative comparison, annotated with measured evidence.
+
+    The table's latency rows are backed by measurements from this
+    reproduction (aggregated/disaggregated medians, baseline cold start);
+    the remaining rows are design properties restated from the paper.
+    """
+    cal = _calibration(cal)
+    matrix = matrix or run_matrix(cal)
+    agg_medians = [matrix[(w, AGGREGATED)].median_ms for w in RetwisWorkload.WORKLOADS]
+    dis_medians = [matrix[(w, DISAGGREGATED)].median_ms for w in RetwisWorkload.WORKLOADS]
+    cold = _measure_cold_start(cal)
+
+    evidence = {
+        "Latency": (
+            f"measured: aggregated median {min(agg_medians):.2f}-{max(agg_medians):.2f} ms; "
+            f"warm disaggregated {min(dis_medians):.2f}-{max(dis_medians):.2f} ms; "
+            f"disaggregated cold start {cold:.0f} ms (>100 ms)"
+        ),
+        "Consistency": (
+            "measured: cluster histories pass the Wing&Gong linearizability "
+            "checker (tests/cluster/test_cluster_linearizability.py); the "
+            "baseline replicates asynchronously with no such guarantee"
+        ),
+        "Elasticity": (
+            "measured: microshard migration blocks only the moved object "
+            "(abl_migration); the baseline scales by adding stateless "
+            "containers instantly"
+        ),
+        "Scalability": "both architectures shard/scale out; custom services vary",
+        "Developer effort": "ReTwis is ~100 lines against either platform's API",
+        "Resource utilization": "shared multi-tenant pools vs dedicated servers",
+    }
+
+    headers = ["Metric", "LambdaObjects", "Custom services", "Conventional serverless"]
+    rows = []
+    for metric, cells in PAPER_TABLE1.items():
+        rows.append(
+            [
+                metric,
+                cells["LambdaObjects"],
+                cells["Custom services"],
+                cells["Conventional serverless"],
+            ]
+        )
+    text = "== Table 1: architecture comparison (paper's qualitative rows) ==\n"
+    text += format_table(headers, rows)
+    text += "\n\nMeasured evidence from this reproduction:\n"
+    for metric, note in evidence.items():
+        text += f"  {metric}: {note}\n"
+    return {"name": "table1", "rows": rows, "evidence": evidence, "text": text}
+
+
+def _measure_cold_start(cal: Calibration) -> float:
+    """First-invocation latency on a cold baseline (no prewarmed pool)."""
+    sim = Simulation(seed=cal.seed)
+    platform = build_disaggregated(
+        sim, replace(cal, num_accounts=10), prewarm=False
+    )
+    dataset = load_dataset(platform, replace(cal, num_accounts=10))
+    client = platform.client("cold-probe")
+    platform.run_invoke(client, dataset.accounts[0], "get_timeline", 10)
+    return client.completions[0][0]
+
+
+# ---------------------------------------------------------------------------
+# Ablations
+# ---------------------------------------------------------------------------
+
+
+def abl_cache(cal: CalibrationLike = None) -> dict:
+    """§4.2.2 — consistent caching of read-only functions.
+
+    GetTimeline with the result cache on vs off, plus a run with
+    concurrent Posts mixed in (invalidation traffic) to show hits degrade
+    gracefully rather than serving stale data.
+    """
+    cal = _calibration(cal)
+    off = run_retwis(AGGREGATED, RetwisWorkload.GET_TIMELINE, replace(cal, enable_cache=False))
+    on = run_retwis(AGGREGATED, RetwisWorkload.GET_TIMELINE, replace(cal, enable_cache=True))
+    mixed = _run_mixed_cache(cal)
+
+    def hit_rate(result: RunResult) -> float:
+        hits = sum(n.runtime.stats.cache_hits for n in result.platform.nodes.values())
+        lookups = hits + sum(
+            n.runtime.stats.cache_misses for n in result.platform.nodes.values()
+        )
+        return hits / lookups if lookups else 0.0
+
+    rows = [
+        {
+            "config": "cache off",
+            "throughput_per_sec": round(off.throughput, 1),
+            "median_ms": round(off.median_ms, 3),
+            "hit_rate": 0.0,
+        },
+        {
+            "config": "cache on",
+            "throughput_per_sec": round(on.throughput, 1),
+            "median_ms": round(on.median_ms, 3),
+            "hit_rate": round(hit_rate(on), 3),
+        },
+        {
+            "config": "cache on + 10% posts (invalidations)",
+            "throughput_per_sec": round(mixed.throughput, 1),
+            "median_ms": round(mixed.median_ms, 3),
+            "hit_rate": round(hit_rate(mixed), 3),
+        },
+    ]
+    text = format_comparison("Ablation: consistent result cache (GetTimeline)", rows)
+    return {"name": "abl_cache", "rows": rows, "text": text}
+
+
+def _run_mixed_cache(cal: Calibration) -> RunResult:
+    """GetTimeline-dominated mix with Posts invalidating cached timelines."""
+    from repro.bench.harness import WORKLOAD_METHOD
+    from repro.workload.clients import ClosedLoopDriver
+    from repro.workload.retwis_load import MixedRetwisWorkload
+
+    sim = Simulation(seed=cal.seed)
+    platform = build_aggregated(sim, replace(cal, enable_cache=True))
+    dataset = load_dataset(platform, cal)
+    workload = MixedRetwisWorkload(
+        dataset, {RetwisWorkload.GET_TIMELINE: 0.9, RetwisWorkload.POST: 0.1}
+    )
+    driver = ClosedLoopDriver(
+        sim,
+        platform,
+        workload,
+        num_clients=cal.num_clients,
+        duration_ms=cal.duration_ms,
+        warmup_ms=cal.warmup_ms,
+    )
+    result = driver.run()
+    report = result.reports[WORKLOAD_METHOD[RetwisWorkload.GET_TIMELINE]]
+    return RunResult(AGGREGATED, "Mixed", report, result, platform)
+
+
+def abl_replication(cal: CalibrationLike = None) -> dict:
+    """§4.2.1 — latency cost of primary-backup replication per replica.
+
+    Measured below CPU saturation (a handful of clients): under a
+    saturating load, queueing hides the replication round trip entirely.
+    """
+    cal = _calibration(cal)
+    rows = []
+    for replicas in (1, 2, 3, 5):
+        result = run_retwis(
+            AGGREGATED,
+            RetwisWorkload.FOLLOW,
+            replace(cal, num_storage_nodes=replicas),
+            num_clients=min(cal.num_clients, 8),
+        )
+        rows.append(
+            {
+                "replicas": replicas,
+                "throughput_per_sec": round(result.throughput, 1),
+                "median_ms": round(result.median_ms, 3),
+                "p99_ms": round(result.p99_ms, 3),
+            }
+        )
+    text = format_comparison("Ablation: replication factor (Follow, aggregated)", rows)
+    return {"name": "abl_replication", "rows": rows, "text": text}
+
+
+def abl_coldstart(cal: CalibrationLike = None) -> dict:
+    """§2.1 — start-up latency: cold vs warm containers vs aggregated."""
+    cal = _calibration(cal)
+    small = replace(cal, num_accounts=10)
+
+    def first_two(platform_builder):
+        sim = Simulation(seed=cal.seed)
+        platform = platform_builder(sim)
+        dataset = load_dataset(platform, small)
+        client = platform.client("probe")
+        platform.run_invoke(client, dataset.accounts[0], "get_timeline", 10)
+        platform.run_invoke(client, dataset.accounts[1], "get_timeline", 10)
+        return [latency for latency, _m in client.completions]
+
+    cold = first_two(lambda sim: build_disaggregated(sim, small, prewarm=False))
+    gated = first_two(
+        lambda sim: build_disaggregated(sim, small, prewarm=False, use_gateway=True)
+    )
+    warm = first_two(lambda sim: build_disaggregated(sim, small, prewarm=True))
+    agg = first_two(lambda sim: build_aggregated(sim, small))
+
+    rows = [
+        {"config": "disaggregated, cold container", "first_ms": round(cold[0], 3), "second_ms": round(cold[1], 3)},
+        {"config": "disaggregated, cold + gateway/log", "first_ms": round(gated[0], 3), "second_ms": round(gated[1], 3)},
+        {"config": "disaggregated, warm container", "first_ms": round(warm[0], 3), "second_ms": round(warm[1], 3)},
+        {"config": "aggregated (no container)", "first_ms": round(agg[0], 3), "second_ms": round(agg[1], 3)},
+    ]
+    text = format_comparison("Ablation: start-up latency (first vs second invocation)", rows)
+    return {"name": "abl_coldstart", "rows": rows, "text": text}
+
+
+def abl_contention(cal: CalibrationLike = None) -> dict:
+    """§4.2 — per-object scheduling under author skew.
+
+    Posts by Zipf-skewed authors: the hotter the head object, the more
+    the per-object lock serialises, trading throughput for conflict
+    freedom (no aborts ever happen).
+    """
+    cal = _calibration(cal)
+    rows = []
+    for exponent in (0.0, 0.6, 0.9, 1.2):
+        result = _run_post_with_author_skew(cal, exponent)
+        rows.append(
+            {
+                "author_zipf_exponent": exponent,
+                "throughput_per_sec": round(result.throughput, 1),
+                "median_ms": round(result.median_ms, 3),
+                "p99_ms": round(result.p99_ms, 3),
+                "lock_contentions": sum(
+                    n.locks.stats.contentions for n in result.platform.nodes.values()
+                ),
+            }
+        )
+    text = format_comparison("Ablation: Post throughput vs author skew (aggregated)", rows)
+    return {"name": "abl_contention", "rows": rows, "text": text}
+
+
+def _run_post_with_author_skew(cal: Calibration, exponent: float) -> RunResult:
+    from repro.bench.harness import WORKLOAD_METHOD
+    from repro.sim import Simulation
+    from repro.workload.clients import ClosedLoopDriver
+    from repro.workload.zipf import ZipfSampler
+
+    sim = Simulation(seed=cal.seed)
+    platform = build_aggregated(sim, cal)
+    dataset = load_dataset(platform, cal)
+    workload = RetwisWorkload(dataset, RetwisWorkload.POST)
+    sampler = ZipfSampler(len(dataset.accounts), exponent)
+
+    original_next = workload.next_operation
+
+    def skewed_next(rng):
+        _oid, method_name, args = original_next(rng)
+        author = dataset.accounts[sampler.sample(rng)]
+        return author, method_name, args
+
+    workload.next_operation = skewed_next  # type: ignore[method-assign]
+    driver = ClosedLoopDriver(
+        sim,
+        platform,
+        workload,
+        num_clients=cal.num_clients,
+        duration_ms=cal.duration_ms,
+        warmup_ms=cal.warmup_ms,
+        # Queueing at a hot object can exceed the default client deadline;
+        # contention must surface as latency, not client-side timeouts.
+        client_kwargs={"request_timeout_ms": 10_000.0},
+    )
+    result = driver.run()
+    report = result.reports[WORKLOAD_METHOD[RetwisWorkload.POST]]
+    return RunResult(AGGREGATED, RetwisWorkload.POST, report, result, platform)
+
+
+def abl_fanout(cal: CalibrationLike = None) -> dict:
+    """§5 — Post cost vs follower count (nested-call fan-out)."""
+    cal = _calibration(cal)
+    rows = []
+    for follows in (5, 10, 20, 40):
+        swept = replace(cal, avg_follows=follows)
+        agg = run_retwis(AGGREGATED, RetwisWorkload.POST, swept)
+        dis = run_retwis(DISAGGREGATED, RetwisWorkload.POST, swept)
+        rows.append(
+            {
+                "avg_followers": follows,
+                "aggregated_jobs_per_sec": round(agg.throughput, 1),
+                "disaggregated_jobs_per_sec": round(dis.throughput, 1),
+                "aggregated_median_ms": round(agg.median_ms, 3),
+                "disaggregated_median_ms": round(dis.median_ms, 3),
+            }
+        )
+    text = format_comparison("Ablation: Post vs fan-out degree", rows)
+    return {"name": "abl_fanout", "rows": rows, "text": text}
+
+
+def abl_migration(cal: CalibrationLike = None) -> dict:
+    """§7 — elasticity: migrating a loaded microshard.
+
+    A hot object serves a write every ~1 ms; mid-run it migrates to the
+    other replica set.  The disruption window is the longest
+    inter-completion gap; afterwards the new owner serves at full speed.
+    """
+    cal = _calibration(cal)
+    from repro.cluster import Cluster, ClusterConfig
+    from repro.cluster.migration import Migrator
+
+    sim = Simulation(seed=cal.seed)
+    cluster = Cluster(
+        sim,
+        ClusterConfig(
+            num_storage_nodes=4,
+            num_shards=2,
+            ms_per_fuel=cal.ms_per_fuel,
+            net_median_ms=cal.net_median_ms,
+            seed=cal.seed,
+        ),
+    )
+    cluster.register_type(_counter_type())
+    cluster.start()
+    oid = cluster.create_object("BenchCounter")
+    home = cluster.bootstrap_shard_map.shard_for(oid).shard_id
+    target = (home + 1) % 2
+    client = cluster.client("hot")
+    completions: list[float] = []
+    migrate_at = 50.0
+
+    def load():
+        while sim.now < 150.0:
+            yield from client.invoke(oid, "bump")
+            completions.append(sim.now)
+
+    def migrate():
+        yield sim.timeout(migrate_at)
+        migrator = Migrator(cluster)
+        yield from migrator.migrate(oid, target)
+
+    load_process = sim.process(load())
+    sim.process(migrate())
+    sim.run_until_triggered(load_process, limit=600_000)
+
+    gaps = [(b - a, a) for a, b in zip(completions, completions[1:])]
+    disruption, at = max(gaps)
+    before = sum(1 for c in completions if c < migrate_at)
+    after = sum(1 for c in completions if c > at + disruption)
+    rows = [
+        {
+            "completions_before": before,
+            "completions_after": after,
+            "disruption_window_ms": round(disruption, 2),
+            "disruption_at_ms": round(at, 2),
+            "final_count": completions and len(completions),
+        }
+    ]
+    text = format_comparison("Ablation: live microshard migration under load", rows)
+    return {"name": "abl_migration", "rows": rows, "text": text}
+
+
+def abl_failover(cal: CalibrationLike = None) -> dict:
+    """§4.2.1 — kill the primary mid-run; measure the unavailability
+    window and verify no acknowledged write is lost."""
+    cal = _calibration(cal)
+    from repro.cluster import Cluster, ClusterConfig
+
+    sim = Simulation(seed=cal.seed)
+    cluster = Cluster(
+        sim,
+        ClusterConfig(
+            num_storage_nodes=3,
+            ms_per_fuel=cal.ms_per_fuel,
+            net_median_ms=cal.net_median_ms,
+            seed=cal.seed,
+        ),
+    )
+    cluster.register_type(_counter_type())
+    cluster.start()
+    oid = cluster.create_object("BenchCounter")
+    client = cluster.client("survivor", request_timeout_ms=30.0)
+    completions: list[tuple[float, int]] = []
+    crash_at = 40.0
+    crashed = []
+
+    def load():
+        while sim.now < 400.0 and len(completions) < 400:
+            if sim.now >= crash_at and not crashed:
+                crashed.append(True)
+                cluster.crash_node("store-0")
+            value = yield from client.invoke(oid, "bump")
+            completions.append((sim.now, value))
+
+    process = sim.process(load())
+    sim.run_until_triggered(process, limit=600_000)
+
+    times = [t for t, _v in completions]
+    gaps = [(b - a, a) for a, b in zip(times, times[1:])]
+    window, at = max(gaps)
+    values = [v for _t, v in completions]
+    acked = len(values)
+    rows = [
+        {
+            "acked_writes": acked,
+            "final_counter": values[-1],
+            "lost_writes": values[-1] < acked,
+            "unavailability_ms": round(window, 2),
+            "failover_at_ms": round(at, 2),
+        }
+    ]
+    text = format_comparison("Ablation: primary failover under write load", rows)
+    text += "\n  (final_counter >= acked_writes means every acknowledged write survived;"
+    text += "\n   retries after timeouts may execute twice, so it can exceed acked_writes)"
+    return {"name": "abl_failover", "rows": rows, "text": text}
+
+
+def abl_elasticity(cal: CalibrationLike = None) -> dict:
+    """Table 1's elasticity row, measured as burst absorption.
+
+    A baseline load runs on each architecture; then a burst of new
+    clients arrives at once.  Conventional serverless absorbs the burst
+    by provisioning containers (first-wave cold starts, then steady) —
+    "High" elasticity with a start-up price.  The aggregated variant has
+    no provisioning step at all (no cold starts), but its capacity is the
+    storage nodes it already owns — adding more means migrating data
+    (see ``abl_migration``), which is why the paper grades it "Medium".
+    """
+    cal = _calibration(cal)
+    small = replace(cal, num_accounts=max(200, cal.num_accounts // 5))
+
+    def burst_run(build):
+        sim = Simulation(seed=cal.seed)
+        platform = build(sim)
+        dataset = load_dataset(platform, small)
+        platform.start()
+        first_wave: list[float] = []
+        steady: list[float] = []
+
+        def client_load(index, start_at):
+            yield sim.timeout(start_at)
+            client = platform.client(f"b{index}")
+            rng = sim.rng(f"elastic.{index}")
+            while sim.now < 400.0:
+                target = dataset.uniform_account(rng)
+                begun = sim.now
+                yield from client.invoke(target, "get_timeline", 10)
+                latency = sim.now - begun
+                if start_at > 0:  # a burst client
+                    (first_wave if begun < 100.0 + 50.0 else steady).append(latency)
+
+        processes = [sim.process(client_load(i, 0.0)) for i in range(5)]
+        processes += [sim.process(client_load(100 + i, 100.0)) for i in range(30)]
+        sim.run_until_triggered(sim.all_of(processes), limit=600_000)
+        return first_wave, steady
+
+    cold_pool = lambda sim: build_disaggregated(sim, small, prewarm=False)
+    dis_first, dis_steady = burst_run(cold_pool)
+    agg_first, agg_steady = burst_run(lambda sim: build_aggregated(sim, small))
+
+    def stats(samples):
+        ordered = sorted(samples)
+        return {
+            "max_ms": round(ordered[-1], 2) if ordered else 0.0,
+            "median_ms": round(ordered[len(ordered) // 2], 2) if ordered else 0.0,
+        }
+
+    rows = [
+        {"variant": "disaggregated burst (first 50 ms)", **stats(dis_first)},
+        {"variant": "disaggregated burst (steady)", **stats(dis_steady)},
+        {"variant": "aggregated burst (first 50 ms)", **stats(agg_first)},
+        {"variant": "aggregated burst (steady)", **stats(agg_steady)},
+    ]
+    text = format_comparison("Ablation: elasticity — absorbing a client burst", rows)
+    text += (
+        "\n  (disaggregated pays cold starts in the first wave, then matches its"
+        "\n   steady state; aggregated never cold-starts but scales by migration)"
+    )
+    return {
+        "name": "abl_elasticity",
+        "rows": rows,
+        "text": text,
+        "raw": {
+            "dis_first": dis_first,
+            "dis_steady": dis_steady,
+            "agg_first": agg_first,
+            "agg_steady": agg_steady,
+        },
+    }
+
+
+def _counter_type() -> ObjectType:
+    def bump(self):
+        value = (self.get("value") or 0) + 1
+        self.set("value", value)
+        return value
+
+    def read(self):
+        return self.get("value") or 0
+
+    return ObjectType(
+        "BenchCounter",
+        fields=[ValueField("value", default=0)],
+        methods=[method(bump), readonly_method(read)],
+    )
+
+
+ALL_EXPERIMENTS = {
+    "fig1": fig1,
+    "fig2": fig2,
+    "table1": table1,
+    "abl_cache": abl_cache,
+    "abl_replication": abl_replication,
+    "abl_coldstart": abl_coldstart,
+    "abl_contention": abl_contention,
+    "abl_elasticity": abl_elasticity,
+    "abl_fanout": abl_fanout,
+    "abl_migration": abl_migration,
+    "abl_failover": abl_failover,
+}

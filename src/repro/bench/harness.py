@@ -1,0 +1,135 @@
+"""Build platforms, load datasets, run workloads — the experiment core."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Optional
+
+from repro.bench.calibration import Calibration
+from repro.cluster import Cluster, ClusterConfig
+from repro.serverless import ServerlessConfig, ServerlessPlatform
+from repro.sim import Simulation
+from repro.workload.clients import ClosedLoopDriver, DriverResult
+from repro.workload.metrics import WorkloadReport
+from repro.workload.retwis_load import RetwisDataset, RetwisParams, RetwisWorkload
+
+#: workload name -> the invoked method whose completions we report
+WORKLOAD_METHOD = {
+    RetwisWorkload.POST: "create_post",
+    RetwisWorkload.GET_TIMELINE: "get_timeline",
+    RetwisWorkload.FOLLOW: "follow",
+}
+
+AGGREGATED = "aggregated"
+DISAGGREGATED = "disaggregated"
+VARIANTS = (AGGREGATED, DISAGGREGATED)
+
+
+@dataclass
+class RunResult:
+    """One (variant, workload) measurement."""
+
+    variant: str
+    workload: str
+    report: WorkloadReport
+    driver: DriverResult
+    platform: Any
+
+    @property
+    def throughput(self) -> float:
+        return self.report.throughput_per_sec
+
+    @property
+    def median_ms(self) -> float:
+        return self.report.median_ms
+
+    @property
+    def p99_ms(self) -> float:
+        return self.report.p99_ms
+
+
+def build_aggregated(sim: Simulation, cal: Calibration, **config_overrides) -> Cluster:
+    """The LambdaStore deployment of §5: one 3-node replica set."""
+    config = ClusterConfig(
+        num_storage_nodes=cal.num_storage_nodes,
+        num_shards=1,
+        cores_per_node=cal.cores_per_node,
+        ms_per_fuel=cal.ms_per_fuel,
+        net_median_ms=cal.net_median_ms,
+        net_sigma=cal.net_sigma,
+        net_cap_ms=cal.net_cap_ms,
+        enable_cache=cal.enable_cache,
+        seed=cal.seed,
+        **config_overrides,
+    )
+    return Cluster(sim, config)
+
+
+def build_disaggregated(sim: Simulation, cal: Calibration, **config_overrides) -> ServerlessPlatform:
+    """The baseline of §5: one compute machine + 3 storage machines."""
+    config = ServerlessConfig(
+        num_compute_nodes=1,
+        num_storage_nodes=cal.num_storage_nodes,
+        cores_per_compute_node=cal.cores_per_node,
+        cores_per_storage_node=cal.cores_per_node,
+        ms_per_fuel=cal.ms_per_fuel,
+        net_median_ms=cal.net_median_ms,
+        net_sigma=cal.net_sigma,
+        net_cap_ms=cal.net_cap_ms,
+        seed=cal.seed,
+        **config_overrides,
+    )
+    return ServerlessPlatform(sim, config)
+
+
+def build_platform(variant: str, sim: Simulation, cal: Calibration, **overrides) -> Any:
+    if variant == AGGREGATED:
+        return build_aggregated(sim, cal, **overrides)
+    if variant == DISAGGREGATED:
+        return build_disaggregated(sim, cal, **overrides)
+    raise ValueError(f"unknown variant {variant!r}; pick one of {VARIANTS}")
+
+
+def load_dataset(platform: Any, cal: Calibration) -> RetwisDataset:
+    dataset = RetwisDataset(
+        RetwisParams(
+            num_accounts=cal.num_accounts,
+            avg_follows=cal.avg_follows,
+            zipf_exponent=cal.zipf_exponent,
+            seed_posts_per_account=cal.seed_posts_per_account,
+            seed=cal.seed,
+        )
+    )
+    dataset.setup(platform)
+    return dataset
+
+
+def run_retwis(
+    variant: str,
+    workload_name: str,
+    cal: Calibration,
+    platform_overrides: Optional[dict] = None,
+    num_clients: Optional[int] = None,
+) -> RunResult:
+    """One complete measurement: fresh simulation, platform, dataset, load."""
+    sim = Simulation(seed=cal.seed)
+    platform = build_platform(variant, sim, cal, **(platform_overrides or {}))
+    dataset = load_dataset(platform, cal)
+    workload = RetwisWorkload(dataset, workload_name)
+    driver = ClosedLoopDriver(
+        sim,
+        platform,
+        workload,
+        num_clients=num_clients if num_clients is not None else cal.num_clients,
+        duration_ms=cal.duration_ms,
+        warmup_ms=cal.warmup_ms,
+    )
+    result = driver.run()
+    method = WORKLOAD_METHOD[workload_name]
+    report = result.reports.get(method)
+    if report is None or report.completed == 0:
+        raise RuntimeError(
+            f"{variant}/{workload_name}: no completions recorded "
+            f"(failures={result.failures})"
+        )
+    return RunResult(variant, workload_name, report, result, platform)

@@ -1,0 +1,55 @@
+"""Plain-text rendering of experiment results (tables + bar charts)."""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence[Any]]) -> str:
+    """A boxless aligned table."""
+    columns = [[str(h)] + [str(row[i]) for row in rows] for i, h in enumerate(headers)]
+    widths = [max(len(cell) for cell in column) for column in columns]
+    lines = []
+    header_line = "  ".join(str(h).ljust(widths[i]) for i, h in enumerate(headers))
+    lines.append(header_line)
+    lines.append("  ".join("-" * w for w in widths))
+    for row in rows:
+        lines.append("  ".join(str(cell).ljust(widths[i]) for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def format_bars(
+    title: str, series: dict[str, float], width: int = 48, unit: str = ""
+) -> str:
+    """Horizontal bars normalised to the series maximum."""
+    if not series:
+        return f"{title}\n  (no data)"
+    peak = max(series.values()) or 1.0
+    label_width = max(len(label) for label in series)
+    lines = [title]
+    for label, value in series.items():
+        bar = "#" * max(1, round(width * value / peak))
+        lines.append(f"  {label.ljust(label_width)}  {bar} {value:,.1f}{unit}")
+    return "\n".join(lines)
+
+
+def format_comparison(
+    experiment: str,
+    rows: list[dict[str, Any]],
+    paper: dict[str, dict[str, float]] | None = None,
+) -> str:
+    """Render measured rows with optional paper-reported reference values."""
+    headers = list(rows[0].keys()) if rows else []
+    table = format_table(headers, [[row[h] for h in headers] for row in rows])
+    out = [f"== {experiment} ==", table]
+    if paper:
+        out.append("")
+        out.append("Paper-reported reference values:")
+        ref_rows = [
+            [workload] + [f"{variant}={value}" for variant, value in variants.items()]
+            for workload, variants in paper.items()
+        ]
+        width = max(len(r[0]) for r in ref_rows)
+        for row in ref_rows:
+            out.append(f"  {row[0].ljust(width)}  " + "  ".join(row[1:]))
+    return "\n".join(out)

@@ -1,0 +1,145 @@
+"""Cluster clients: routing, retries, and reconfiguration handling.
+
+Clients contact storage nodes directly (the paper's evaluation runs with
+no load balancer or frontend): mutating invocations go to the object's
+primary, read-only ones to a uniformly chosen replica.  On a wrong-epoch
+or not-primary rejection — or a timeout after a node failure — the client
+refreshes its configuration from the coordination service and retries
+with backoff.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from repro.cluster.messages import ClientReply, ClientRequest, ConfigQuery, ConfigReply
+from repro.core.ids import ObjectId
+from repro.errors import RequestTimeout
+
+
+class ClusterClient:
+    """One simulated client endpoint; drive it from a simulation process."""
+
+    def __init__(
+        self,
+        cluster: Any,
+        name: str,
+        request_timeout_ms: float = 1_000.0,
+        max_attempts: int = 40,
+    ) -> None:
+        self.cluster = cluster
+        self.sim = cluster.sim
+        self.net = cluster.net
+        self.name = name
+        self.host = cluster.net.add_host(name)
+        self._counter = 0
+        self._rng = self.sim.rng(f"client.{name}")
+        self.epoch = cluster.bootstrap_epoch
+        self.shard_map = cluster.bootstrap_shard_map
+        self._timeout = request_timeout_ms
+        self._max_attempts = max_attempts
+        #: (latency_ms, method) per successful invocation, for metrics
+        self.completions: list[tuple[float, str]] = []
+        # A single pump moves inbox messages into a scannable mailbox so
+        # abandoned waits never strand messages inside half-consumed gets.
+        self._mail: list[Any] = []
+        self._mail_signal = None
+        self.sim.process(self._pump(), name=f"{name}.pump")
+
+    # -- public API (simulation-process generators) ----------------------------
+
+    def invoke(self, object_id: ObjectId, method: str, *args: Any):
+        """Invoke a method; returns its value (use ``yield from`` in a
+        simulation process)."""
+        readonly = self.cluster.is_readonly(object_id, method)
+        started = self.sim.now
+        self._counter += 1
+        request_id = f"{self.name}#{self._counter}"
+
+        last_error = "no attempts made"
+        for attempt in range(self._max_attempts):
+            target = self._route(object_id, readonly)
+            request = ClientRequest(
+                request_id=request_id,
+                client=self.name,
+                object_id=object_id,
+                method=method,
+                args=args,
+                epoch=self.epoch,
+                readonly_hint=readonly,
+            )
+            self.net.send(self.name, target, request, size_bytes=request.size())
+            reply = yield from self._await(
+                lambda p: isinstance(p, ClientReply) and p.request_id == request_id
+            )
+            if reply is not None and reply.ok:
+                self.completions.append((self.sim.now - started, method))
+                return reply.value
+            if reply is not None:
+                last_error = reply.error
+                if reply.error not in ("wrong epoch", "not primary", "migration in progress"):
+                    raise RequestTimeout(
+                        f"{method} on {object_id.short} failed: {reply.error}"
+                    )
+            else:
+                last_error = "timeout"
+            # Stale routing or node failure: refresh config and back off.
+            yield from self.refresh_config()
+            yield self.sim.timeout(self._rng.uniform(0.1, 0.5) * (1 + attempt))
+        raise RequestTimeout(
+            f"{method} on {object_id.short} gave up after "
+            f"{self._max_attempts} attempts: {last_error}"
+        )
+
+    def refresh_config(self):
+        """Fetch the latest epoch + shard map from the coordination service."""
+        for coordinator in self.cluster.coordinator_names():
+            self._counter += 1
+            query_id = f"{self.name}#{self._counter}"
+            query = ConfigQuery(query_id)
+            self.net.send(self.name, coordinator, query, size_bytes=query.size())
+            reply = yield from self._await(
+                lambda p: isinstance(p, ConfigReply) and p.query_id == query_id
+            )
+            if reply is not None:
+                if reply.epoch >= self.epoch:
+                    self.epoch = reply.epoch
+                    self.shard_map = reply.config
+                return
+        # All coordinators timed out; keep the stale config and let the
+        # caller's retry loop back off.
+
+    # -- internals ---------------------------------------------------------
+
+    def _route(self, object_id: ObjectId, readonly: bool) -> str:
+        replica_set = self.shard_map.shard_for(object_id)
+        if readonly:
+            return self._rng.choice(replica_set.members)
+        return replica_set.primary
+
+    def _pump(self):
+        while True:
+            message = yield self.host.recv()
+            self._mail.append(message.payload)
+            if self._mail_signal is not None and not self._mail_signal.triggered:
+                self._mail_signal.succeed()
+
+    def _await(self, predicate: Callable[[Any], bool]):
+        """Wait for a mailbox message matching ``predicate`` (or time out).
+
+        Non-matching messages are stale (replies to abandoned attempts)
+        and are discarded — every wait in this client is strictly
+        sequential, so nothing else can be waiting for them.
+        """
+        deadline = self.sim.now + self._timeout
+        while True:
+            for index, payload in enumerate(self._mail):
+                if predicate(payload):
+                    del self._mail[index]
+                    return payload
+            self._mail.clear()
+            remaining = deadline - self.sim.now
+            if remaining <= 0:
+                return None
+            self._mail_signal = self.sim.event()
+            yield self.sim.any_of([self._mail_signal, self.sim.timeout(remaining)])

@@ -1,0 +1,269 @@
+"""Cluster assembly: wiring nodes, coordinators, network, and bootstrap."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Iterable, Optional
+
+from repro.cluster.client import ClusterClient
+from repro.cluster.coordinator import CoordinatorNode
+from repro.cluster.shard import ReplicaSet, ShardMap
+from repro.cluster.store_node import ExecutionCapture, StoreNode
+from repro.core.ids import ObjectId
+from repro.core.object_type import ObjectType
+from repro.errors import ClusterError
+from repro.sim.core import Simulation
+from repro.sim.network import LogNormalLatency, Network
+from repro.wasm.host_api import OpCosts
+
+
+@dataclass
+class ClusterConfig:
+    """Shape and cost model of a LambdaStore deployment.
+
+    The defaults mirror the paper's evaluation: three storage machines in
+    one replica set (no sharding), 20 physical cores each, all in one
+    low-latency cluster (§5).
+    """
+
+    num_storage_nodes: int = 3
+    #: number of replica sets; storage nodes are split evenly among them
+    num_shards: int = 1
+    num_coordinators: int = 3
+    cores_per_node: int = 20
+    #: simulated CPU milliseconds per unit of metered fuel
+    ms_per_fuel: float = 0.005
+    #: one-way network latency (log-normal median / shape)
+    net_median_ms: float = 0.08
+    net_sigma: float = 0.3
+    net_cap_ms: float = 2.0
+    bandwidth_mbps: float = 10_000.0
+    enable_cache: bool = True
+    #: nested invocations of one job execute in parallel on the storage
+    #: node's cores ("Updating many follower timelines at once is done
+    #: quickly by running the store_post calls in parallel", §3.2); this
+    #: caps the per-job parallelism.
+    fanout_parallelism: int = 8
+    heartbeat_interval_ms: float = 10.0
+    heartbeat_timeout_ms: float = 60.0
+    auto_failure_detection: bool = True
+    ack_timeout_ms: float = 5.0
+    #: when set, each storage node persists through the real LSM store in
+    #: ``<durable_dir>/<node name>`` instead of an in-memory backend
+    durable_dir: Optional[str] = None
+    seed: int = 0
+
+
+class Cluster:
+    """A complete simulated LambdaStore deployment."""
+
+    def __init__(self, sim: Simulation, config: Optional[ClusterConfig] = None) -> None:
+        self.sim = sim
+        self.config = config or ClusterConfig()
+        if self.config.num_storage_nodes < 1:
+            raise ClusterError("cluster needs at least one storage node")
+        if self.config.num_shards > self.config.num_storage_nodes:
+            raise ClusterError("more shards than storage nodes")
+        self.seed = self.config.seed
+        self.net = Network(
+            sim,
+            latency=LogNormalLatency(
+                self.config.net_median_ms,
+                sigma=self.config.net_sigma,
+                cap_ms=self.config.net_cap_ms,
+            ),
+            bandwidth_mbps=self.config.bandwidth_mbps,
+        )
+        self._id_rng = sim.rng("cluster.ids")
+        self.costs = OpCosts()
+
+        storage_names = [f"store-{i}" for i in range(self.config.num_storage_nodes)]
+        coordinator_names = [f"coord-{i}" for i in range(self.config.num_coordinators)]
+
+        self.bootstrap_shard_map = self._build_shard_map(storage_names)
+        self.bootstrap_epoch = 1
+
+        self.nodes: dict[str, StoreNode] = {}
+        self._dbs = []
+        for name in storage_names:
+            storage = None
+            if self.config.durable_dir is not None:
+                import os
+
+                from repro.core.storage import KVBackend
+                from repro.kvstore import DB
+
+                db = DB.open(os.path.join(self.config.durable_dir, name))
+                self._dbs.append(db)
+                storage = KVBackend(db)
+            node = StoreNode(
+                sim,
+                self.net,
+                cluster=self,
+                name=name,
+                cores=self.config.cores_per_node,
+                ms_per_fuel=self.config.ms_per_fuel,
+                enable_cache=self.config.enable_cache,
+                fanout_parallelism=self.config.fanout_parallelism,
+                costs=self.costs,
+                heartbeat_interval_ms=self.config.heartbeat_interval_ms,
+                ack_timeout_ms=self.config.ack_timeout_ms,
+                storage=storage,
+            )
+            node.install_config(self.bootstrap_epoch, self.bootstrap_shard_map.copy())
+            self.nodes[name] = node
+
+        self.coordinators: dict[str, CoordinatorNode] = {}
+        for name in coordinator_names:
+            coordinator = CoordinatorNode(
+                sim,
+                self.net,
+                name=name,
+                peers=coordinator_names,
+                storage_nodes=storage_names,
+                heartbeat_timeout_ms=self.config.heartbeat_timeout_ms,
+                auto_failure_detection=self.config.auto_failure_detection,
+            )
+            coordinator.state.epoch = self.bootstrap_epoch
+            coordinator.state.shard_map = self.bootstrap_shard_map.copy()
+            self.coordinators[name] = coordinator
+
+        #: object id -> type name (for client-side readonly routing)
+        self._object_types: dict[str, str] = {}
+        self._types: dict[str, ObjectType] = {}
+        #: the capture for the execution currently in flight (if any)
+        self.capture: Optional[ExecutionCapture] = None
+        self._clients: list[ClusterClient] = []
+        self._started = False
+
+    def _build_shard_map(self, storage_names: list[str]) -> ShardMap:
+        groups: list[list[str]] = [[] for _ in range(self.config.num_shards)]
+        for index, name in enumerate(storage_names):
+            groups[index % self.config.num_shards].append(name)
+        replica_sets = [
+            ReplicaSet(shard_id=i, primary=group[0], backups=group[1:])
+            for i, group in enumerate(groups)
+            if group
+        ]
+        return ShardMap(replica_sets=replica_sets)
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def start(self) -> None:
+        """Start every node's serving processes (idempotent)."""
+        if self._started:
+            return
+        self._started = True
+        for coordinator in self.coordinators.values():
+            coordinator.start()
+        for node in self.nodes.values():
+            node.start()
+
+    # -- lookup ------------------------------------------------------------
+
+    def node(self, name: str) -> StoreNode:
+        try:
+            return self.nodes[name]
+        except KeyError:
+            raise ClusterError(f"unknown storage node {name!r}") from None
+
+    def coordinator_names(self) -> list[str]:
+        return list(self.coordinators)
+
+    def leader_coordinator(self) -> CoordinatorNode:
+        """The coordinator currently acting as leader."""
+        any_coordinator = next(iter(self.coordinators.values()))
+        return self.coordinators[any_coordinator.leader()]
+
+    def current_config(self) -> tuple[int, ShardMap]:
+        """The authoritative configuration (from the coordinator leader)."""
+        leader = self.leader_coordinator()
+        return leader.state.epoch, leader.state.shard_map
+
+    # -- types and objects -------------------------------------------------
+
+    def register_type(self, object_type: ObjectType) -> None:
+        """Register a type on every storage node."""
+        self._types[object_type.name] = object_type
+        for node in self.nodes.values():
+            node.runtime.register_type(object_type)
+
+    def register_types(self, object_types: Iterable[ObjectType]) -> None:
+        for object_type in object_types:
+            self.register_type(object_type)
+
+    def create_object(
+        self,
+        type_name: str,
+        object_id: Optional[ObjectId] = None,
+        initial: Optional[dict[str, Any]] = None,
+    ) -> ObjectId:
+        """Instantiate an object on its replica set (setup-time operation).
+
+        Creation writes identical initial state to every member of the
+        owning replica set directly; production systems would bootstrap
+        through the primary, but dataset setup is not part of any
+        measured experiment.
+        """
+        oid = object_id if object_id is not None else ObjectId.generate(self._id_rng)
+        replica_set = self.bootstrap_shard_map.shard_for(oid)
+        for member in replica_set.members:
+            self.nodes[member].runtime.create_object(type_name, object_id=oid, initial=initial)
+        self._object_types[str(oid)] = type_name
+        return oid
+
+    def is_readonly(self, object_id: ObjectId, method: str) -> bool:
+        """Whether ``method`` of this object is declared read-only."""
+        type_name = self._object_types.get(str(object_id))
+        if type_name is None:
+            return False
+        object_type = self._types[type_name]
+        if not object_type.has_method(method):
+            return False  # let a primary report the unknown method
+        return object_type.method_def(method).readonly
+
+    def type_named(self, name: str) -> ObjectType:
+        return self._types[name]
+
+    # -- clients -----------------------------------------------------------
+
+    def client(self, name: str, **kwargs: Any) -> ClusterClient:
+        client = ClusterClient(self, name, **kwargs)
+        self._clients.append(client)
+        return client
+
+    def run_invoke(self, client: ClusterClient, object_id: ObjectId, method: str, *args: Any):
+        """Convenience for tests: run the sim until one invocation completes."""
+        self.start()
+        process = self.sim.process(client.invoke(object_id, method, *args))
+        return self.sim.run_until_triggered(process, limit=self.sim.now + 60_000)
+
+    # -- execution capture (used by StoreNode) -------------------------------
+
+    def begin_capture(self) -> ExecutionCapture:
+        self.capture = ExecutionCapture()
+        return self.capture
+
+    def end_capture(self) -> None:
+        self.capture = None
+
+    # -- failure injection ---------------------------------------------------
+
+    def crash_node(self, name: str) -> None:
+        """Fail-stop a storage node."""
+        self.node(name).crash()
+
+    def close(self) -> None:
+        """Close any durable databases the cluster opened."""
+        for db in self._dbs:
+            db.close()
+        self._dbs.clear()
+
+    # -- metrics -----------------------------------------------------------
+
+    def total_node_stats(self) -> dict[str, int]:
+        totals: dict[str, int] = {}
+        for node in self.nodes.values():
+            for key, value in vars(node.stats).items():
+                totals[key] = totals.get(key, 0) + value
+        return totals

@@ -1,0 +1,228 @@
+"""The cluster-wide coordination service (paper §4.2.1).
+
+A small Paxos-replicated state machine tracks the configuration: the
+epoch, the shard map (replica sets + migration overrides), and storage
+node liveness.  "If a node fails, the coordinator will reconfigure the
+affected shards and notify all participants."  The coordinator is only
+involved during reconfigurations, never on the request path.
+
+Each :class:`CoordinatorNode` is acceptor+learner for the replicated
+command log; the current leader (first coordinator believed alive, by
+configured order) proposes commands, applies them in log order, and
+broadcasts :class:`NewConfig` to every storage node.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.cluster.messages import (
+    ConfigQuery,
+    ConfigReply,
+    CoordCommand,
+    CoordReply,
+    Heartbeat,
+    NewConfig,
+)
+from repro.cluster.paxos import PaxosNode
+from repro.cluster.shard import ShardMap
+from repro.sim.core import Simulation
+from repro.sim.network import Network
+
+
+@dataclass
+class CoordinatorState:
+    """The replicated state machine's state (one copy per coordinator)."""
+
+    epoch: int = 0
+    shard_map: ShardMap = field(default_factory=ShardMap)
+    dead_nodes: set = field(default_factory=set)
+    applied_commands: set = field(default_factory=set)
+
+    def apply(self, command: CoordCommand) -> Any:
+        """Apply one command deterministically; returns its result."""
+        if command.command_id in self.applied_commands:
+            return {"epoch": self.epoch, "duplicate": True}
+        self.applied_commands.add(command.command_id)
+        payload = command.payload
+
+        if command.kind == "set_config":
+            self.shard_map = payload["shard_map"].copy()
+            self.epoch += 1
+        elif command.kind == "report_failure":
+            node = payload["node"]
+            if node not in self.dead_nodes:
+                self.dead_nodes.add(node)
+                self._remove_node(node)
+                self.epoch += 1
+        elif command.kind == "move_object":
+            self.shard_map.move_override(payload["object_id"], payload["to_shard"])
+            self.epoch += 1
+        elif command.kind == "add_backup":
+            replica_set = self.shard_map.replica_set(payload["shard_id"])
+            node = payload["node"]
+            if node not in replica_set.members:
+                replica_set.backups.append(node)
+                self.dead_nodes.discard(node)
+                self.epoch += 1
+        else:
+            return {"error": f"unknown command kind {command.kind!r}"}
+        return {"epoch": self.epoch}
+
+    def _remove_node(self, node: str) -> None:
+        """Drop a dead node from every replica set, promoting backups."""
+        for replica_set in self.shard_map.replica_sets:
+            if node == replica_set.primary:
+                if replica_set.backups:
+                    replica_set.primary = replica_set.backups.pop(0)
+                # A replica set with no survivors keeps its dead primary
+                # on record; requests to it fail until an operator adds
+                # capacity (add_backup).
+            elif node in replica_set.backups:
+                replica_set.backups.remove(node)
+
+
+class CoordinatorNode:
+    """One replica of the coordination service."""
+
+    def __init__(
+        self,
+        sim: Simulation,
+        net: Network,
+        name: str,
+        peers: list[str],
+        storage_nodes: list[str],
+        heartbeat_timeout_ms: float = 50.0,
+        monitor_interval_ms: float = 10.0,
+        auto_failure_detection: bool = True,
+    ) -> None:
+        self.sim = sim
+        self.net = net
+        self.name = name
+        self.peers = list(peers)
+        self.host = net.add_host(name)
+        self.state = CoordinatorState()
+        self.paxos = PaxosNode(sim, net, name, peers, on_decide=self._on_decide)
+        self._storage_nodes = list(storage_nodes)
+        self._last_heartbeat: dict[str, float] = {}
+        self._heartbeat_timeout = heartbeat_timeout_ms
+        self._monitor_interval = monitor_interval_ms
+        self._auto_failure_detection = auto_failure_detection
+        #: command_id -> (reply_to, query id) awaiting application
+        self._pending_replies: dict[str, str] = {}
+        #: commands this node is currently proposing
+        self._proposing: set[str] = set()
+        self._command_counter = 0
+        self.crashed = False
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def start(self) -> None:
+        self.sim.process(self._serve(), name=f"{self.name}.serve")
+        if self._auto_failure_detection:
+            self.sim.process(self._monitor(), name=f"{self.name}.monitor")
+
+    def crash(self) -> None:
+        """Stop participating (messages to/from this node are dropped)."""
+        self.crashed = True
+        self.net.crash(self.name)
+
+    @property
+    def is_leader(self) -> bool:
+        return self.leader() == self.name
+
+    def leader(self) -> str:
+        """First configured coordinator this node believes is alive."""
+        for peer in self.peers:
+            if peer == self.name and self.crashed:
+                continue
+            if not self.net.host(peer).crashed:
+                return peer
+        return self.peers[0]
+
+    # -- serving ------------------------------------------------------------
+
+    def _serve(self):
+        while True:
+            message = (yield self.host.recv()).payload
+            if self.crashed:
+                continue
+            if self.paxos.handle(message):
+                continue
+            if isinstance(message, CoordCommand):
+                self._on_command(message)
+            elif isinstance(message, ConfigQuery):
+                reply = ConfigReply(message.query_id, self.state.epoch, self.state.shard_map.copy())
+                sender = message.query_id.rsplit("#", 1)[0]
+                self.net.send(self.name, sender, reply, size_bytes=reply.size())
+            elif isinstance(message, Heartbeat):
+                self._last_heartbeat[message.sender] = self.sim.now
+
+    def _on_command(self, command: CoordCommand) -> None:
+        sender = command.command_id.rsplit("#", 1)[0]
+        if not self.is_leader:
+            reply = CoordReply(command.command_id, False, leader_hint=self.leader())
+            self.net.send(self.name, sender, reply, size_bytes=reply.size())
+            return
+        if command.command_id in self.state.applied_commands:
+            reply = CoordReply(command.command_id, True, result={"epoch": self.state.epoch})
+            self.net.send(self.name, sender, reply, size_bytes=reply.size())
+            return
+        self._pending_replies[command.command_id] = sender
+        self.submit(command)
+
+    def submit(self, command: CoordCommand) -> None:
+        """Drive ``command`` through the replicated log (leader only)."""
+        if command.command_id in self._proposing:
+            return
+        self._proposing.add(command.command_id)
+
+        def drive():
+            while command.command_id not in self.state.applied_commands:
+                slot = self.paxos.first_undecided_slot()
+                yield from self.paxos.propose(slot, command)
+            self._proposing.discard(command.command_id)
+
+        self.sim.process(drive(), name=f"{self.name}.propose")
+
+    # -- state machine ----------------------------------------------------
+
+    def _on_decide(self, _slot: int, command: CoordCommand) -> None:
+        old_epoch = self.state.epoch
+        result = self.state.apply(command)
+        sender = self._pending_replies.pop(command.command_id, None)
+        if sender is not None:
+            reply = CoordReply(command.command_id, True, result=result)
+            self.net.send(self.name, sender, reply, size_bytes=reply.size())
+        if self.state.epoch != old_epoch and self.is_leader:
+            self._broadcast_config()
+
+    def _broadcast_config(self) -> None:
+        message = NewConfig(self.state.epoch, self.state.shard_map.copy())
+        for node in self._storage_nodes:
+            self.net.send(self.name, node, message, size_bytes=message.size())
+
+    # -- failure detection -------------------------------------------------
+
+    def _monitor(self):
+        # Give nodes a grace period to send their first heartbeat.
+        yield self.sim.timeout(self._heartbeat_timeout)
+        while True:
+            yield self.sim.timeout(self._monitor_interval)
+            if self.crashed or not self.is_leader:
+                continue
+            for node in self._storage_nodes:
+                if node in self.state.dead_nodes:
+                    continue
+                last_seen = self._last_heartbeat.get(node)
+                if last_seen is None or self.sim.now - last_seen > self._heartbeat_timeout:
+                    if self.state.shard_map.shard_of_node(node) is None:
+                        continue
+                    self._command_counter += 1
+                    command = CoordCommand(
+                        command_id=f"{self.name}#fail-{node}-{self._command_counter}",
+                        kind="report_failure",
+                        payload={"node": node},
+                    )
+                    self.submit(command)

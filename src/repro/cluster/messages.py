@@ -1,0 +1,196 @@
+"""Typed messages exchanged between cluster participants.
+
+Dataclasses rather than serialised bytes: the network layer charges for
+``size_bytes`` explicitly, so payloads stay as Python objects while the
+cost model still sees realistic message sizes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+from repro.core.ids import ObjectId
+
+
+def estimate_size(value: Any) -> int:
+    """Rough wire size of a payload, for the bandwidth model."""
+    if value is None:
+        return 8
+    if isinstance(value, (bytes, bytearray)):
+        return len(value)
+    if isinstance(value, str):
+        return len(value)
+    if isinstance(value, (int, float, bool)):
+        return 8
+    if isinstance(value, dict):
+        return sum(estimate_size(k) + estimate_size(v) for k, v in value.items()) + 16
+    if isinstance(value, (list, tuple, set)):
+        return sum(estimate_size(v) for v in value) + 16
+    return 64
+
+
+# -- client <-> storage node ---------------------------------------------------
+
+
+@dataclass
+class ClientRequest:
+    """Invoke ``method`` on ``object_id``; at-most-once per ``request_id``."""
+
+    request_id: str
+    client: str
+    object_id: ObjectId
+    method: str
+    args: tuple
+    epoch: int
+    readonly_hint: bool = False
+
+    def size(self) -> int:
+        return 64 + estimate_size(list(self.args))
+
+
+@dataclass
+class ClientReply:
+    """Response to a ClientRequest (value or error + epoch hint)."""
+
+    request_id: str
+    ok: bool
+    value: Any = None
+    error: str = ""
+    #: set when the request was rejected for a stale epoch
+    current_epoch: Optional[int] = None
+
+    def size(self) -> int:
+        return 48 + estimate_size(self.value) + len(self.error)
+
+
+# -- replication -----------------------------------------------------------
+
+
+@dataclass
+class ReplicateWrites:
+    """Primary -> backup: apply these committed batches in sequence order."""
+
+    shard_id: int
+    epoch: int
+    sequence: int
+    #: encoded WriteBatch payloads, one per commit segment
+    batches: list[bytes]
+    primary: str
+
+    def size(self) -> int:
+        return 48 + sum(len(b) for b in self.batches)
+
+
+@dataclass
+class ReplicateAck:
+    """Backup -> primary: sequence applied."""
+
+    shard_id: int
+    sequence: int
+    backup: str
+
+    def size(self) -> int:
+        return 32
+
+
+# -- membership / failure detection ----------------------------------------
+
+
+@dataclass
+class Heartbeat:
+    """Storage node -> coordinators: liveness beacon."""
+
+    sender: str
+    sent_at: float
+
+    def size(self) -> int:
+        return 24
+
+
+# -- coordination service (client-facing) -----------------------------------
+
+
+@dataclass
+class CoordCommand:
+    """A state-machine command submitted to the coordination service."""
+
+    command_id: str
+    kind: str  # register_node | report_failure | move_object | set_config
+    payload: dict = field(default_factory=dict)
+
+    def size(self) -> int:
+        return 48 + estimate_size(self.payload)
+
+
+@dataclass
+class CoordReply:
+    """Coordination service response (result or leader hint)."""
+
+    command_id: str
+    ok: bool
+    result: Any = None
+    leader_hint: Optional[str] = None
+
+    def size(self) -> int:
+        return 32 + estimate_size(self.result)
+
+
+@dataclass
+class ConfigQuery:
+    """Ask a coordinator replica for the current configuration."""
+
+    query_id: str
+
+    def size(self) -> int:
+        return 24
+
+
+@dataclass
+class ConfigReply:
+    """Current epoch + shard map, answering a ConfigQuery."""
+
+    query_id: str
+    epoch: int
+    config: Any  # a ShardMap snapshot
+
+    def size(self) -> int:
+        return 64 + estimate_size(getattr(self.config, "__dict__", None))
+
+
+@dataclass
+class NewConfig:
+    """Coordinator -> everyone: a new configuration epoch is live."""
+
+    epoch: int
+    config: Any
+
+    def size(self) -> int:
+        return 64
+
+
+# -- migration -----------------------------------------------------------
+
+
+@dataclass
+class MigrateObject:
+    """Migration orchestrator -> destination primary: the object's state."""
+
+    object_id: ObjectId
+    entries: list[tuple[bytes, bytes]]
+    epoch: int
+    sender: str = ""
+
+    def size(self) -> int:
+        return 32 + sum(len(k) + len(v) for k, v in self.entries)
+
+
+@dataclass
+class MigrateAck:
+    """Destination primary -> orchestrator: state installed."""
+
+    object_id: ObjectId
+    ok: bool
+
+    def size(self) -> int:
+        return 24

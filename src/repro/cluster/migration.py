@@ -1,0 +1,128 @@
+"""Live microshard migration (paper §4.2: objects are microshards that
+"can be migrated by themselves without causing disruption to computation
+involving other objects").
+
+Protocol (freeze-copy-flip):
+
+1. **Freeze** — the source primary takes the object's lock, marks it
+   migrating (mutations get "migration in progress" and retry), and dumps
+   the microshard's key range.
+2. **Copy** — the orchestrator installs the state at the destination
+   primary, which replicates it to its backups.
+3. **Flip** — a ``move_object`` command goes through the Paxos-replicated
+   coordinator, bumping the epoch; the new configuration is broadcast.
+4. **Unfreeze** — the source drops its copy; stale-routed clients get
+   wrong-epoch rejections and refresh.
+
+Only the migrated object blocks during the window; every other object on
+both nodes keeps serving.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from repro.cluster.messages import (
+    CoordCommand,
+    CoordReply,
+    MigrateAck,
+    MigrateObject,
+)
+from repro.cluster.store_node import FreezeObject, FreezeReply, UnfreezeObject
+from repro.core.ids import ObjectId
+from repro.errors import ClusterError
+
+
+class Migrator:
+    """Drives object migrations; one per cluster is plenty."""
+
+    def __init__(self, cluster: Any, name: str = "migrator") -> None:
+        self.cluster = cluster
+        self.sim = cluster.sim
+        self.net = cluster.net
+        self.name = name
+        self.host = cluster.net.add_host(name)
+        self._counter = 0
+        self._mail: list[Any] = []
+        self._mail_signal = None
+        self.sim.process(self._pump(), name=f"{name}.pump")
+
+    def _pump(self):
+        while True:
+            message = yield self.host.recv()
+            self._mail.append(message.payload)
+            if self._mail_signal is not None and not self._mail_signal.triggered:
+                self._mail_signal.succeed()
+
+    def _await(self, predicate: Callable[[Any], bool], timeout_ms: float = 50.0):
+        deadline = self.sim.now + timeout_ms
+        while True:
+            for index, payload in enumerate(self._mail):
+                if predicate(payload):
+                    del self._mail[index]
+                    return payload
+            remaining = deadline - self.sim.now
+            if remaining <= 0:
+                return None
+            self._mail_signal = self.sim.event()
+            yield self.sim.any_of([self._mail_signal, self.sim.timeout(remaining)])
+
+    def migrate(self, object_id: ObjectId, to_shard: int):
+        """Simulation process: move one object to another replica set."""
+        epoch, shard_map = self.cluster.current_config()
+        source = shard_map.shard_for(object_id)
+        destination = shard_map.replica_set(to_shard)
+        if source.shard_id == to_shard:
+            return  # already there
+
+        # 1. freeze + dump at the source primary
+        self._counter += 1
+        freeze_id = f"{self.name}#{self._counter}"
+        freeze = FreezeObject(object_id, freeze_id, self.name)
+        self.net.send(self.name, source.primary, freeze, size_bytes=freeze.size())
+        reply = yield from self._await(
+            lambda p: isinstance(p, FreezeReply) and p.freeze_id == freeze_id
+        )
+        if reply is None:
+            raise ClusterError(f"freeze of {object_id.short} timed out")
+        entries = reply.entries
+        if not entries:
+            raise ClusterError(f"object {object_id.short} has no data at source")
+
+        # 2. install at the destination primary
+        move = MigrateObject(object_id, entries, epoch, sender=self.name)
+        self.net.send(self.name, destination.primary, move, size_bytes=move.size())
+        ack = yield from self._await(
+            lambda p: isinstance(p, MigrateAck) and p.object_id == object_id
+        )
+        if ack is None or not ack.ok:
+            raise ClusterError(f"migration copy of {object_id.short} failed")
+
+        # 3. flip ownership through the coordination service
+        self._counter += 1
+        command = CoordCommand(
+            command_id=f"{self.name}#{self._counter}",
+            kind="move_object",
+            payload={"object_id": object_id, "to_shard": to_shard},
+        )
+        yield from self._submit_command(command)
+
+        # 4. release the source
+        unfreeze = UnfreezeObject(object_id, drop=True)
+        self.net.send(self.name, source.primary, unfreeze, size_bytes=unfreeze.size())
+
+    def _submit_command(self, command: CoordCommand):
+        """Send a coordinator command, following leader hints."""
+        target = self.cluster.coordinator_names()[0]
+        for _attempt in range(10):
+            self.net.send(self.name, target, command, size_bytes=command.size())
+            reply = yield from self._await(
+                lambda p: isinstance(p, CoordReply) and p.command_id == command.command_id
+            )
+            if reply is None:
+                continue
+            if reply.ok:
+                return reply
+            if reply.leader_hint:
+                target = reply.leader_hint
+        raise ClusterError(f"coordinator command {command.kind} did not commit")

@@ -1,0 +1,310 @@
+"""Paxos: the consensus substrate under the coordination service.
+
+The paper replicates its cluster-wide coordination service with Paxos
+(§4.2.1).  This is a message-driven implementation over the simulated
+network: per-slot single-decree Paxos (Synod) composed into a replicated
+log.  Coordination commands are rare (reconfigurations only), so the
+simplicity of full two-phase consensus per slot beats leader-lease
+optimisations here — and is much easier to verify under message loss,
+duplication, and reordering (see the property tests).
+
+Safety invariant (tested): once a value is chosen for a slot, no other
+value is ever decided for that slot, regardless of crashes or retries.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Optional
+
+from repro.sim.core import Simulation
+from repro.sim.network import Network
+
+Ballot = tuple[int, int]  # (attempt number, proposer index) — totally ordered
+ZERO_BALLOT: Ballot = (0, -1)
+
+
+# -- messages ------------------------------------------------------------
+
+
+@dataclass
+class PaxosPrepare:
+    """Phase-1a: reserve a ballot for a slot."""
+
+    slot: int
+    ballot: Ballot
+    sender: str
+
+    def size(self) -> int:
+        return 32
+
+
+@dataclass
+class PaxosPromise:
+    """Phase-1b: promise + any previously accepted value."""
+
+    slot: int
+    ballot: Ballot
+    accepted_ballot: Ballot
+    accepted_value: Any
+    sender: str
+
+    def size(self) -> int:
+        return 48
+
+
+@dataclass
+class PaxosAccept:
+    """Phase-2a: ask acceptors to accept a value."""
+
+    slot: int
+    ballot: Ballot
+    value: Any
+    sender: str
+
+    def size(self) -> int:
+        return 64
+
+
+@dataclass
+class PaxosAccepted:
+    """Phase-2b: acceptance confirmation."""
+
+    slot: int
+    ballot: Ballot
+    sender: str
+
+    def size(self) -> int:
+        return 32
+
+
+@dataclass
+class PaxosNack:
+    """Rejection carrying the ballot that outbid the sender."""
+
+    slot: int
+    promised: Ballot
+    sender: str
+
+    def size(self) -> int:
+        return 32
+
+
+@dataclass
+class PaxosDecide:
+    """Learn broadcast: the slot's chosen value."""
+
+    slot: int
+    value: Any
+    sender: str
+
+    def size(self) -> int:
+        return 64
+
+
+PAXOS_MESSAGE_TYPES = (
+    PaxosPrepare,
+    PaxosPromise,
+    PaxosAccept,
+    PaxosAccepted,
+    PaxosNack,
+    PaxosDecide,
+)
+
+
+@dataclass
+class _SlotState:
+    """Acceptor + learner state for one log slot."""
+
+    promised: Ballot = ZERO_BALLOT
+    accepted_ballot: Ballot = ZERO_BALLOT
+    accepted_value: Any = None
+    decided: bool = False
+    decided_value: Any = None
+
+
+class PaxosNode:
+    """One participant: acceptor + learner always, proposer on demand."""
+
+    def __init__(
+        self,
+        sim: Simulation,
+        net: Network,
+        name: str,
+        peers: list[str],
+        on_decide: Optional[Callable[[int, Any], None]] = None,
+        prepare_timeout_ms: float = 10.0,
+    ) -> None:
+        self.sim = sim
+        self.net = net
+        self.name = name
+        self.peers = list(peers)  # includes self
+        self.index = self.peers.index(name)
+        self.on_decide = on_decide
+        self._slots: dict[int, _SlotState] = {}
+        self._prepare_timeout = prepare_timeout_ms
+        self._highest_ballot_seen = 0
+        #: per-(slot, ballot) quorum collection events used by proposers
+        self._waiters: dict[tuple, Any] = {}
+        self._delivered_up_to = -1
+
+    # -- helpers ------------------------------------------------------------
+
+    @property
+    def quorum(self) -> int:
+        return len(self.peers) // 2 + 1
+
+    def _slot(self, slot: int) -> _SlotState:
+        state = self._slots.get(slot)
+        if state is None:
+            state = _SlotState()
+            self._slots[slot] = state
+        return state
+
+    def _broadcast(self, message: Any) -> None:
+        for peer in self.peers:
+            self.net.send(self.name, peer, message, size_bytes=message.size())
+
+    def decided_value(self, slot: int) -> Any:
+        state = self._slots.get(slot)
+        return state.decided_value if state is not None and state.decided else None
+
+    def is_decided(self, slot: int) -> bool:
+        state = self._slots.get(slot)
+        return state is not None and state.decided
+
+    def first_undecided_slot(self) -> int:
+        slot = 0
+        while self.is_decided(slot):
+            slot += 1
+        return slot
+
+    # -- message handling (called by the owner's inbox loop) -------------------
+
+    def handle(self, message: Any) -> bool:
+        """Process a Paxos message; returns False if it wasn't one."""
+        if isinstance(message, PaxosPrepare):
+            self._on_prepare(message)
+        elif isinstance(message, PaxosAccept):
+            self._on_accept(message)
+        elif isinstance(message, PaxosDecide):
+            self._learn(message.slot, message.value)
+        elif isinstance(message, (PaxosPromise, PaxosAccepted, PaxosNack)):
+            self._route_to_waiter(message)
+        else:
+            return False
+        return True
+
+    def _on_prepare(self, message: PaxosPrepare) -> None:
+        state = self._slot(message.slot)
+        self._highest_ballot_seen = max(self._highest_ballot_seen, message.ballot[0])
+        if message.ballot > state.promised:
+            state.promised = message.ballot
+            reply = PaxosPromise(
+                message.slot,
+                message.ballot,
+                state.accepted_ballot,
+                state.accepted_value,
+                self.name,
+            )
+        else:
+            reply = PaxosNack(message.slot, state.promised, self.name)
+        self.net.send(self.name, message.sender, reply, size_bytes=reply.size())
+
+    def _on_accept(self, message: PaxosAccept) -> None:
+        state = self._slot(message.slot)
+        self._highest_ballot_seen = max(self._highest_ballot_seen, message.ballot[0])
+        if message.ballot >= state.promised:
+            state.promised = message.ballot
+            state.accepted_ballot = message.ballot
+            state.accepted_value = message.value
+            reply: Any = PaxosAccepted(message.slot, message.ballot, self.name)
+        else:
+            reply = PaxosNack(message.slot, state.promised, self.name)
+        self.net.send(self.name, message.sender, reply, size_bytes=reply.size())
+
+    def _learn(self, slot: int, value: Any) -> None:
+        state = self._slot(slot)
+        if state.decided:
+            return
+        state.decided = True
+        state.decided_value = value
+        # Deliver decided slots in order.
+        while self.on_decide is not None:
+            next_slot = self._delivered_up_to + 1
+            next_state = self._slots.get(next_slot)
+            if next_state is None or not next_state.decided:
+                break
+            self._delivered_up_to = next_slot
+            self.on_decide(next_slot, next_state.decided_value)
+
+    def _route_to_waiter(self, message: Any) -> None:
+        key = (type(message).__name__, message.slot, getattr(message, "ballot", None))
+        collector = self._waiters.get(key)
+        if collector is not None:
+            collector.append(message)
+        # Nacks additionally wake any phase waiting on this slot.
+        if isinstance(message, PaxosNack):
+            for (kind, slot, _ballot), collector in self._waiters.items():
+                if slot == message.slot and kind in ("PaxosPromise", "PaxosAccepted"):
+                    collector.append(message)
+
+    # -- proposing -----------------------------------------------------------
+
+    def propose(self, slot: int, value: Any):
+        """Simulation process: drive ``slot`` to a decision.
+
+        Returns the decided value for the slot (which may be another
+        proposer's value).  Retries with increasing ballots until the slot
+        decides.
+        """
+        attempt = self._highest_ballot_seen + 1
+        rng = self.sim.rng(f"paxos.{self.name}")
+        while not self.is_decided(slot):
+            ballot: Ballot = (attempt, self.index)
+            promises = yield from self._phase(
+                slot, ballot, PaxosPrepare(slot, ballot, self.name), "PaxosPromise"
+            )
+            if promises is None:
+                attempt = max(attempt + 1, self._highest_ballot_seen + 1)
+                yield self.sim.timeout(rng.uniform(0.5, 2.0) * attempt)
+                continue
+            # Choose the highest already-accepted value, else our own.
+            chosen = value
+            best = ZERO_BALLOT
+            for promise in promises:
+                if promise.accepted_ballot > best and promise.accepted_value is not None:
+                    best = promise.accepted_ballot
+                    chosen = promise.accepted_value
+            accepted = yield from self._phase(
+                slot, ballot, PaxosAccept(slot, ballot, chosen, self.name), "PaxosAccepted"
+            )
+            if accepted is None:
+                attempt = max(attempt + 1, self._highest_ballot_seen + 1)
+                yield self.sim.timeout(rng.uniform(0.5, 2.0) * attempt)
+                continue
+            self._broadcast(PaxosDecide(slot, chosen, self.name))
+            self._learn(slot, chosen)
+        return self.decided_value(slot)
+
+    def _phase(self, slot: int, ballot: Ballot, message: Any, reply_kind: str):
+        """Send a phase message to all peers and await a quorum of replies.
+
+        Returns the list of matching replies, or ``None`` on nack/timeout.
+        """
+        collector: list[Any] = []
+        key = (reply_kind, slot, ballot)
+        self._waiters[key] = collector
+        try:
+            self._broadcast(message)
+            deadline = self.sim.now + self._prepare_timeout
+            while True:
+                positive = [m for m in collector if type(m).__name__ == reply_kind]
+                nacked = any(isinstance(m, PaxosNack) for m in collector)
+                if len(positive) >= self.quorum:
+                    return positive
+                if nacked or self.sim.now >= deadline:
+                    return None
+                yield self.sim.timeout(min(0.5, max(0.01, deadline - self.sim.now)))
+        finally:
+            del self._waiters[key]

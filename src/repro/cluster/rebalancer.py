@@ -1,0 +1,126 @@
+"""Load-driven microshard rebalancing (the paper's §7 open problem).
+
+"Future work has to investigate how to efficiently shard and scale
+systems that support LambdaObjects so that they provide similar
+elasticity guarantees as other serverless systems."
+
+Microsharding already gives the mechanism (any object moves alone, §4.2);
+this module adds the policy: a periodic sweep reads per-object load
+counters from the shard primaries, and when one replica set carries
+substantially more load than the lightest, it migrates the hottest
+objects over — the Akkio-style locality-preserving rebalance the paper
+cites [7].
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.cluster.migration import Migrator
+from repro.core.ids import ObjectId
+
+
+@dataclass
+class RebalancerStats:
+    """Counters + move log the tests and benches read."""
+
+    sweeps: int = 0
+    migrations: int = 0
+    #: (sim time, object id, from shard, to shard)
+    moves: list = field(default_factory=list)
+
+
+class Rebalancer:
+    """Periodically evens load across replica sets via object migration."""
+
+    def __init__(
+        self,
+        cluster: Any,
+        interval_ms: float = 50.0,
+        imbalance_threshold: float = 2.0,
+        max_moves_per_sweep: int = 2,
+    ) -> None:
+        if imbalance_threshold <= 1.0:
+            raise ValueError("imbalance threshold must exceed 1.0")
+        self.cluster = cluster
+        self.sim = cluster.sim
+        self.interval_ms = interval_ms
+        self.imbalance_threshold = imbalance_threshold
+        self.max_moves_per_sweep = max_moves_per_sweep
+        self.migrator = Migrator(cluster, name="rebalancer")
+        self.stats = RebalancerStats()
+        self._running = False
+
+    def start(self) -> None:
+        """Begin periodic sweeps (idempotent)."""
+        if not self._running:
+            self._running = True
+            self.sim.process(self._sweep_loop(), name="rebalancer.loop")
+
+    def stop(self) -> None:
+        self._running = False
+
+    # -- policy ------------------------------------------------------------
+
+    def shard_loads(self) -> dict[int, dict[str, int]]:
+        """Per-shard object load, read from each shard's primary.
+
+        This is the monitoring plane: in a real deployment primaries push
+        these counters to the coordinator with their heartbeats.
+        """
+        _epoch, shard_map = self.cluster.current_config()
+        loads: dict[int, dict[str, int]] = {}
+        for replica_set in shard_map.replica_sets:
+            primary = self.cluster.nodes.get(replica_set.primary)
+            loads[replica_set.shard_id] = dict(primary.object_load) if primary else {}
+        return loads
+
+    def plan_moves(self) -> list[tuple[ObjectId, int, int]]:
+        """Decide which objects to move: (object, from shard, to shard)."""
+        loads = self.shard_loads()
+        if len(loads) < 2:
+            return []
+        totals = {shard: sum(objects.values()) for shard, objects in loads.items()}
+        busiest = max(totals, key=lambda s: totals[s])
+        lightest = min(totals, key=lambda s: totals[s])
+        if totals[busiest] < self.imbalance_threshold * max(totals[lightest], 1):
+            return []
+
+        moves: list[tuple[ObjectId, int, int]] = []
+        gap = (totals[busiest] - totals[lightest]) / 2
+        moved_load = 0
+        hot_first = sorted(loads[busiest].items(), key=lambda kv: -kv[1])
+        for object_key, load in hot_first[: self.max_moves_per_sweep]:
+            if moved_load >= gap:
+                break
+            moves.append((ObjectId(object_key), busiest, lightest))
+            moved_load += load
+        return moves
+
+    # -- mechanism ---------------------------------------------------------
+
+    def _sweep_loop(self):
+        while self._running:
+            yield self.sim.timeout(self.interval_ms)
+            if not self._running:
+                return
+            self.stats.sweeps += 1
+            for object_id, from_shard, to_shard in self.plan_moves():
+                try:
+                    yield from self.migrator.migrate(object_id, to_shard)
+                except Exception:
+                    continue  # racing failures/migrations: retry next sweep
+                self.stats.migrations += 1
+                self.stats.moves.append((self.sim.now, object_id, from_shard, to_shard))
+            self._decay_counters()
+
+    def _decay_counters(self) -> None:
+        """Halve all load counters so the policy tracks recent load."""
+        for node in self.cluster.nodes.values():
+            for object_key in list(node.object_load):
+                halved = node.object_load[object_key] // 2
+                if halved:
+                    node.object_load[object_key] = halved
+                else:
+                    del node.object_load[object_key]

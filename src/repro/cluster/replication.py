@@ -1,0 +1,105 @@
+"""Primary-backup replication state machines (paper §4.2.1).
+
+The primary executes mutating invocations, then ships the committed write
+batches — not the function — to every backup with a per-shard sequence
+number.  Backups apply strictly in order, buffering out-of-order arrivals
+(the network may reorder).  The primary replies to the client once every
+live backup acked, so a read at *any* replica after the client observed
+the reply sees the write: that is what makes replica reads consistent.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.kvstore.batch import WriteBatch
+
+
+@dataclass
+class ReplicationStats:
+    """Replication counters, per log/applier."""
+
+    shipped: int = 0
+    acked: int = 0
+    applied: int = 0
+    buffered_out_of_order: int = 0
+
+
+class PrimaryReplicationLog:
+    """Primary-side sequence assignment and ack tracking."""
+
+    def __init__(self, shard_id: int) -> None:
+        self.shard_id = shard_id
+        self._next_sequence = 1
+        #: sequence -> set of backups that acked
+        self._acks: dict[int, set[str]] = {}
+        #: sequence -> encoded batches, kept for backup catch-up
+        self.history: dict[int, list[bytes]] = {}
+        self.stats = ReplicationStats()
+
+    def next_sequence(self, batches: list[bytes]) -> int:
+        """Assign the next shard sequence number to a committed write."""
+        sequence = self._next_sequence
+        self._next_sequence += 1
+        self._acks[sequence] = set()
+        self.history[sequence] = batches
+        self.stats.shipped += 1
+        return sequence
+
+    @property
+    def last_assigned(self) -> int:
+        return self._next_sequence - 1
+
+    def record_ack(self, sequence: int, backup: str) -> None:
+        if sequence in self._acks:
+            self._acks[sequence].add(backup)
+            self.stats.acked += 1
+
+    def acked_by(self, sequence: int) -> set[str]:
+        return set(self._acks.get(sequence, ()))
+
+    def forget_through(self, sequence: int) -> None:
+        """Drop ack/history state up to ``sequence`` (all replicas caught up)."""
+        for done in [s for s in self._acks if s <= sequence]:
+            del self._acks[done]
+        for done in [s for s in self.history if s <= sequence]:
+            del self.history[done]
+
+
+class BackupApplier:
+    """Backup-side in-order application with out-of-order buffering."""
+
+    def __init__(
+        self, shard_id: int, apply_fn: Callable[[WriteBatch], None], start_sequence: int = 0
+    ) -> None:
+        self.shard_id = shard_id
+        self._apply = apply_fn
+        self.applied_through = start_sequence
+        self._pending: dict[int, list[bytes]] = {}
+        self.stats = ReplicationStats()
+
+    def receive(self, sequence: int, batches: list[bytes]) -> list[int]:
+        """Accept a replicated write; returns sequences applied right now.
+
+        Duplicates (retransmissions) of already-applied sequences are
+        ignored but still reported so the primary gets a (re-)ack.
+        """
+        if sequence <= self.applied_through:
+            return [sequence]  # duplicate: ack again, apply nothing
+        self._pending[sequence] = batches
+        applied: list[int] = []
+        while self.applied_through + 1 in self._pending:
+            next_sequence = self.applied_through + 1
+            for payload in self._pending.pop(next_sequence):
+                self._apply(WriteBatch.decode(payload))
+            self.applied_through = next_sequence
+            self.stats.applied += 1
+            applied.append(next_sequence)
+        if not applied:
+            self.stats.buffered_out_of_order += 1
+        return applied
+
+    @property
+    def pending_count(self) -> int:
+        return len(self._pending)

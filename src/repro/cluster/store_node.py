@@ -1,0 +1,674 @@
+"""Storage nodes: where objects live and their methods execute (§4.2).
+
+A node is primary for some microshards and backup for others.  Mutating
+invocations run at the primary under the per-object lock, commit locally,
+and ship their write batches to every backup; the client reply waits for
+all live backups to ack.  Read-only invocations run at any replica and
+use the node's consistent result cache.
+
+Time accounting (see DESIGN.md): guest code executes synchronously at one
+simulated instant; the node then *charges* the modelled durations — CPU
+time derived from metered fuel while holding a core, replication round
+trips as real simulated messages — before replying.  Per-object locks are
+held across the modelled execution time, so scheduling-as-concurrency-
+control behaves exactly as in the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+from repro.core.invocation import InvocationResult
+from repro.core.runtime import LocalRuntime
+from repro.core.ids import ObjectId
+from repro.core.storage import MemoryBackend
+from repro.cluster.messages import (
+    ClientReply,
+    ClientRequest,
+    Heartbeat,
+    MigrateAck,
+    MigrateObject,
+    NewConfig,
+    ReplicateAck,
+    ReplicateWrites,
+)
+from repro.cluster.replication import BackupApplier, PrimaryReplicationLog
+from repro.cluster.scheduler import ObjectLockTable
+from repro.errors import InvocationError, UnknownObjectError
+from repro.kvstore.batch import WriteBatch
+from repro.sim.core import Simulation
+from repro.sim.network import Network
+from repro.sim.resources import Resource
+from repro.wasm.host_api import OpCosts
+
+
+@dataclass
+class RemoteCharge:
+    """Primary A -> primary B: charge CPU + replicate for a nested
+    invocation whose effects were applied during A's execution."""
+
+    charge_id: str
+    fuel: float
+    batches: list[bytes]
+    sender: str
+
+    def size(self) -> int:
+        return 32 + sum(len(b) for b in self.batches)
+
+
+@dataclass
+class RemoteChargeAck:
+    """Owner -> caller: remote charge settled."""
+
+    charge_id: str
+
+    def size(self) -> int:
+        return 16
+
+
+@dataclass
+class FreezeObject:
+    """Migration step 1: freeze + dump an object's microshard."""
+
+    object_id: ObjectId
+    freeze_id: str
+    sender: str
+
+    def size(self) -> int:
+        return 48
+
+
+@dataclass
+class FreezeReply:
+    """Source primary -> orchestrator: the dumped microshard."""
+
+    freeze_id: str
+    entries: list[tuple[bytes, bytes]]
+
+    def size(self) -> int:
+        return 16 + sum(len(k) + len(v) for k, v in self.entries)
+
+
+@dataclass
+class UnfreezeObject:
+    """Orchestrator -> source primary: release (and drop) the object."""
+
+    object_id: ObjectId
+    #: drop the object's local data (it moved away)
+    drop: bool
+
+    def size(self) -> int:
+        return 33
+
+
+@dataclass
+class NodeStats:
+    """Per-node request/replication counters."""
+
+    requests: int = 0
+    readonly_requests: int = 0
+    mutating_requests: int = 0
+    rejected_wrong_epoch: int = 0
+    rejected_not_primary: int = 0
+    failed_invocations: int = 0
+    replication_rounds: int = 0
+    remote_charges: int = 0
+    busy_ms: float = 0.0
+
+
+class ClusterNodeRuntime(LocalRuntime):
+    """LocalRuntime that routes nested invocations to the owning node."""
+
+    def __init__(self, node: "StoreNode", **kwargs: Any) -> None:
+        super().__init__(**kwargs)
+        self.node = node
+
+    def _commit(self, ctx):
+        # Replica-state safety net: only an object's primary may commit
+        # writes through the execution path.  This catches e.g. a
+        # read-only invocation served at a backup whose guest code
+        # nested-dispatched a mutating call — allowing that commit would
+        # silently fork the replica from the primary.
+        writeset = ctx.writeset
+        if writeset.has_writes and self.node.shard_map is not None:
+            replica_set = self.node.shard_map.shard_for(ctx.self_id())
+            if replica_set.primary != self.node.name:
+                raise InvocationError(
+                    f"mutating commit for object {ctx.self_id().short} attempted "
+                    f"at {self.node.name}, which is not its primary "
+                    f"({replica_set.primary}); route writes to the primary"
+                )
+        return super()._commit(ctx)
+
+    def nested_invoke(self, parent_ctx, object_id, method, args):
+        owner = self.node.owner_node_for(object_id)
+        if owner is None or owner is self.node:
+            return super().nested_invoke(parent_ctx, object_id, method, args)
+        # Remote microshard: commit the caller (§3.1), execute at the
+        # owner's runtime now, and record the time/replication charge the
+        # replay phase will bill to the owner.
+        if parent_ctx.readonly:
+            # Read-only transitivity, resolved against the owner (this
+            # node may not hold the remote object's metadata).
+            try:
+                target_readonly = (
+                    owner.runtime.type_of(object_id).method_def(method).readonly
+                )
+            except Exception:
+                target_readonly = True  # let the dispatch raise precisely
+            if not target_readonly:
+                raise InvocationError(
+                    f"read-only invocation cannot dispatch mutating method "
+                    f"{method!r} on {object_id.short}"
+                )
+        self._commit(parent_ctx)
+        capture = self.node.cluster.capture
+        result = owner.runtime.invoke_detailed(
+            object_id, method, *args, _depth=parent_ctx.depth + 1, _internal=True
+        )
+        parent_ctx.sub_results.append(result)
+        if capture is not None:
+            capture.remote_dispatches.append((owner.name, result))
+        return result.value
+
+
+@dataclass
+class ExecutionCapture:
+    """What one top-level execution produced, for the replay phase."""
+
+    #: encoded batches committed per node name
+    batches: dict[str, list[bytes]] = field(default_factory=dict)
+    #: (owner node name, sub InvocationResult) for remote nested calls
+    remote_dispatches: list[tuple[str, InvocationResult]] = field(default_factory=list)
+
+    def record_batch(self, node_name: str, batch: WriteBatch) -> None:
+        self.batches.setdefault(node_name, []).append(batch.encode())
+
+
+class StoreNode:
+    """One LambdaStore storage node."""
+
+    def __init__(
+        self,
+        sim: Simulation,
+        net: Network,
+        cluster: Any,
+        name: str,
+        cores: int = 20,
+        ms_per_fuel: float = 0.005,
+        enable_cache: bool = True,
+        fanout_parallelism: int = 8,
+        costs: Optional[OpCosts] = None,
+        heartbeat_interval_ms: float = 10.0,
+        ack_timeout_ms: float = 5.0,
+        storage: Optional[Any] = None,
+    ) -> None:
+        self.sim = sim
+        self.net = net
+        self.cluster = cluster
+        self.name = name
+        self.host = net.add_host(name)
+        self.cpu = Resource(sim, cores)
+        self.locks = ObjectLockTable(sim)
+        self.ms_per_fuel = ms_per_fuel
+        self.fanout_parallelism = max(1, fanout_parallelism)
+        self._ack_timeout = ack_timeout_ms
+        self._heartbeat_interval = heartbeat_interval_ms
+        self.runtime = ClusterNodeRuntime(
+            node=self,
+            storage=storage if storage is not None else MemoryBackend(),
+            clock=lambda: self.sim.now,
+            enable_cache=enable_cache,
+            costs=costs,
+            seed=cluster.seed if hasattr(cluster, "seed") else 0,
+        )
+        self.runtime.commit_hook = self._on_commit
+        self.epoch = 0
+        self.shard_map = None
+        self.primary_logs: dict[int, PrimaryReplicationLog] = {}
+        self.backup_appliers: dict[int, BackupApplier] = {}
+        #: (shard_id, sequence) -> (still-needed backups, event)
+        self._ack_waiters: dict[tuple[int, int], tuple[set, Any]] = {}
+        self._charge_waiters: dict[str, Any] = {}
+        self._freeze_waiters: dict[str, Any] = {}
+        #: request_id -> ClientReply already sent (at-most-once per primary)
+        self._completed: dict[str, ClientReply] = {}
+        #: request_id -> completion event for requests still executing, so
+        #: client retries of an in-flight request never re-execute it
+        self._inflight: dict[str, Any] = {}
+        #: objects frozen for migration
+        self._frozen: set[str] = set()
+        #: per-object invocation counts since the last rebalancer sweep
+        self.object_load: dict[str, int] = {}
+        #: protocol extensions (e.g. the transaction participant); each is
+        #: offered unrecognised messages via ``handle(message) -> bool``
+        self.extensions: list[Any] = []
+        self.stats = NodeStats()
+        self.crashed = False
+
+    # -- wiring -------------------------------------------------------------
+
+    def start(self) -> None:
+        self.sim.process(self._serve(), name=f"{self.name}.serve")
+        self.sim.process(self._heartbeat_loop(), name=f"{self.name}.heartbeat")
+
+    def crash(self) -> None:
+        """Fail-stop: no further sends or receives."""
+        self.crashed = True
+        self.net.crash(self.name)
+
+    def owner_node_for(self, object_id: ObjectId) -> Optional["StoreNode"]:
+        """The StoreNode acting as primary for ``object_id`` (or None)."""
+        if self.shard_map is None:
+            return None
+        return self.cluster.node(self.shard_map.primary_for(object_id))
+
+    def _on_commit(self, batch: WriteBatch) -> None:
+        capture = self.cluster.capture
+        if capture is not None:
+            capture.record_batch(self.name, batch)
+
+    def install_config(self, epoch: int, shard_map) -> None:
+        """Adopt a configuration (bootstrap or NewConfig)."""
+        if epoch <= self.epoch:
+            return
+        self.epoch = epoch
+        self.shard_map = shard_map
+
+    # -- background processes ----------------------------------------------
+
+    def _heartbeat_loop(self):
+        rng = self.sim.rng(f"{self.name}.hb")
+        yield self.sim.timeout(rng.uniform(0, self._heartbeat_interval))
+        while True:
+            if self.crashed:
+                return
+            for coordinator in self.cluster.coordinator_names():
+                message = Heartbeat(self.name, self.sim.now)
+                self.net.send(self.name, coordinator, message, size_bytes=message.size())
+            yield self.sim.timeout(self._heartbeat_interval)
+
+    def _serve(self):
+        while True:
+            message = (yield self.host.recv()).payload
+            if self.crashed:
+                continue
+            if isinstance(message, ClientRequest):
+                self.sim.process(
+                    self._handle_request(message), name=f"{self.name}.req"
+                )
+            elif isinstance(message, ReplicateWrites):
+                self._on_replicate(message)
+            elif isinstance(message, ReplicateAck):
+                self._on_replicate_ack(message)
+            elif isinstance(message, NewConfig):
+                self.install_config(message.epoch, message.config)
+            elif isinstance(message, RemoteCharge):
+                self.sim.process(
+                    self._handle_remote_charge(message), name=f"{self.name}.charge"
+                )
+            elif isinstance(message, RemoteChargeAck):
+                waiter = self._charge_waiters.pop(message.charge_id, None)
+                if waiter is not None:
+                    waiter.succeed()
+            elif isinstance(message, FreezeObject):
+                self.sim.process(self._handle_freeze(message), name=f"{self.name}.freeze")
+            elif isinstance(message, FreezeReply):
+                waiter = self._freeze_waiters.pop(message.freeze_id, None)
+                if waiter is not None:
+                    waiter.succeed(message.entries)
+            elif isinstance(message, UnfreezeObject):
+                self._frozen.discard(str(message.object_id))
+                if message.drop:
+                    self.sim.process(
+                        self._drop_object(message.object_id), name=f"{self.name}.drop"
+                    )
+            elif isinstance(message, MigrateObject):
+                self._handle_migrate_in(message)
+            else:
+                for extension in self.extensions:
+                    if extension.handle(message):
+                        break
+
+    # -- replication -----------------------------------------------------------
+
+    def _on_replicate(self, message: ReplicateWrites) -> None:
+        applier = self.backup_appliers.get(message.shard_id)
+        if applier is None or getattr(applier, "primary", None) != message.primary:
+            # A different primary means a fresh sequence space (failover
+            # promotes a backup, which restarts numbering at 1).
+            applier = BackupApplier(
+                message.shard_id, lambda batch: self.runtime.storage.apply(batch)
+            )
+            applier.primary = message.primary
+            self.backup_appliers[message.shard_id] = applier
+        before = applier.applied_through
+        acked = applier.receive(message.sequence, message.batches)
+        if applier.applied_through != before and self.runtime.cache is not None:
+            # Writes landed on this replica; cached read-only results that
+            # depend on them must not be served stale.
+            for sequence in acked:
+                for payload in message.batches:
+                    batch = WriteBatch.decode(payload)
+                    self.runtime.cache.invalidate_keys(
+                        [key for _kind, key, _v in batch.items()]
+                    )
+        for sequence in acked:
+            reply = ReplicateAck(message.shard_id, sequence, self.name)
+            self.net.send(self.name, message.primary, reply, size_bytes=reply.size())
+
+    def _on_replicate_ack(self, message: ReplicateAck) -> None:
+        log = self.primary_logs.get(message.shard_id)
+        if log is not None:
+            log.record_ack(message.sequence, message.backup)
+        waiter = self._ack_waiters.get((message.shard_id, message.sequence))
+        if waiter is not None:
+            needed, event = waiter
+            needed.discard(message.backup)
+            if not needed and not event.triggered:
+                event.succeed()
+
+    def _replicate(self, shard_id: int, batches: list[bytes]):
+        """Ship committed batches to backups; wait for all live acks."""
+        replica_set = self.shard_map.replica_set(shard_id)
+        backups = [b for b in replica_set.backups]
+        log = self.primary_logs.setdefault(shard_id, PrimaryReplicationLog(shard_id))
+        sequence = log.next_sequence(batches)
+        if not backups:
+            return sequence
+        message = ReplicateWrites(shard_id, self.epoch, sequence, batches, self.name)
+        for backup in backups:
+            self.net.send(self.name, backup, message, size_bytes=message.size())
+        needed = set(backups)
+        event = self.sim.event()
+        self._ack_waiters[(shard_id, sequence)] = (needed, event)
+        self.stats.replication_rounds += 1
+        try:
+            while needed:
+                timeout = self.sim.timeout(self._ack_timeout)
+                yield self.sim.any_of([event, timeout])
+                if not needed:
+                    break
+                # Timed out: drop backups no longer in the (possibly
+                # reconfigured) replica set and retransmit to the rest.
+                current = set(self.shard_map.replica_set(shard_id).backups)
+                for backup in list(needed):
+                    if backup not in current:
+                        needed.discard(backup)
+                if not needed:
+                    break
+                event = self.sim.event()
+                self._ack_waiters[(shard_id, sequence)] = (needed, event)
+                for backup in needed:
+                    self.net.send(self.name, backup, message, size_bytes=message.size())
+        finally:
+            self._ack_waiters.pop((shard_id, sequence), None)
+        return sequence
+
+    # -- client requests ---------------------------------------------------
+
+    def _reply(self, request: ClientRequest, reply: ClientReply) -> None:
+        self.net.send(self.name, request.client, reply, size_bytes=reply.size())
+
+    def _handle_request(self, request: ClientRequest):
+        self.stats.requests += 1
+        previous = self._completed.get(request.request_id)
+        if previous is not None:
+            self._reply(request, previous)
+            return
+        pending = self._inflight.get(request.request_id)
+        if pending is not None:
+            # A retry of a request still executing: wait for the original
+            # rather than executing twice (at-most-once under retry storms).
+            yield pending
+            previous = self._completed.get(request.request_id)
+            if previous is not None:
+                self._reply(request, previous)
+            return
+        if self.shard_map is None or request.epoch < self.epoch:
+            self.stats.rejected_wrong_epoch += 1
+            self._reply(
+                request,
+                ClientReply(
+                    request.request_id, False, error="wrong epoch", current_epoch=self.epoch
+                ),
+            )
+            return
+        if str(request.object_id) in self._frozen:
+            self._reply(
+                request,
+                ClientReply(
+                    request.request_id,
+                    False,
+                    error="migration in progress",
+                    current_epoch=self.epoch,
+                ),
+            )
+            return
+
+        replica_set = self.shard_map.shard_for(request.object_id)
+        if self.name not in replica_set.members:
+            # Stale routing (e.g. the object migrated away): retryable.
+            self.stats.rejected_wrong_epoch += 1
+            self._reply(
+                request,
+                ClientReply(
+                    request.request_id, False, error="wrong epoch", current_epoch=self.epoch
+                ),
+            )
+            return
+        try:
+            object_type = self.runtime.type_of(request.object_id)
+            readonly = object_type.method_def(request.method).readonly
+        except Exception as error:  # unknown object/method: report cleanly
+            self._reply(
+                request,
+                ClientReply(request.request_id, False, error=str(error)),
+            )
+            return
+
+        if readonly:
+            yield from self._execute_readonly(request)
+        else:
+            if self.name != replica_set.primary:
+                self.stats.rejected_not_primary += 1
+                self._reply(
+                    request,
+                    ClientReply(
+                        request.request_id,
+                        False,
+                        error="not primary",
+                        current_epoch=self.epoch,
+                    ),
+                )
+                return
+            completion = self.sim.event()
+            self._inflight[request.request_id] = completion
+            try:
+                yield from self._execute_mutating(request, replica_set.shard_id)
+            finally:
+                self._inflight.pop(request.request_id, None)
+                if not completion.triggered:
+                    completion.succeed()
+
+    def _note_load(self, request: ClientRequest) -> None:
+        key = str(request.object_id)
+        self.object_load[key] = self.object_load.get(key, 0) + 1
+
+    def _execute_readonly(self, request: ClientRequest):
+        self.stats.readonly_requests += 1
+        self._note_load(request)
+        yield self.cpu.request()
+        started = self.sim.now
+        try:
+            try:
+                result = self.runtime.invoke_detailed(
+                    request.object_id, request.method, *request.args
+                )
+            except (InvocationError, UnknownObjectError) as error:
+                self.stats.failed_invocations += 1
+                self._reply(request, ClientReply(request.request_id, False, error=str(error)))
+                return
+            yield self.sim.timeout(result.fuel_used * self.ms_per_fuel)
+            reply = ClientReply(request.request_id, True, value=result.value)
+            self._reply(request, reply)
+        finally:
+            self.stats.busy_ms += self.sim.now - started
+            self.cpu.release()
+
+    def _execute_mutating(self, request: ClientRequest, shard_id: int):
+        self.stats.mutating_requests += 1
+        self._note_load(request)
+        object_key = str(request.object_id)
+        yield self.locks.acquire(object_key)
+        try:
+            yield self.cpu.request()
+            started = self.sim.now
+            try:
+                capture = self.cluster.begin_capture()
+                try:
+                    result = self.runtime.invoke_detailed(
+                        request.object_id, request.method, *request.args
+                    )
+                except (InvocationError, UnknownObjectError) as error:
+                    self.stats.failed_invocations += 1
+                    reply = ClientReply(request.request_id, False, error=str(error))
+                    self._completed[request.request_id] = reply
+                    self._reply(request, reply)
+                    return
+                finally:
+                    self.cluster.end_capture()
+                # Charge the top-level function's own CPU on the held core.
+                yield self.sim.timeout(result.fuel_used * self.ms_per_fuel)
+            finally:
+                self.stats.busy_ms += self.sim.now - started
+                self.cpu.release()
+
+            # Locally executed nested invocations run in parallel across
+            # this node's cores (§3.2); total core-time is conserved, only
+            # latency shrinks.
+            local_fuel = _fuel_on_node(result, capture)
+            subs_fuel = max(local_fuel - result.fuel_used, 0.0)
+            if subs_fuel > 0:
+                lanes = min(self.fanout_parallelism, max(len(result.sub_results), 1))
+                charges = [
+                    self.sim.process(
+                        self._charge_cpu(subs_fuel / lanes), name=f"{self.name}.fan"
+                    )
+                    for _ in range(lanes)
+                ]
+                yield self.sim.all_of(charges)
+
+            # Replication of this node's own writes.
+            own_batches = capture.batches.get(self.name, [])
+            if own_batches:
+                yield from self._replicate(shard_id, own_batches)
+
+            # Bill remote nested dispatches to their owners.
+            for index, (owner_name, sub_result) in enumerate(capture.remote_dispatches):
+                charge = RemoteCharge(
+                    charge_id=f"{self.name}#{request.request_id}#{index}",
+                    fuel=sub_result.total_fuel(),
+                    batches=capture.batches.get(owner_name, []),
+                    sender=self.name,
+                )
+                event = self.sim.event()
+                self._charge_waiters[charge.charge_id] = event
+                self.net.send(self.name, owner_name, charge, size_bytes=charge.size())
+                timeout = self.sim.timeout(self._ack_timeout * 4)
+                yield self.sim.any_of([event, timeout])
+                self._charge_waiters.pop(charge.charge_id, None)
+
+            reply = ClientReply(request.request_id, True, value=result.value)
+            self._completed[request.request_id] = reply
+            self._reply(request, reply)
+        finally:
+            self.locks.release(object_key)
+
+    def _charge_cpu(self, fuel: float):
+        """Occupy one core for ``fuel`` worth of simulated time."""
+        yield self.cpu.request()
+        started = self.sim.now
+        try:
+            yield self.sim.timeout(fuel * self.ms_per_fuel)
+        finally:
+            self.stats.busy_ms += self.sim.now - started
+            self.cpu.release()
+
+    def _handle_remote_charge(self, message: RemoteCharge):
+        """Charge CPU + replication for a nested invocation executed here."""
+        self.stats.remote_charges += 1
+        yield self.cpu.request()
+        started = self.sim.now
+        try:
+            yield self.sim.timeout(message.fuel * self.ms_per_fuel)
+        finally:
+            self.stats.busy_ms += self.sim.now - started
+            self.cpu.release()
+        if message.batches and self.shard_map is not None:
+            own_shard = self.shard_map.shard_of_node(self.name)
+            if own_shard is not None and own_shard.primary == self.name:
+                yield from self._replicate(own_shard.shard_id, message.batches)
+        ack = RemoteChargeAck(message.charge_id)
+        self.net.send(self.name, message.sender, ack, size_bytes=ack.size())
+
+    # -- migration ---------------------------------------------------------
+
+    def _handle_freeze(self, message: FreezeObject):
+        """Freeze an object and dump its microshard (migration step 1)."""
+        object_key = str(message.object_id)
+        yield self.locks.acquire(object_key)
+        try:
+            self._frozen.add(object_key)
+            from repro.core import keyspace
+
+            prefix = keyspace.object_prefix(message.object_id)
+            entries = list(self.runtime.storage.iterate(prefix, keyspace.prefix_end(prefix)))
+            reply = FreezeReply(message.freeze_id, entries)
+            self.net.send(self.name, message.sender, reply, size_bytes=reply.size())
+        finally:
+            self.locks.release(object_key)
+
+    def _drop_object(self, object_id: ObjectId):
+        """Delete a migrated-away object's local data and replicate the
+        deletion to this shard's backups."""
+        from repro.core import keyspace
+
+        prefix = keyspace.object_prefix(object_id)
+        batch = WriteBatch()
+        for key, _value in self.runtime.storage.iterate(prefix, keyspace.prefix_end(prefix)):
+            batch.delete(key)
+        if not batch:
+            return
+        self.runtime.storage.apply(batch)
+        if self.runtime.cache is not None:
+            self.runtime.cache.invalidate_keys([k for _kind, k, _v in batch.items()])
+        if self.shard_map is not None:
+            own_shard = self.shard_map.shard_of_node(self.name)
+            if own_shard is not None and own_shard.primary == self.name:
+                yield from self._replicate(own_shard.shard_id, [batch.encode()])
+
+    def _handle_migrate_in(self, message: MigrateObject) -> None:
+        """Install a migrated object's state (migration step 2)."""
+        batch = WriteBatch()
+        for key, value in message.entries:
+            batch.put(key, value)
+        self.runtime.storage.apply(batch)
+        # Propagate to this shard's backups outside the request path.
+        if self.shard_map is not None:
+            own_shard = self.shard_map.shard_of_node(self.name)
+            if own_shard is not None and own_shard.primary == self.name and batch:
+                self.sim.process(
+                    self._replicate(own_shard.shard_id, [batch.encode()]),
+                    name=f"{self.name}.migrate-repl",
+                )
+        ack = MigrateAck(message.object_id, True)
+        self.net.send(self.name, message.sender, ack, size_bytes=ack.size())
+
+
+def _fuel_on_node(result: InvocationResult, capture: ExecutionCapture) -> float:
+    """Fuel attributable to the executing node: everything except fuel of
+    remote nested dispatches (those are billed to their owners)."""
+    remote_fuel = sum(sub.total_fuel() for _owner, sub in capture.remote_dispatches)
+    return max(result.total_fuel() - remote_fuel, 0.0)

@@ -1,0 +1,109 @@
+"""Message-level tracing for debugging distributed runs.
+
+Attach a :class:`MessageTracer` to a cluster's network and every message
+(type, endpoints, time, size) is recorded; query helpers slice the trace
+by message type or reconstruct the causal path of one client request —
+the tool you want when a request times out somewhere in the machinery.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from typing import Any, Optional
+
+from repro.sim.network import Message, Network
+
+
+@dataclass(frozen=True)
+class TraceEntry:
+    """One sent message."""
+
+    at_ms: float
+    src: str
+    dst: str
+    kind: str
+    size_bytes: int
+    #: best-effort correlation id (request_id / txn_id / query_id ...)
+    correlation: str
+
+
+def _correlation_of(payload: Any) -> str:
+    for attribute in ("request_id", "txn_id", "command_id", "query_id", "charge_id"):
+        value = getattr(payload, attribute, None)
+        if value is not None:
+            return str(value)
+    return ""
+
+
+class MessageTracer:
+    """Records every message a network sends (bounded ring buffer)."""
+
+    def __init__(self, net: Network, max_entries: int = 100_000) -> None:
+        self._net = net
+        self._max = max_entries
+        self.entries: list[TraceEntry] = []
+        self.dropped_oldest = 0
+        self._previous_tap = net.tap
+        net.tap = self._on_message
+
+    def _on_message(self, message: Message) -> None:
+        if self._previous_tap is not None:
+            self._previous_tap(message)
+        if len(self.entries) >= self._max:
+            # Drop the oldest half so tracing stays O(1) amortised.
+            keep = self._max // 2
+            self.dropped_oldest += len(self.entries) - keep
+            self.entries = self.entries[-keep:]
+        self.entries.append(
+            TraceEntry(
+                at_ms=message.sent_at,
+                src=message.src,
+                dst=message.dst,
+                kind=type(message.payload).__name__,
+                size_bytes=message.size_bytes,
+                correlation=_correlation_of(message.payload),
+            )
+        )
+
+    def detach(self) -> None:
+        """Stop tracing (restores any previous tap)."""
+        self._net.tap = self._previous_tap
+
+    # -- queries ---------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def by_kind(self) -> Counter:
+        """Message counts per payload type."""
+        return Counter(entry.kind for entry in self.entries)
+
+    def between(self, src: str, dst: str) -> list[TraceEntry]:
+        """Messages on one directed link."""
+        return [e for e in self.entries if e.src == src and e.dst == dst]
+
+    def request_path(self, correlation: str) -> list[TraceEntry]:
+        """Every message correlated with one request/transaction id."""
+        return [e for e in self.entries if e.correlation == correlation]
+
+    def bytes_by_link(self) -> dict[tuple[str, str], int]:
+        """Total bytes sent per directed link."""
+        totals: dict[tuple[str, str], int] = {}
+        for entry in self.entries:
+            link = (entry.src, entry.dst)
+            totals[link] = totals.get(link, 0) + entry.size_bytes
+        return totals
+
+    def render(self, correlation: Optional[str] = None, limit: int = 50) -> str:
+        """Human-readable trace listing (optionally one request's path)."""
+        entries = self.request_path(correlation) if correlation else self.entries
+        lines = []
+        for entry in entries[:limit]:
+            lines.append(
+                f"{entry.at_ms:10.3f}ms  {entry.src:>12s} -> {entry.dst:<12s} "
+                f"{entry.kind:<18s} {entry.size_bytes:6d}B  {entry.correlation}"
+            )
+        if len(entries) > limit:
+            lines.append(f"... {len(entries) - limit} more")
+        return "\n".join(lines)

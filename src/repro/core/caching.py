@@ -1,0 +1,154 @@
+"""Consistent caching of deterministic read-only function results.
+
+Paper §4.2.2: because data and computation are co-located, a storage node
+can record "the output of a function, a hash of its input, and its read
+set in the form of keys and value hashes", and re-execute only when the
+input or the read data changed.
+
+Two mechanisms keep cached results consistent:
+
+- **validation** — a hit is only served after re-hashing every key in the
+  entry's read set against the current committed state;
+- **eager invalidation** — every commit drops entries whose read set
+  intersects the written keys (via an inverted index), keeping the cache
+  small and validation cheap.
+
+Either mechanism alone is sufficient for correctness; both together are
+how a production system would do it.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Any, Callable, Optional
+
+from repro.core.fields import encode_value, value_digest
+
+_ABSENT_DIGEST = b"\x00" * 8
+
+
+def args_digest(args: tuple) -> bytes:
+    """Stable digest of an invocation's arguments ("hash of its input")."""
+    return hashlib.blake2b(encode_value(list(args)), digest_size=16).digest()
+
+
+@dataclass
+class CacheEntry:
+    """One memoised function result."""
+
+    value: Any
+    read_set: dict[bytes, bytes]
+
+
+@dataclass
+class CacheStats:
+    """Result-cache counters."""
+
+    hits: int = 0
+    misses: int = 0
+    invalidations: int = 0
+    validation_failures: int = 0
+    stores: int = 0
+
+    def snapshot(self) -> dict[str, int]:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "invalidations": self.invalidations,
+            "validation_failures": self.validation_failures,
+            "stores": self.stores,
+        }
+
+
+class ResultCache:
+    """LRU cache of (object, method, args) -> result with read-set validity."""
+
+    def __init__(self, max_entries: int = 4096) -> None:
+        if max_entries <= 0:
+            raise ValueError(f"max_entries must be > 0, got {max_entries}")
+        self._max_entries = max_entries
+        self._entries: "OrderedDict[tuple, CacheEntry]" = OrderedDict()
+        #: inverted index: storage key -> cache keys whose read set uses it
+        self._by_read_key: dict[bytes, set[tuple]] = {}
+        self.stats = CacheStats()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @staticmethod
+    def _key(object_id: str, method: str, digest: bytes) -> tuple:
+        return (str(object_id), method, digest)
+
+    # -- lookup ------------------------------------------------------------
+
+    def lookup(
+        self,
+        object_id: str,
+        method: str,
+        digest: bytes,
+        current_get: Callable[[bytes], Optional[bytes]],
+    ) -> tuple[bool, Any]:
+        """Return ``(hit, value)``; validates the read set before serving."""
+        cache_key = self._key(object_id, method, digest)
+        entry = self._entries.get(cache_key)
+        if entry is None:
+            self.stats.misses += 1
+            return False, None
+        for storage_key, expected_digest in entry.read_set.items():
+            current = current_get(storage_key)
+            current_digest = value_digest(current) if current is not None else _ABSENT_DIGEST
+            if current_digest != expected_digest:
+                self.stats.validation_failures += 1
+                self.stats.misses += 1
+                self._drop(cache_key)
+                return False, None
+        self._entries.move_to_end(cache_key)
+        self.stats.hits += 1
+        return True, entry.value
+
+    # -- stores ------------------------------------------------------------
+
+    def store(
+        self, object_id: str, method: str, digest: bytes, value: Any, read_set: dict[bytes, bytes]
+    ) -> None:
+        """Memoise a result keyed by input hash, recording its read set."""
+        cache_key = self._key(object_id, method, digest)
+        self._drop(cache_key)
+        while len(self._entries) >= self._max_entries:
+            oldest_key = next(iter(self._entries))
+            self._drop(oldest_key)
+        self._entries[cache_key] = CacheEntry(value, dict(read_set))
+        for storage_key in read_set:
+            self._by_read_key.setdefault(storage_key, set()).add(cache_key)
+        self.stats.stores += 1
+
+    # -- invalidation -------------------------------------------------------
+
+    def invalidate_keys(self, written_keys: list[bytes]) -> int:
+        """Eagerly drop entries whose read set intersects ``written_keys``."""
+        doomed: set[tuple] = set()
+        for storage_key in written_keys:
+            doomed |= self._by_read_key.get(storage_key, set())
+        for cache_key in doomed:
+            self._drop(cache_key)
+            self.stats.invalidations += 1
+        return len(doomed)
+
+    def clear(self) -> None:
+        self._entries.clear()
+        self._by_read_key.clear()
+
+    # -- internals ---------------------------------------------------------
+
+    def _drop(self, cache_key: tuple) -> None:
+        entry = self._entries.pop(cache_key, None)
+        if entry is None:
+            return
+        for storage_key in entry.read_set:
+            readers = self._by_read_key.get(storage_key)
+            if readers is not None:
+                readers.discard(cache_key)
+                if not readers:
+                    del self._by_read_key[storage_key]

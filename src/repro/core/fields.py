@@ -1,0 +1,80 @@
+"""Field declarations and the value codec.
+
+Object types declare fields that are "either a single opaque piece of
+data or a collection of data entries indexed by a key" (paper §3).
+Values are arbitrary JSON-representable Python data; the codec fixes the
+byte representation (sorted keys, compact separators) so value hashes —
+which the consistent cache compares — are stable.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import re
+from dataclasses import dataclass
+from enum import Enum
+from typing import Any
+
+from repro.errors import ModelError
+
+_FIELD_NAME = re.compile(r"^[A-Za-z_][A-Za-z0-9_]*$")
+
+
+class FieldKind(Enum):
+    """The two field shapes the model supports."""
+
+    VALUE = "value"
+    COLLECTION = "collection"
+
+
+@dataclass(frozen=True)
+class FieldSpec:
+    """A declared field of an object type."""
+
+    name: str
+    kind: FieldKind
+    #: default for value fields when the object is created without one
+    default: Any = None
+
+    def __post_init__(self) -> None:
+        if not _FIELD_NAME.match(self.name):
+            raise ModelError(f"invalid field name {self.name!r}")
+        if self.kind == FieldKind.COLLECTION and self.default is not None:
+            raise ModelError(f"collection field {self.name!r} cannot take a default")
+
+
+def ValueField(name: str, default: Any = None) -> FieldSpec:
+    """A single-value field (opaque datum)."""
+    return FieldSpec(name, FieldKind.VALUE, default)
+
+
+def CollectionField(name: str) -> FieldSpec:
+    """A key-indexed collection field."""
+    return FieldSpec(name, FieldKind.COLLECTION)
+
+
+# -- codec ------------------------------------------------------------------
+
+
+def encode_value(value: Any) -> bytes:
+    """Serialise a field value to canonical bytes.
+
+    JSON with sorted keys and compact separators: equal values always
+    produce equal bytes, which the read-set hashing in the consistent
+    cache depends on.  Tuples become lists (JSON has no tuple).
+    """
+    try:
+        return json.dumps(value, sort_keys=True, separators=(",", ":")).encode()
+    except (TypeError, ValueError) as error:
+        raise ModelError(f"value is not JSON-representable: {error}") from None
+
+
+def decode_value(data: bytes) -> Any:
+    """Inverse of :func:`encode_value`."""
+    return json.loads(data.decode())
+
+
+def value_digest(data: bytes) -> bytes:
+    """Short stable digest of an encoded value, for cache read sets."""
+    return hashlib.blake2b(data, digest_size=8).digest()

@@ -1,0 +1,47 @@
+"""Object identifiers.
+
+An :class:`ObjectId` is a 32-character hex string.  Subclassing ``str``
+keeps ids JSON-serialisable (they are routinely stored inside other
+objects, e.g. a follower list), comparable, and hashable, while the class
+adds validation and deterministic construction helpers.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+
+from repro.errors import ModelError
+
+_ID_LENGTH = 32
+_HEX_DIGITS = set("0123456789abcdef")
+
+
+class ObjectId(str):
+    """A globally unique object identifier (32 lowercase hex chars)."""
+
+    def __new__(cls, value: str) -> "ObjectId":
+        if len(value) != _ID_LENGTH or not set(value) <= _HEX_DIGITS:
+            raise ModelError(
+                f"object id must be {_ID_LENGTH} lowercase hex chars, got {value!r}"
+            )
+        return super().__new__(cls, value)
+
+    @classmethod
+    def generate(cls, rng: random.Random) -> "ObjectId":
+        """A fresh random id drawn from ``rng`` (deterministic per seed)."""
+        return cls(f"{rng.getrandbits(128):032x}")
+
+    @classmethod
+    def from_name(cls, name: str) -> "ObjectId":
+        """A stable id derived from a human-readable name.
+
+        Useful for well-known singletons ("user:alice") and for building
+        reproducible datasets.
+        """
+        return cls(hashlib.sha256(name.encode()).hexdigest()[:_ID_LENGTH])
+
+    @property
+    def short(self) -> str:
+        """First 8 chars, for logs."""
+        return self[:8]

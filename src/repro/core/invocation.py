@@ -1,0 +1,67 @@
+"""Invocation results and statistics."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.core.ids import ObjectId
+
+
+@dataclass
+class InvocationResult:
+    """Everything the runtime knows about one completed invocation."""
+
+    object_id: ObjectId
+    method: str
+    value: Any
+    #: fuel consumed by the guest (drives the simulator's CPU-time model)
+    fuel_used: float
+    #: committed-state observations: key -> value digest
+    read_set: dict[bytes, bytes]
+    #: keys written across all commit segments of this invocation
+    written_keys: list[bytes]
+    #: storage sequence number of the final commit (0 if nothing written)
+    commit_sequence: int
+    #: number of commit segments (> 1 when nested calls split the caller,
+    #: §3.1: "treated as two separate function invocations")
+    parts: int
+    #: results of nested invocations dispatched by this one
+    sub_results: list["InvocationResult"] = field(default_factory=list)
+    #: served from the consistent result cache without executing
+    cache_hit: bool = False
+    #: guest log lines
+    logs: list[str] = field(default_factory=list)
+
+    def total_invocations(self) -> int:
+        """This invocation plus all transitively nested ones."""
+        return 1 + sum(sub.total_invocations() for sub in self.sub_results)
+
+    def total_fuel(self) -> float:
+        """Fuel across this invocation and all nested ones."""
+        return self.fuel_used + sum(sub.total_fuel() for sub in self.sub_results)
+
+
+@dataclass
+class InvocationStats:
+    """Aggregate counters a runtime keeps across invocations."""
+
+    invocations: int = 0
+    nested_invocations: int = 0
+    commits: int = 0
+    aborts: int = 0
+    cache_hits: int = 0
+    cache_misses: int = 0
+    fuel_used: float = 0.0
+
+    def snapshot(self) -> dict[str, float]:
+        """A plain-dict copy for reports."""
+        return {
+            "invocations": self.invocations,
+            "nested_invocations": self.nested_invocations,
+            "commits": self.commits,
+            "aborts": self.aborts,
+            "cache_hits": self.cache_hits,
+            "cache_misses": self.cache_misses,
+            "fuel_used": self.fuel_used,
+        }

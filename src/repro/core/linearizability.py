@@ -1,0 +1,150 @@
+"""History recording and a linearizability checker.
+
+LambdaObjects promise *invocation linearizability* (paper §3.1): committed
+invocations are atomic, isolated, and respect real time.  To test that the
+distributed layer actually delivers it, clients record each invocation as
+an :class:`Operation` with start/finish timestamps; the checker then
+searches for a legal sequential order consistent with real time
+(Wing & Gong's algorithm with memoisation on (remaining-ops, state)).
+
+The checker is model-agnostic: you supply a *sequential specification* —
+a function ``apply(state, op) -> (ok, new_state)`` over hashable states.
+:func:`register_model` builds the common per-key read/write-register spec
+used by the cluster tests.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field as dataclass_field
+from typing import Any, Callable, Hashable, Optional
+
+from repro.errors import ReproError
+
+ApplyFn = Callable[[Hashable, "Operation"], tuple[bool, Hashable]]
+
+
+@dataclass
+class Operation:
+    """One client-observed operation with its real-time interval."""
+
+    client: str
+    kind: str
+    target: str
+    args: tuple
+    start: float
+    end: float = float("inf")
+    result: Any = None
+    op_id: int = dataclass_field(default=-1)
+
+    @property
+    def completed(self) -> bool:
+        return self.end != float("inf")
+
+
+class History:
+    """Collects concurrent operations for later checking."""
+
+    def __init__(self) -> None:
+        self._operations: list[Operation] = []
+        self._ids = itertools.count()
+
+    def begin(self, client: str, kind: str, target: str, args: tuple, start: float) -> Operation:
+        """Record an operation's invocation; complete it with :meth:`finish`."""
+        op = Operation(client, kind, target, tuple(args), start, op_id=next(self._ids))
+        self._operations.append(op)
+        return op
+
+    def finish(self, op: Operation, end: float, result: Any) -> None:
+        """Record an operation's response."""
+        if end < op.start:
+            raise ReproError(f"operation ends before it starts ({end} < {op.start})")
+        op.end = end
+        op.result = result
+
+    def operations(self) -> list[Operation]:
+        return list(self._operations)
+
+    def completed_operations(self) -> list[Operation]:
+        """Operations that received a response.
+
+        Incomplete operations (client crashed / timed out) may or may not
+        have taken effect; this simplified checker drops them, so tests
+        must only assert on histories whose operations all completed.
+        """
+        return [op for op in self._operations if op.completed]
+
+    def __len__(self) -> int:
+        return len(self._operations)
+
+
+def register_model(initial: Optional[dict[str, Any]] = None) -> tuple[Hashable, ApplyFn]:
+    """Sequential spec for per-target read/write registers.
+
+    Operations: ``kind="write"`` with ``args=(value,)`` always succeeds;
+    ``kind="read"`` succeeds iff ``result`` equals the register's current
+    value (``None`` for never-written targets).
+    """
+    state: Hashable = frozenset((initial or {}).items())
+
+    def apply(current: Hashable, op: Operation) -> tuple[bool, Hashable]:
+        mapping = dict(current)  # type: ignore[arg-type]
+        if op.kind == "write":
+            mapping[op.target] = op.args[0]
+            return True, frozenset(mapping.items())
+        if op.kind == "read":
+            return mapping.get(op.target) == op.result, current
+        raise ReproError(f"register model cannot apply op kind {op.kind!r}")
+
+    return state, apply
+
+
+def check_linearizable(
+    history: History,
+    initial_state: Hashable,
+    apply_fn: ApplyFn,
+    max_states: int = 2_000_000,
+) -> bool:
+    """Whether a legal linearisation of ``history`` exists.
+
+    Exhaustive search with memoisation; exponential in the worst case, so
+    keep test histories modest (tens of concurrent operations).
+    ``max_states`` bounds the search as a safety valve — exceeding it
+    raises rather than returning a wrong answer.
+    """
+    operations = history.completed_operations()
+    if not operations:
+        return True
+
+    explored: set[tuple[frozenset, Hashable]] = set()
+    budget = [max_states]
+
+    def precedes(a: Operation, b: Operation) -> bool:
+        return a.end < b.start
+
+    def search(remaining: frozenset, state: Hashable) -> bool:
+        if not remaining:
+            return True
+        memo_key = (remaining, state)
+        if memo_key in explored:
+            return False
+        if budget[0] <= 0:
+            raise ReproError(
+                "linearizability search exceeded its state budget; "
+                "use a smaller history"
+            )
+        budget[0] -= 1
+
+        remaining_ops = [op for op in operations if op.op_id in remaining]
+        # Minimal operations: nothing else in `remaining` finished before
+        # they started.
+        for candidate in remaining_ops:
+            if any(precedes(other, candidate) for other in remaining_ops if other is not candidate):
+                continue
+            ok, next_state = apply_fn(state, candidate)
+            if ok and search(remaining - {candidate.op_id}, next_state):
+                return True
+        explored.add(memo_key)
+        return False
+
+    return search(frozenset(op.op_id for op in operations), initial_state)

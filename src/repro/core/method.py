@@ -1,0 +1,64 @@
+"""Method declarations.
+
+A method is a guest function plus LambdaObjects semantics: public methods
+are client-callable, non-public ones only callable from other function
+invocations; ``@readonly`` methods may not write, may run at any replica,
+and are candidates for consistent caching.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Optional
+
+from repro.wasm.module import GuestFunction
+
+
+def method(
+    fn: Optional[Callable[..., Any]] = None,
+    *,
+    name: Optional[str] = None,
+    public: bool = True,
+    compute_fuel: float = 0.0,
+) -> Any:
+    """Declare a mutating method.
+
+    Usable bare (``method(fn)``) or as a decorator with options::
+
+        @method(public=False)
+        def store_post(self, src, time, msg): ...
+
+    The function's first parameter is the invocation context (named
+    ``self`` by convention, mirroring the paper's pseudocode).
+    """
+
+    def wrap(function: Callable[..., Any]) -> GuestFunction:
+        return GuestFunction(
+            name=name or function.__name__,
+            fn=function,
+            public=public,
+            readonly=False,
+            compute_fuel=compute_fuel,
+        )
+
+    return wrap(fn) if fn is not None else wrap
+
+
+def readonly_method(
+    fn: Optional[Callable[..., Any]] = None,
+    *,
+    name: Optional[str] = None,
+    public: bool = True,
+    compute_fuel: float = 0.0,
+) -> Any:
+    """Declare a read-only method (no writes; replica-servable; cacheable)."""
+
+    def wrap(function: Callable[..., Any]) -> GuestFunction:
+        return GuestFunction(
+            name=name or function.__name__,
+            fn=function,
+            public=public,
+            readonly=True,
+            compute_fuel=compute_fuel,
+        )
+
+    return wrap(fn) if fn is not None else wrap

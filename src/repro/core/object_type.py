@@ -1,0 +1,116 @@
+"""Object types: a set of fields plus a compiled method module.
+
+Two declaration styles are supported.  Explicit construction::
+
+    account = ObjectType(
+        "Account",
+        fields=[ValueField("balance", default=0)],
+        methods=[method(deposit), readonly_method(balance)],
+    )
+
+and the class-decorator sugar, which reads closest to the paper's
+Listing 1::
+
+    @object_type
+    class User:
+        name = ValueField("name")
+        followers = CollectionField("followers")
+
+        @method
+        def create_post(self, msg): ...
+
+Both produce the same :class:`ObjectType`; the decorator simply collects
+field specs and guest functions from the class body.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+from repro.errors import ModelError, UnknownFieldError
+from repro.core.fields import FieldKind, FieldSpec
+from repro.wasm.module import GuestFunction, Module
+
+
+class ObjectType:
+    """An immutable object type: named fields and a method module."""
+
+    def __init__(
+        self,
+        name: str,
+        fields: Iterable[FieldSpec] = (),
+        methods: Iterable[GuestFunction] = (),
+    ) -> None:
+        if not name:
+            raise ModelError("object type needs a non-empty name")
+        self.name = name
+        self.fields: dict[str, FieldSpec] = {}
+        for spec in fields:
+            if spec.name in self.fields:
+                raise ModelError(f"type {name!r} declares field {spec.name!r} twice")
+            self.fields[spec.name] = spec
+        method_list = list(methods)
+        for function in method_list:
+            if function.name in self.fields:
+                raise ModelError(
+                    f"type {name!r} uses {function.name!r} as both field and method"
+                )
+        self.module = Module.compile(name, method_list)
+
+    # -- field queries -----------------------------------------------------
+
+    def field(self, field_name: str) -> FieldSpec:
+        """Look up a field, raising :class:`UnknownFieldError` if missing."""
+        try:
+            return self.fields[field_name]
+        except KeyError:
+            raise UnknownFieldError(
+                f"type {self.name!r} has no field {field_name!r}"
+            ) from None
+
+    def require_field(self, field_name: str, kind: FieldKind) -> FieldSpec:
+        """Look up a field and check its kind."""
+        spec = self.field(field_name)
+        if spec.kind != kind:
+            raise UnknownFieldError(
+                f"field {self.name}.{field_name} is a {spec.kind.value}, "
+                f"not a {kind.value}"
+            )
+        return spec
+
+    def value_fields(self) -> list[FieldSpec]:
+        return [f for f in self.fields.values() if f.kind == FieldKind.VALUE]
+
+    def collection_fields(self) -> list[FieldSpec]:
+        return [f for f in self.fields.values() if f.kind == FieldKind.COLLECTION]
+
+    # -- method queries --------------------------------------------------
+
+    def has_method(self, method_name: str) -> bool:
+        return method_name in self.module.functions
+
+    def method_def(self, method_name: str) -> GuestFunction:
+        return self.module.export(method_name)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"<ObjectType {self.name} fields={list(self.fields)} "
+            f"methods={list(self.module.functions)}>"
+        )
+
+
+def object_type(cls: type, name: Optional[str] = None) -> ObjectType:
+    """Build an :class:`ObjectType` from a class body (decorator form)."""
+    fields = []
+    methods = []
+    for attr_name, attr in vars(cls).items():
+        if isinstance(attr, FieldSpec):
+            if attr.name != attr_name:
+                raise ModelError(
+                    f"field declared as {attr_name!r} but named {attr.name!r}; "
+                    "use the same name in both places"
+                )
+            fields.append(attr)
+        elif isinstance(attr, GuestFunction):
+            methods.append(attr)
+    return ObjectType(name or cls.__name__, fields=fields, methods=methods)

@@ -1,0 +1,330 @@
+"""LocalRuntime: single-process embedded LambdaObjects.
+
+This is the model's reference implementation: one storage backend, one
+scheduler-free executor (invocations are sequential, so per-object mutual
+exclusion holds trivially), full invocation-linearizability semantics,
+and the consistent result cache.  The distributed LambdaStore
+(:mod:`repro.cluster`) runs the same context/commit machinery on every
+storage node; the serverless baseline reuses it with remote storage.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any, Callable, Iterable, Optional
+
+from repro.errors import (
+    InvocationError,
+    ObjectExistsError,
+    PrivateMethodError,
+    Trap,
+    UnknownObjectError,
+    UnknownTypeError,
+)
+from repro.core import keyspace
+from repro.core.caching import ResultCache, args_digest
+from repro.core.context import InvocationContext
+from repro.core.fields import FieldKind, decode_value, encode_value
+from repro.core.ids import ObjectId
+from repro.core.invocation import InvocationResult, InvocationStats
+from repro.core.object_type import ObjectType
+from repro.core.storage import MemoryBackend, StorageBackend
+from repro.core.writeset import WriteSet
+from repro.kvstore.batch import WriteBatch
+from repro.wasm.fuel import FuelMeter
+from repro.wasm.host_api import OpCosts
+from repro.wasm.instance import DEFAULT_MEMORY_LIMIT, Instance
+
+#: maximum nested-call depth before the runtime assumes a cycle
+MAX_CALL_DEPTH = 64
+
+
+class _LogicalClock:
+    """Fallback clock: strictly increasing, deterministic."""
+
+    def __init__(self) -> None:
+        self._ticks = 0.0
+
+    def __call__(self) -> float:
+        self._ticks += 1.0
+        return self._ticks
+
+
+class LocalRuntime:
+    """An embedded LambdaObjects runtime over one storage backend."""
+
+    def __init__(
+        self,
+        storage: Optional[StorageBackend] = None,
+        seed: int = 0,
+        clock: Optional[Callable[[], float]] = None,
+        enable_cache: bool = True,
+        cache_entries: int = 4096,
+        fuel_budget: Optional[float] = None,
+        costs: Optional[OpCosts] = None,
+        memory_limit_bytes: int = DEFAULT_MEMORY_LIMIT,
+    ) -> None:
+        self.storage: StorageBackend = storage if storage is not None else MemoryBackend()
+        self._types: dict[str, ObjectType] = {}
+        self._id_rng = random.Random(seed)
+        #: PRNG exposed to guests via ctx.random()
+        self.guest_rng = random.Random(seed + 1)
+        self.clock = clock or _LogicalClock()
+        self.cache: Optional[ResultCache] = (
+            ResultCache(cache_entries) if enable_cache else None
+        )
+        self._fuel_budget = fuel_budget
+        self.costs = costs or OpCosts()
+        self._memory_limit = memory_limit_bytes
+        self.stats = InvocationStats()
+        #: optional hook called with each top-level InvocationResult
+        self.on_invocation: Optional[Callable[[InvocationResult], None]] = None
+        #: optional hook called with each committed WriteBatch (the
+        #: replication layer ships these to backups)
+        self.commit_hook: Optional[Callable[[WriteBatch], None]] = None
+
+    # -- types -------------------------------------------------------------
+
+    def register_type(self, object_type: ObjectType) -> None:
+        """Register (or replace) an object type by name."""
+        self._types[object_type.name] = object_type
+
+    def register_types(self, object_types: Iterable[ObjectType]) -> None:
+        for object_type in object_types:
+            self.register_type(object_type)
+
+    def type_named(self, name: str) -> ObjectType:
+        try:
+            return self._types[name]
+        except KeyError:
+            raise UnknownTypeError(f"no registered object type {name!r}") from None
+
+    # -- object lifecycle --------------------------------------------------
+
+    def create_object(
+        self,
+        type_name: str,
+        object_id: Optional[ObjectId] = None,
+        initial: Optional[dict[str, Any]] = None,
+    ) -> ObjectId:
+        """Instantiate an object of ``type_name``; returns its id.
+
+        ``initial`` maps value fields to values and collection fields to
+        either a list (appended in order) or a dict of entries.
+        """
+        object_type = self.type_named(type_name)
+        oid = object_id if object_id is not None else ObjectId.generate(self._id_rng)
+        if self.storage.get(keyspace.meta_key(oid)) is not None:
+            raise ObjectExistsError(f"object {oid.short} already exists")
+
+        batch = WriteBatch()
+        batch.put(keyspace.meta_key(oid), encode_value(type_name))
+        initial = dict(initial or {})
+        for spec in object_type.fields.values():
+            provided = initial.pop(spec.name, None)
+            if spec.kind == FieldKind.VALUE:
+                value = provided if provided is not None else spec.default
+                if value is not None:
+                    batch.put(keyspace.value_key(oid, spec.name), encode_value(value))
+            elif provided is not None:
+                entries = (
+                    provided.items()
+                    if isinstance(provided, dict)
+                    else ((keyspace.append_entry_key(i + 1), v) for i, v in enumerate(provided))
+                )
+                count = 0
+                for entry_key, value in entries:
+                    batch.put(
+                        keyspace.collection_key(oid, spec.name, entry_key),
+                        encode_value(value),
+                    )
+                    count += 1
+                if not isinstance(provided, dict):
+                    batch.put(keyspace.counter_key(oid, spec.name), encode_value(count))
+        if initial:
+            object_type.field(next(iter(initial)))  # raises UnknownFieldError
+        self.storage.apply(batch)
+        return oid
+
+    def delete_object(self, object_id: ObjectId) -> None:
+        """Remove an object and every key it owns."""
+        prefix = keyspace.object_prefix(object_id)
+        batch = WriteBatch()
+        for key, _value in self.storage.iterate(prefix, keyspace.prefix_end(prefix)):
+            batch.delete(key)
+        if not batch:
+            raise UnknownObjectError(f"object {object_id.short} does not exist")
+        self.storage.apply(batch)
+        if self.cache is not None:
+            self.cache.invalidate_keys([key for _kind, key, _value in batch.items()])
+
+    def object_exists(self, object_id: ObjectId) -> bool:
+        return self.storage.get(keyspace.meta_key(object_id)) is not None
+
+    def type_of(self, object_id: ObjectId) -> ObjectType:
+        """The object's type, raising :class:`UnknownObjectError` if absent."""
+        data = self.storage.get(keyspace.meta_key(object_id))
+        if data is None:
+            raise UnknownObjectError(f"object {object_id.short} does not exist")
+        return self.type_named(decode_value(data))
+
+    # -- invocation ----------------------------------------------------------
+
+    def invoke(self, object_id: ObjectId, method: str, *args: Any) -> Any:
+        """Invoke a public method; returns its value."""
+        return self.invoke_detailed(object_id, method, *args).value
+
+    def invoke_detailed(
+        self,
+        object_id: ObjectId,
+        method: str,
+        *args: Any,
+        _depth: int = 0,
+        _internal: bool = False,
+    ) -> InvocationResult:
+        """Invoke a method and return the full :class:`InvocationResult`."""
+        if _depth > MAX_CALL_DEPTH:
+            raise InvocationError(
+                f"call depth exceeded {MAX_CALL_DEPTH} (cycle of nested invocations?)"
+            )
+        object_id = ObjectId(object_id)
+        object_type = self.type_of(object_id)
+        method_def = object_type.method_def(method)
+        if not method_def.public and not _internal:
+            raise PrivateMethodError(
+                f"{object_type.name}.{method} is not public; only other "
+                "function invocations may call it"
+            )
+
+        digest = None
+        if method_def.readonly and self.cache is not None:
+            try:
+                digest = args_digest(args)
+            except Exception:
+                digest = None  # unhashable args: skip caching
+            if digest is not None:
+                hit, value = self.cache.lookup(object_id, method, digest, self.storage.get)
+                if hit:
+                    self.stats.cache_hits += 1
+                    self.stats.invocations += 1
+                    return InvocationResult(
+                        object_id=object_id,
+                        method=method,
+                        value=value,
+                        fuel_used=self.costs.utility,  # a cache probe is ~free
+                        read_set={},
+                        written_keys=[],
+                        commit_sequence=self.storage.last_sequence,
+                        parts=0,
+                        cache_hit=True,
+                    )
+                self.stats.cache_misses += 1
+
+        fuel = FuelMeter(self._fuel_budget if self._fuel_budget else FuelMeter.UNLIMITED)
+        writeset = WriteSet(self.storage.get)
+        ctx = InvocationContext(
+            runtime=self,
+            object_id=object_id,
+            object_type=object_type,
+            writeset=writeset,
+            fuel=fuel,
+            costs=self.costs,
+            readonly=method_def.readonly,
+            depth=_depth,
+        )
+        instance = Instance(
+            object_type.module, ctx, fuel=fuel, memory_limit_bytes=self._memory_limit
+        )
+        ctx.bind_instance(instance)
+        fuel.consume(self.costs.call_base)
+
+        try:
+            value = instance.call(method, *args)
+        except Trap as trap:
+            self.stats.aborts += 1
+            # Buffered writes of the *current segment* are discarded; commits
+            # made before nested calls stand (they were separate invocations).
+            raise InvocationError(str(trap)) from trap
+
+        read_set = writeset.read_set()
+        commit_sequence = self._commit(ctx)
+
+        result = InvocationResult(
+            object_id=object_id,
+            method=method,
+            value=value,
+            fuel_used=fuel.used,
+            read_set=read_set,
+            written_keys=ctx.all_written_keys,
+            commit_sequence=commit_sequence,
+            parts=max(ctx.parts, 1),
+            sub_results=ctx.sub_results,
+            logs=ctx.logs,
+        )
+
+        if (
+            method_def.readonly
+            and self.cache is not None
+            and digest is not None
+            and ctx.deterministic
+            and not ctx.dispatched_nested
+        ):
+            self.cache.store(object_id, method, digest, value, result.read_set)
+
+        self.stats.invocations += 1
+        self.stats.fuel_used += fuel.used
+        if _depth == 0 and self.on_invocation is not None:
+            self.on_invocation(result)
+        return result
+
+    # -- nested calls (invoked by the context) ------------------------------
+
+    def nested_invoke(
+        self, parent_ctx: InvocationContext, object_id: ObjectId, method: str, args: tuple
+    ) -> Any:
+        """Dispatch a nested invocation, committing the parent first (§3.1)."""
+        self._check_nested_readonly(parent_ctx, object_id, method)
+        self._commit(parent_ctx)
+        self.stats.nested_invocations += 1
+        result = self.invoke_detailed(
+            object_id, method, *args, _depth=parent_ctx.depth + 1, _internal=True
+        )
+        parent_ctx.sub_results.append(result)
+        return result.value
+
+    def _check_nested_readonly(
+        self, parent_ctx: InvocationContext, object_id: ObjectId, method: str
+    ) -> None:
+        """Read-only is transitive: a read-only invocation may only nest
+        read-only calls.  (Besides being the sane semantic, this is what
+        lets read-only invocations run at any replica — a hidden mutating
+        dispatch from a replica would fork state.)"""
+        if not parent_ctx.readonly:
+            return
+        try:
+            target_readonly = self.type_of(object_id).method_def(method).readonly
+        except Exception:
+            return  # let the dispatch itself produce the precise error
+        if not target_readonly:
+            raise InvocationError(
+                f"read-only invocation cannot dispatch mutating method "
+                f"{method!r} on {object_id.short}"
+            )
+
+    def _commit(self, ctx: InvocationContext) -> int:
+        """Commit a context's buffered writes as one atomic batch."""
+        writeset = ctx.writeset
+        if not writeset.has_writes:
+            return self.storage.last_sequence
+        written = writeset.written_keys()
+        batch = writeset.to_batch()
+        sequence = self.storage.apply(batch)
+        if self.commit_hook is not None:
+            self.commit_hook(batch)
+        if self.cache is not None:
+            self.cache.invalidate_keys(written)
+        ctx.all_written_keys.extend(written)
+        ctx.parts += 1
+        self.stats.commits += 1
+        writeset.clear()
+        return sequence

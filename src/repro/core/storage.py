@@ -1,0 +1,117 @@
+"""Storage backends the LambdaObjects runtime commits through.
+
+Two implementations share one protocol:
+
+- :class:`MemoryBackend` — an ordered in-memory map.  Fast and allocation
+  free; the cluster simulator uses it so benchmark runs are not dominated
+  by host disk I/O.
+- :class:`KVBackend` — the real LSM database from :mod:`repro.kvstore`
+  (the paper persists through LevelDB).  Integration tests and the
+  durability examples use it.
+
+Both apply write batches atomically and return a commit sequence number,
+which the replication layer uses for ordering.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Iterator, Optional, Protocol
+
+from repro.kvstore.batch import WriteBatch
+from repro.kvstore.db import DB
+from repro.kvstore.record import ValueType
+
+
+class StorageBackend(Protocol):
+    """What the runtime needs from a store."""
+
+    def get(self, key: bytes) -> Optional[bytes]:
+        """Committed value for ``key`` or ``None``."""
+        ...
+
+    def apply(self, batch: WriteBatch) -> int:
+        """Apply atomically; returns the commit sequence number."""
+        ...
+
+    def iterate(self, start: bytes, end: Optional[bytes]) -> Iterator[tuple[bytes, bytes]]:
+        """Committed ``(key, value)`` pairs in ``[start, end)``, ordered."""
+        ...
+
+    @property
+    def last_sequence(self) -> int:
+        """Sequence number of the most recent commit."""
+        ...
+
+
+class MemoryBackend:
+    """Ordered in-memory storage (dict + sorted key index)."""
+
+    def __init__(self) -> None:
+        self._data: dict[bytes, bytes] = {}
+        self._keys: list[bytes] = []
+        self._sequence = 0
+
+    def get(self, key: bytes) -> Optional[bytes]:
+        return self._data.get(key)
+
+    def apply(self, batch: WriteBatch) -> int:
+        for kind, key, value in batch.items():
+            if kind == ValueType.VALUE:
+                if key not in self._data:
+                    bisect.insort(self._keys, key)
+                self._data[key] = value
+            else:
+                if key in self._data:
+                    del self._data[key]
+                    index = bisect.bisect_left(self._keys, key)
+                    del self._keys[index]
+            self._sequence += 1
+        return self._sequence
+
+    def iterate(self, start: bytes, end: Optional[bytes]) -> Iterator[tuple[bytes, bytes]]:
+        index = bisect.bisect_left(self._keys, start)
+        while index < len(self._keys):
+            key = self._keys[index]
+            if end is not None and key >= end:
+                return
+            yield key, self._data[key]
+            index += 1
+
+    @property
+    def last_sequence(self) -> int:
+        return self._sequence
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def size_bytes(self) -> int:
+        """Total payload held, for placement/migration heuristics."""
+        return sum(len(k) + len(v) for k, v in self._data.items())
+
+
+class KVBackend:
+    """Storage through the persistent LSM database."""
+
+    def __init__(self, db: DB) -> None:
+        self._db = db
+        self._sequence = db.last_sequence
+
+    @property
+    def db(self) -> DB:
+        return self._db
+
+    def get(self, key: bytes) -> Optional[bytes]:
+        return self._db.get(key)
+
+    def apply(self, batch: WriteBatch) -> int:
+        self._db.write(batch)
+        self._sequence = self._db.last_sequence
+        return self._sequence
+
+    def iterate(self, start: bytes, end: Optional[bytes]) -> Iterator[tuple[bytes, bytes]]:
+        return self._db.iterate(start=start, end=end)
+
+    @property
+    def last_sequence(self) -> int:
+        return self._sequence

@@ -1,0 +1,109 @@
+"""Atomic write batches.
+
+A :class:`WriteBatch` collects puts and deletes that the DB applies as one
+atomic, durable unit: the serialised batch is one WAL record, and either
+every operation in it is recovered or none is.  This is the primitive the
+LambdaObjects runtime commits invocation write sets through.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.errors import CorruptionError
+from repro.kvstore.record import ValueType
+from repro.kvstore.varint import decode_varint, encode_varint
+
+
+class WriteBatch:
+    """An ordered collection of puts/deletes applied atomically."""
+
+    def __init__(self) -> None:
+        self._ops: list[tuple[ValueType, bytes, bytes]] = []
+
+    def __len__(self) -> int:
+        return len(self._ops)
+
+    def __bool__(self) -> bool:
+        return bool(self._ops)
+
+    def put(self, key: bytes, value: bytes) -> "WriteBatch":
+        """Record a put; later operations on the same key win."""
+        _check_bytes("key", key)
+        _check_bytes("value", value)
+        self._ops.append((ValueType.VALUE, bytes(key), bytes(value)))
+        return self
+
+    def delete(self, key: bytes) -> "WriteBatch":
+        """Record a deletion of ``key``."""
+        _check_bytes("key", key)
+        self._ops.append((ValueType.DELETION, bytes(key), b""))
+        return self
+
+    def clear(self) -> None:
+        """Drop all recorded operations."""
+        self._ops.clear()
+
+    def extend(self, other: "WriteBatch") -> "WriteBatch":
+        """Append all operations from ``other`` (after this batch's own)."""
+        self._ops.extend(other._ops)
+        return self
+
+    def items(self) -> Iterator[tuple[ValueType, bytes, bytes]]:
+        """Iterate ``(kind, key, value)`` in insertion order."""
+        return iter(self._ops)
+
+    # -- serialisation (WAL payload) ------------------------------------
+
+    def encode(self) -> bytes:
+        """Serialise to the WAL payload format.
+
+        Layout: varint op-count, then per op: 1-byte kind, varint key
+        length, key, and (for puts) varint value length + value.
+        """
+        out = bytearray(encode_varint(len(self._ops)))
+        for kind, key, value in self._ops:
+            out.append(int(kind))
+            out += encode_varint(len(key))
+            out += key
+            if kind == ValueType.VALUE:
+                out += encode_varint(len(value))
+                out += value
+        return bytes(out)
+
+    @classmethod
+    def decode(cls, data: bytes) -> "WriteBatch":
+        """Inverse of :meth:`encode`; raises ``CorruptionError`` on damage."""
+        batch = cls()
+        count, pos = decode_varint(data, 0)
+        for _ in range(count):
+            if pos >= len(data):
+                raise CorruptionError("write batch truncated (missing op)")
+            kind_byte = data[pos]
+            pos += 1
+            try:
+                kind = ValueType(kind_byte)
+            except ValueError:
+                raise CorruptionError(f"write batch has bad op kind {kind_byte}") from None
+            key_len, pos = decode_varint(data, pos)
+            key = bytes(data[pos : pos + key_len])
+            if len(key) != key_len:
+                raise CorruptionError("write batch truncated (short key)")
+            pos += key_len
+            if kind == ValueType.VALUE:
+                value_len, pos = decode_varint(data, pos)
+                value = bytes(data[pos : pos + value_len])
+                if len(value) != value_len:
+                    raise CorruptionError("write batch truncated (short value)")
+                pos += value_len
+                batch.put(key, value)
+            else:
+                batch.delete(key)
+        if pos != len(data):
+            raise CorruptionError("write batch has trailing garbage")
+        return batch
+
+
+def _check_bytes(label: str, data: bytes) -> None:
+    if not isinstance(data, (bytes, bytearray, memoryview)):
+        raise TypeError(f"{label} must be bytes-like, got {type(data).__name__}")

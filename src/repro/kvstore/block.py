@@ -1,0 +1,159 @@
+"""Sorted data blocks with key prefix compression.
+
+A block is a sequence of internal records in sort order.  Consecutive keys
+usually share a prefix, so each entry stores only the non-shared suffix;
+every ``restart_interval`` entries an entry is written with no sharing
+(a *restart point*), which bounds how much context a reader needs.  The
+block trailer lists restart offsets (unused by this eager reader, but kept
+on disk for format fidelity) and a CRC protects the whole block.
+"""
+
+from __future__ import annotations
+
+import bisect
+import struct
+import zlib
+from typing import Iterator, Optional
+
+from repro.errors import CorruptionError
+from repro.kvstore.record import InternalRecord, decode_seq_type, encode_seq_type, record_sort_key
+from repro.kvstore.varint import decode_varint, encode_varint
+
+_U32 = struct.Struct(">I")
+RESTART_INTERVAL = 16
+
+
+class BlockBuilder:
+    """Accumulates sorted records into one encoded block."""
+
+    def __init__(self, restart_interval: int = RESTART_INTERVAL) -> None:
+        self._buffer = bytearray()
+        self._restarts: list[int] = []
+        self._since_restart = restart_interval  # force restart on first entry
+        self._restart_interval = restart_interval
+        self._last_key = b""
+        self._count = 0
+
+    def __len__(self) -> int:
+        return self._count
+
+    @property
+    def size_estimate(self) -> int:
+        """Bytes the finished block will occupy (minus trailer)."""
+        return len(self._buffer) + 4 * len(self._restarts) + 4
+
+    def add(self, record: InternalRecord) -> None:
+        """Append a record; callers must add in internal sort order."""
+        key = record.user_key
+        if self._since_restart >= self._restart_interval:
+            self._restarts.append(len(self._buffer))
+            self._since_restart = 0
+            shared = 0
+        else:
+            shared = _shared_prefix_length(self._last_key, key)
+        non_shared = key[shared:]
+        self._buffer += encode_varint(shared)
+        self._buffer += encode_varint(len(non_shared))
+        self._buffer += encode_varint(len(record.value))
+        self._buffer += encode_seq_type(record.sequence, record.kind)
+        self._buffer += non_shared
+        self._buffer += record.value
+        self._last_key = key
+        self._since_restart += 1
+        self._count += 1
+
+    def finish(self) -> bytes:
+        """Encode the block: entries, restart array, count, CRC."""
+        out = bytearray(self._buffer)
+        for offset in self._restarts:
+            out += _U32.pack(offset)
+        out += _U32.pack(len(self._restarts))
+        out += _U32.pack(zlib.crc32(bytes(out)))
+        return bytes(out)
+
+    def reset(self) -> None:
+        """Clear the builder for the next block."""
+        self._buffer.clear()
+        self._restarts.clear()
+        self._since_restart = self._restart_interval
+        self._last_key = b""
+        self._count = 0
+
+
+def _shared_prefix_length(a: bytes, b: bytes) -> int:
+    limit = min(len(a), len(b))
+    i = 0
+    while i < limit and a[i] == b[i]:
+        i += 1
+    return i
+
+
+class Block:
+    """A decoded block supporting binary-search seeks.
+
+    Decoding is eager: blocks are small (~4 KiB) and decoded blocks live in
+    the LRU block cache, so the decode cost is paid once per cache miss.
+    """
+
+    def __init__(self, records: list[InternalRecord]) -> None:
+        self._records = records
+        self._keys = [r.sort_key() for r in records]
+
+    @classmethod
+    def decode(cls, data: bytes) -> "Block":
+        """Parse and CRC-check an encoded block."""
+        if len(data) < 12:
+            raise CorruptionError("block too short")
+        (stored_crc,) = _U32.unpack(data[-4:])
+        body = data[:-4]
+        if zlib.crc32(body) != stored_crc:
+            raise CorruptionError("block failed CRC check")
+        (num_restarts,) = _U32.unpack(body[-4:])
+        entries_end = len(body) - 4 - 4 * num_restarts
+        if entries_end < 0:
+            raise CorruptionError("block restart array overruns block")
+
+        records: list[InternalRecord] = []
+        pos = 0
+        last_key = b""
+        while pos < entries_end:
+            shared, pos = decode_varint(body, pos)
+            non_shared, pos = decode_varint(body, pos)
+            value_len, pos = decode_varint(body, pos)
+            seq_type = body[pos : pos + 9]
+            if len(seq_type) != 9:
+                raise CorruptionError("block entry truncated (seq/type)")
+            pos += 9
+            sequence, kind = decode_seq_type(seq_type)
+            if shared > len(last_key):
+                raise CorruptionError("block entry shares more than previous key")
+            key = last_key[:shared] + body[pos : pos + non_shared]
+            pos += non_shared
+            value = bytes(body[pos : pos + value_len])
+            if len(value) != value_len:
+                raise CorruptionError("block entry truncated (value)")
+            pos += value_len
+            records.append(InternalRecord(key, sequence, kind, value))
+            last_key = key
+        return cls(records)
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __iter__(self) -> Iterator[InternalRecord]:
+        return iter(self._records)
+
+    def seek(self, user_key: bytes, sequence: int) -> int:
+        """Index of the first record at/after ``(user_key, sequence)``."""
+        return bisect.bisect_left(self._keys, record_sort_key(user_key, sequence))
+
+    def get(self, user_key: bytes, sequence: int) -> Optional[InternalRecord]:
+        """Newest record for ``user_key`` visible at ``sequence``, if any."""
+        index = self.seek(user_key, sequence)
+        if index < len(self._records) and self._records[index].user_key == user_key:
+            return self._records[index]
+        return None
+
+    def records_from(self, index: int) -> Iterator[InternalRecord]:
+        """Iterate records starting at ``index``."""
+        return iter(self._records[index:])

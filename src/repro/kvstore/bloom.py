@@ -1,0 +1,79 @@
+"""Bloom filter for SSTable key membership.
+
+Uses the standard double-hashing scheme (Kirsch & Mitzenmacher): two base
+hashes derived from one 64-bit digest generate all ``k`` probe positions.
+False positives are possible; false negatives are not — compaction and
+reads rely on that invariant, and the property tests enforce it.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import math
+import struct
+
+from repro.errors import CorruptionError
+
+
+def _hash64(key: bytes) -> int:
+    return int.from_bytes(hashlib.blake2b(key, digest_size=8).digest(), "little")
+
+
+class BloomFilter:
+    """A fixed-size bloom filter built once over a set of keys."""
+
+    def __init__(self, bit_array: bytearray, num_probes: int) -> None:
+        self._bits = bit_array
+        self._num_bits = len(bit_array) * 8
+        self._num_probes = num_probes
+
+    @classmethod
+    def build(cls, keys: list[bytes], bits_per_key: int = 10) -> "BloomFilter":
+        """Build a filter sized for ``keys`` at ``bits_per_key`` density.
+
+        10 bits/key gives a ~1% false-positive rate, LevelDB's default.
+        """
+        if bits_per_key < 1:
+            raise ValueError(f"bits_per_key must be >= 1, got {bits_per_key}")
+        num_bits = max(64, len(keys) * bits_per_key)
+        num_bytes = (num_bits + 7) // 8
+        num_probes = max(1, min(30, round(bits_per_key * math.log(2))))
+        filt = cls(bytearray(num_bytes), num_probes)
+        for key in keys:
+            filt._insert(key)
+        return filt
+
+    def _probe_positions(self, key: bytes):
+        digest = _hash64(key)
+        h1 = digest & 0xFFFFFFFF
+        h2 = (digest >> 32) & 0xFFFFFFFF
+        for i in range(self._num_probes):
+            yield (h1 + i * h2) % self._num_bits
+
+    def _insert(self, key: bytes) -> None:
+        for pos in self._probe_positions(key):
+            self._bits[pos // 8] |= 1 << (pos % 8)
+
+    def may_contain(self, key: bytes) -> bool:
+        """False means definitely absent; True means probably present."""
+        return all(self._bits[pos // 8] & (1 << (pos % 8)) for pos in self._probe_positions(key))
+
+    # -- serialisation -----------------------------------------------------
+
+    def encode(self) -> bytes:
+        """Serialise as ``[num_probes:1][bit array]``."""
+        return struct.pack(">B", self._num_probes) + bytes(self._bits)
+
+    @classmethod
+    def decode(cls, data: bytes) -> "BloomFilter":
+        """Inverse of :meth:`encode`."""
+        if len(data) < 2:
+            raise CorruptionError("bloom filter block too short")
+        (num_probes,) = struct.unpack(">B", data[:1])
+        if num_probes < 1:
+            raise CorruptionError(f"bloom filter has bad probe count {num_probes}")
+        return cls(bytearray(data[1:]), num_probes)
+
+    @property
+    def size_bytes(self) -> int:
+        return len(self._bits)

@@ -1,0 +1,115 @@
+"""Leveled compaction: picking and executing merges down the tree.
+
+Policy (LevelDB-flavoured):
+
+- L0 compacts into L1 once it accumulates ``l0_trigger`` files (L0 files
+  overlap each other, so all overlapping L0 files join one compaction);
+- level *i* (>=1) compacts into level *i+1* once its total size exceeds
+  ``base_bytes * multiplier**(i-1)``;
+- during the merge, versions shadowed by a newer record *and* not needed
+  by any live snapshot are dropped; deletion tombstones are additionally
+  dropped when the compaction writes to the bottom-most level that could
+  contain the key.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator
+
+from repro.kvstore.record import InternalRecord
+from repro.kvstore.version import FileMetadata, NUM_LEVELS, VersionSet
+
+
+@dataclass
+class Compaction:
+    """A planned merge of input files into ``level + 1``."""
+
+    level: int
+    inputs_upper: list[FileMetadata]  # files from `level`
+    inputs_lower: list[FileMetadata]  # overlapping files from `level + 1`
+
+    @property
+    def output_level(self) -> int:
+        return self.level + 1
+
+    def all_inputs(self) -> list[FileMetadata]:
+        return self.inputs_upper + self.inputs_lower
+
+
+def pick_compaction(
+    versions: VersionSet,
+    l0_trigger: int = 4,
+    base_bytes: int = 8 * 1024 * 1024,
+    multiplier: int = 10,
+) -> Compaction | None:
+    """Choose the most urgent compaction, or ``None`` if the tree is healthy."""
+    # L0 pressure first: too many overlapping files hurt every read.
+    if len(versions.levels[0]) >= l0_trigger:
+        upper = list(versions.levels[0])
+        smallest = min(f.smallest for f in upper)
+        largest = max(f.largest for f in upper)
+        lower = versions.files_overlapping(1, smallest, largest)
+        return Compaction(0, upper, lower)
+
+    for level in range(1, NUM_LEVELS - 1):
+        limit = base_bytes * multiplier ** (level - 1)
+        if versions.level_size_bytes(level) > limit:
+            # Compact the file with the smallest key first (round-robin by
+            # key space would need persisted cursors; smallest-first is
+            # deterministic and sufficient here).
+            upper = [versions.levels[level][0]]
+            lower = versions.files_overlapping(level + 1, upper[0].smallest, upper[0].largest)
+            return Compaction(level, upper, lower)
+    return None
+
+
+def is_bottom_most_for_range(
+    versions: VersionSet, output_level: int, smallest: bytes, largest: bytes
+) -> bool:
+    """Whether no level below ``output_level`` can hold keys in the range.
+
+    When true, deletion tombstones covering only dropped versions can be
+    discarded entirely.
+    """
+    for level in range(output_level + 1, NUM_LEVELS):
+        if versions.files_overlapping(level, smallest, largest):
+            return False
+    return True
+
+
+def prune_versions(
+    records: Iterable[InternalRecord],
+    live_snapshots: list[int],
+    drop_tombstones: bool,
+) -> Iterator[InternalRecord]:
+    """Drop record versions no snapshot can ever observe.
+
+    ``records`` must arrive in internal sort order (newest version of each
+    user key first).  ``live_snapshots`` are the sequence numbers of open
+    snapshots plus the current head sequence, ascending.  Within one user
+    key, a version is kept iff it is the newest version visible to at
+    least one snapshot boundary.  With ``drop_tombstones`` set, kept
+    deletion markers that no longer shadow anything deeper are removed.
+    """
+    boundaries = sorted(set(live_snapshots))
+    current_key: bytes | None = None
+    # Snapshot boundaries (ascending) not yet "satisfied" for current key.
+    remaining: list[int] = []
+
+    for record in records:
+        if record.user_key != current_key:
+            current_key = record.user_key
+            remaining = list(boundaries)
+        # Which snapshots see this record as their newest version?  All
+        # boundaries >= record.sequence that weren't claimed by a newer
+        # version of the same key.
+        claimed = [b for b in remaining if b >= record.sequence]
+        if not claimed:
+            continue  # shadowed for every remaining snapshot
+        remaining = [b for b in remaining if b < record.sequence]
+        if record.is_deletion and drop_tombstones and not remaining:
+            # Nothing deeper can resurrect the key, and every older version
+            # in this compaction is being dropped anyway.
+            continue
+        yield record

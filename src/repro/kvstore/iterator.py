@@ -1,0 +1,62 @@
+"""K-way merging and visibility filtering over internal records.
+
+These generators glue the read path together: point-in-time scans merge
+the memtable and every relevant table file, keep only the newest version
+of each user key visible to the snapshot, and drop deletion tombstones.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Iterable, Iterator, Optional
+
+from repro.kvstore.record import InternalRecord
+
+
+def merge_records(sources: list[Iterable[InternalRecord]]) -> Iterator[InternalRecord]:
+    """Merge sorted record streams into one stream in internal sort order.
+
+    When two sources carry records with identical sort keys (which only
+    happens if the same physical record appears twice, e.g. during
+    compaction of overlapping inputs), the earlier source wins — callers
+    order sources newest-first.
+    """
+    heap: list[tuple[tuple[bytes, int], int, InternalRecord, Iterator[InternalRecord]]] = []
+    for priority, source in enumerate(sources):
+        iterator = iter(source)
+        first = next(iterator, None)
+        if first is not None:
+            heapq.heappush(heap, (first.sort_key(), priority, first, iterator))
+    while heap:
+        _key, priority, record, iterator = heapq.heappop(heap)
+        yield record
+        following = next(iterator, None)
+        if following is not None:
+            heapq.heappush(heap, (following.sort_key(), priority, following, iterator))
+
+
+def visible_items(
+    records: Iterable[InternalRecord],
+    snapshot_sequence: int,
+    start: Optional[bytes] = None,
+    end: Optional[bytes] = None,
+) -> Iterator[tuple[bytes, bytes]]:
+    """Reduce a merged record stream to user-visible ``(key, value)`` pairs.
+
+    Applies snapshot filtering (records newer than ``snapshot_sequence``
+    are invisible), picks the newest visible version per user key, skips
+    deletion tombstones, and bounds output to ``[start, end)``.
+    """
+    current_key: Optional[bytes] = None
+    for record in records:
+        if record.sequence > snapshot_sequence:
+            continue
+        if record.user_key == current_key:
+            continue  # an older, shadowed version
+        current_key = record.user_key
+        if start is not None and record.user_key < start:
+            continue
+        if end is not None and record.user_key >= end:
+            return
+        if not record.is_deletion:
+            yield record.user_key, record.value

@@ -1,0 +1,92 @@
+"""Internal record representation and key ordering.
+
+Every user-visible write becomes an *internal record*: the user key plus a
+monotonically increasing sequence number and a value type (a put or a
+deletion tombstone).  Internal records order by user key ascending, then
+sequence number **descending**, so the newest version of a key is always
+encountered first during scans — the same trick LevelDB uses.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+from enum import IntEnum
+from typing import Optional
+
+
+class ValueType(IntEnum):
+    """Kind of an internal record."""
+
+    DELETION = 0
+    VALUE = 1
+
+
+#: Sequence number given to reads that want "latest committed".
+MAX_SEQUENCE = (1 << 56) - 1
+
+_SEQ_TYPE = struct.Struct(">QB")
+
+
+@dataclass(frozen=True, order=False)
+class InternalRecord:
+    """One versioned entry in the LSM tree."""
+
+    user_key: bytes
+    sequence: int
+    kind: ValueType
+    value: bytes = b""
+
+    def sort_key(self) -> tuple[bytes, int]:
+        """Total-order key: user key ascending, newest version first."""
+        return (self.user_key, -self.sequence)
+
+    @property
+    def is_deletion(self) -> bool:
+        return self.kind == ValueType.DELETION
+
+
+def record_sort_key(user_key: bytes, sequence: int) -> tuple[bytes, int]:
+    """Sort key for a (user key, sequence) probe, matching
+    :meth:`InternalRecord.sort_key`."""
+    return (user_key, -sequence)
+
+
+def encode_seq_type(sequence: int, kind: ValueType) -> bytes:
+    """Pack sequence + type into 9 bytes (used in SSTable entries)."""
+    if not 0 <= sequence <= MAX_SEQUENCE:
+        raise ValueError(f"sequence {sequence} out of range")
+    return _SEQ_TYPE.pack(sequence, int(kind))
+
+
+def decode_seq_type(data: bytes) -> tuple[int, ValueType]:
+    """Inverse of :func:`encode_seq_type`."""
+    sequence, kind = _SEQ_TYPE.unpack(data)
+    return sequence, ValueType(kind)
+
+
+def visible(record: InternalRecord, snapshot_sequence: int) -> bool:
+    """Whether a snapshot taken at ``snapshot_sequence`` can see ``record``."""
+    return record.sequence <= snapshot_sequence
+
+
+@dataclass(frozen=True)
+class KeyRange:
+    """Inclusive key range covered by an SSTable file."""
+
+    smallest: bytes
+    largest: bytes
+
+    def contains(self, user_key: bytes) -> bool:
+        return self.smallest <= user_key <= self.largest
+
+    def overlaps(self, start: Optional[bytes], end: Optional[bytes]) -> bool:
+        """Overlap test against a [start, end) user-key range.
+
+        ``None`` bounds are unbounded on that side.
+        """
+        if end is not None and self.smallest >= end:
+            return False
+        if start is not None and self.largest < start:
+            return False
+        return True

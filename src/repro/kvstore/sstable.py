@@ -1,0 +1,254 @@
+"""SSTable writer and reader.
+
+On-disk layout::
+
+    [data block 0][data block 1]...[filter block][index block][footer]
+
+The index block maps each data block's *last* internal key to its file
+offset and size, so a point lookup binary-searches the index, reads one
+block (through the LRU cache), and binary-searches inside it.  The filter
+block is one bloom filter over every user key in the table.  The footer
+pins the index/filter locations and ends with a magic number.
+"""
+
+from __future__ import annotations
+
+import bisect
+import os
+import struct
+from dataclasses import dataclass
+from typing import Iterator, Optional
+
+from repro.errors import CorruptionError
+from repro.kvstore.block import Block, BlockBuilder
+from repro.kvstore.bloom import BloomFilter
+from repro.kvstore.cache import LRUCache
+from repro.kvstore.record import InternalRecord, record_sort_key
+from repro.kvstore.varint import decode_varint, encode_varint
+
+MAGIC = 0x4C616D626461_4F62  # "Lambda Ob"
+_FOOTER = struct.Struct(">QQQQQ")  # filter off/size, index off/size, magic
+TARGET_BLOCK_SIZE = 4096
+
+
+@dataclass(frozen=True)
+class _IndexEntry:
+    last_user_key: bytes
+    last_sequence: int
+    offset: int
+    size: int
+
+
+def _encode_index(entries: list[_IndexEntry]) -> bytes:
+    out = bytearray(encode_varint(len(entries)))
+    for entry in entries:
+        out += encode_varint(len(entry.last_user_key))
+        out += entry.last_user_key
+        out += struct.pack(">QQQ", entry.last_sequence, entry.offset, entry.size)
+    return bytes(out)
+
+
+def _decode_index(data: bytes) -> list[_IndexEntry]:
+    entries: list[_IndexEntry] = []
+    count, pos = decode_varint(data, 0)
+    for _ in range(count):
+        key_len, pos = decode_varint(data, pos)
+        key = bytes(data[pos : pos + key_len])
+        if len(key) != key_len:
+            raise CorruptionError("index entry truncated (key)")
+        pos += key_len
+        tail = data[pos : pos + 24]
+        if len(tail) != 24:
+            raise CorruptionError("index entry truncated (offsets)")
+        sequence, offset, size = struct.unpack(">QQQ", tail)
+        pos += 24
+        entries.append(_IndexEntry(key, sequence, offset, size))
+    if pos != len(data):
+        raise CorruptionError("index block has trailing garbage")
+    return entries
+
+
+class SSTableWriter:
+    """Builds one immutable sorted table from records in sort order."""
+
+    def __init__(self, path: str, bits_per_key: int = 10) -> None:
+        self._path = path
+        self._file = open(path, "wb")
+        self._block = BlockBuilder()
+        self._index: list[_IndexEntry] = []
+        self._keys: list[bytes] = []
+        self._offset = 0
+        self._last_record: Optional[InternalRecord] = None
+        self._first_record: Optional[InternalRecord] = None
+        self._bits_per_key = bits_per_key
+        self._count = 0
+
+    @property
+    def entry_count(self) -> int:
+        return self._count
+
+    def add(self, record: InternalRecord) -> None:
+        """Append one record; must be called in internal sort order."""
+        if self._last_record is not None and record.sort_key() <= self._last_record.sort_key():
+            raise CorruptionError(
+                f"records added out of order: {record.user_key!r} after "
+                f"{self._last_record.user_key!r}"
+            )
+        if self._first_record is None:
+            self._first_record = record
+        self._block.add(record)
+        self._keys.append(record.user_key)
+        self._last_record = record
+        self._count += 1
+        if self._block.size_estimate >= TARGET_BLOCK_SIZE:
+            self._flush_block()
+
+    def _flush_block(self) -> None:
+        if not len(self._block):
+            return
+        data = self._block.finish()
+        assert self._last_record is not None
+        self._index.append(
+            _IndexEntry(
+                self._last_record.user_key,
+                self._last_record.sequence,
+                self._offset,
+                len(data),
+            )
+        )
+        self._file.write(data)
+        self._offset += len(data)
+        self._block.reset()
+
+    def abandon(self) -> None:
+        """Discard the partially written table and remove its file."""
+        self._file.close()
+        os.remove(self._path)
+
+    def finish(self) -> "TableMeta":
+        """Flush remaining data, write filter/index/footer, close the file."""
+        if self._first_record is None:
+            self._file.close()
+            os.remove(self._path)
+            raise CorruptionError("refusing to write an empty SSTable")
+        self._flush_block()
+
+        filter_data = BloomFilter.build(self._keys, self._bits_per_key).encode()
+        filter_offset = self._offset
+        self._file.write(filter_data)
+        self._offset += len(filter_data)
+
+        index_data = _encode_index(self._index)
+        index_offset = self._offset
+        self._file.write(index_data)
+        self._offset += len(index_data)
+
+        self._file.write(
+            _FOOTER.pack(filter_offset, len(filter_data), index_offset, len(index_data), MAGIC)
+        )
+        self._file.flush()
+        os.fsync(self._file.fileno())
+        self._file.close()
+
+        assert self._last_record is not None
+        return TableMeta(
+            path=self._path,
+            smallest=self._first_record.user_key,
+            largest=self._last_record.user_key,
+            size_bytes=self._offset + _FOOTER.size,
+            entry_count=self._count,
+        )
+
+
+@dataclass(frozen=True)
+class TableMeta:
+    """Summary of a finished table, recorded in the version manifest."""
+
+    path: str
+    smallest: bytes
+    largest: bytes
+    size_bytes: int
+    entry_count: int
+
+
+class SSTableReader:
+    """Random and sequential access to one table file."""
+
+    def __init__(self, path: str, table_id: int, cache: Optional[LRUCache] = None) -> None:
+        self._path = path
+        self._table_id = table_id
+        self._cache = cache
+        self._file = open(path, "rb")
+        self._load_footer()
+
+    def _load_footer(self) -> None:
+        self._file.seek(0, os.SEEK_END)
+        file_size = self._file.tell()
+        if file_size < _FOOTER.size:
+            raise CorruptionError(f"{self._path}: file shorter than footer")
+        self._file.seek(file_size - _FOOTER.size)
+        filter_off, filter_size, index_off, index_size, magic = _FOOTER.unpack(
+            self._file.read(_FOOTER.size)
+        )
+        if magic != MAGIC:
+            raise CorruptionError(f"{self._path}: bad magic number")
+        self._file.seek(filter_off)
+        self._filter = BloomFilter.decode(self._file.read(filter_size))
+        self._file.seek(index_off)
+        self._index = _decode_index(self._file.read(index_size))
+        self._index_keys = [record_sort_key(e.last_user_key, e.last_sequence) for e in self._index]
+
+    def close(self) -> None:
+        self._file.close()
+
+    # -- block access ----------------------------------------------------
+
+    def _read_block(self, entry: _IndexEntry) -> Block:
+        cache_key = (self._table_id, entry.offset)
+        if self._cache is not None:
+            cached = self._cache.get(cache_key)
+            if cached is not None:
+                return cached
+        self._file.seek(entry.offset)
+        block = Block.decode(self._file.read(entry.size))
+        if self._cache is not None:
+            self._cache.put(cache_key, block, charge=entry.size)
+        return block
+
+    # -- reads ------------------------------------------------------------
+
+    def may_contain(self, user_key: bytes) -> bool:
+        """Bloom-filter membership check (no I/O beyond the loaded filter)."""
+        return self._filter.may_contain(user_key)
+
+    def get(self, user_key: bytes, sequence: int) -> Optional[InternalRecord]:
+        """Newest record for ``user_key`` visible at ``sequence``, if any."""
+        if not self._filter.may_contain(user_key):
+            return None
+        probe = record_sort_key(user_key, sequence)
+        block_index = bisect.bisect_left(self._index_keys, probe)
+        if block_index >= len(self._index):
+            return None
+        record = self._read_block(self._index[block_index]).get(user_key, sequence)
+        if record is not None:
+            return record
+        # The visible version may start in the next block when the probe key
+        # equals a block's last key exactly.
+        if block_index + 1 < len(self._index):
+            return self._read_block(self._index[block_index + 1]).get(user_key, sequence)
+        return None
+
+    def __iter__(self) -> Iterator[InternalRecord]:
+        for entry in self._index:
+            yield from self._read_block(entry)
+
+    def iterate_from(self, user_key: bytes, sequence: int) -> Iterator[InternalRecord]:
+        """Records at/after ``(user_key, sequence)`` in sort order."""
+        probe = record_sort_key(user_key, sequence)
+        block_index = bisect.bisect_left(self._index_keys, probe)
+        if block_index >= len(self._index):
+            return
+        block = self._read_block(self._index[block_index])
+        yield from block.records_from(block.seek(user_key, sequence))
+        for entry in self._index[block_index + 1 :]:
+            yield from self._read_block(entry)

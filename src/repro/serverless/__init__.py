@@ -1,0 +1,29 @@
+"""The conventional (disaggregated) serverless baseline (paper §4.1, §5).
+
+Functions execute on dedicated *compute* nodes inside a container pool
+(cold starts and all); every storage access crosses the network to a
+separate storage replica set, which reuses the same in-memory backend the
+prototype's storage layer uses ("the baseline uses our prototype as its
+storage layer" — §5).  An optional OpenWhisk-style front door (load
+balancer + Kafka-like durable request log) models the full architecture
+of §4.1; the paper's own measurements bypass it, as do the fig1/fig2
+configurations here.
+
+The baseline provides **no consistency guarantees**: writes land at the
+storage primary and propagate to replicas asynchronously, reads may hit
+any replica, and there is no per-object scheduling.
+"""
+
+from repro.serverless.container import ContainerPool
+from repro.serverless.platform import ServerlessConfig, ServerlessPlatform
+from repro.serverless.client import SimpleClient
+from repro.serverless.storage_client import RecordingStorage, StorageOp
+
+__all__ = [
+    "ContainerPool",
+    "RecordingStorage",
+    "ServerlessConfig",
+    "ServerlessPlatform",
+    "SimpleClient",
+    "StorageOp",
+]

@@ -1,0 +1,65 @@
+"""A simple client for the baseline platform (no epochs, no routing)."""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.cluster.messages import ClientReply, ClientRequest
+from repro.core.ids import ObjectId
+from repro.errors import RequestTimeout
+
+
+class SimpleClient:
+    """Sends invocations to a fixed entry point and awaits replies."""
+
+    def __init__(self, platform: Any, name: str, request_timeout_ms: float = 1_000.0) -> None:
+        self.platform = platform
+        self.sim = platform.sim
+        self.net = platform.net
+        self.name = name
+        self.host = platform.net.add_host(name)
+        self._counter = 0
+        self._timeout = request_timeout_ms
+        self.completions: list[tuple[float, str]] = []
+        self._mail: list[Any] = []
+        self._mail_signal = None
+        self.sim.process(self._pump(), name=f"{name}.pump")
+
+    def _pump(self):
+        while True:
+            message = yield self.host.recv()
+            self._mail.append(message.payload)
+            if self._mail_signal is not None and not self._mail_signal.triggered:
+                self._mail_signal.succeed()
+
+    def invoke(self, object_id: ObjectId, method: str, *args: Any):
+        """Simulation process: invoke and return the function's value."""
+        self._counter += 1
+        request_id = f"{self.name}#{self._counter}"
+        started = self.sim.now
+        request = ClientRequest(
+            request_id=request_id,
+            client=self.name,
+            object_id=object_id,
+            method=method,
+            args=args,
+            epoch=0,
+        )
+        target = self.platform.entry_point()
+        self.net.send(self.name, target, request, size_bytes=request.size())
+
+        deadline = self.sim.now + self._timeout
+        while True:
+            for index, payload in enumerate(self._mail):
+                if isinstance(payload, ClientReply) and payload.request_id == request_id:
+                    del self._mail[index]
+                    if not payload.ok:
+                        raise RequestTimeout(f"{method} failed: {payload.error}")
+                    self.completions.append((self.sim.now - started, method))
+                    return payload.value
+            self._mail.clear()
+            remaining = deadline - self.sim.now
+            if remaining <= 0:
+                raise RequestTimeout(f"{method} on {object_id.short} timed out")
+            self._mail_signal = self.sim.event()
+            yield self.sim.any_of([self._mail_signal, self.sim.timeout(remaining)])

@@ -1,0 +1,155 @@
+"""Compute nodes: where baseline functions execute, far from their data.
+
+Each invocation: acquire a container (cold/warm), execute the function,
+charge CPU for its metered fuel, then replay every recorded storage
+operation as a network round trip to the storage replica set — request
+latency, storage-side CPU under contention, response latency.  Nested
+function calls execute on the same compute node (as in the paper's
+evaluation, which has no load balancer) but pay a per-dispatch overhead.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.runtime import LocalRuntime
+from repro.cluster.messages import ClientReply, ClientRequest
+from repro.errors import InvocationError, UnknownObjectError
+from repro.serverless.container import ContainerPool
+from repro.serverless.storage_client import RecordingStorage, StorageOp
+from repro.sim.core import Simulation
+from repro.sim.network import Network
+from repro.sim.resources import Resource
+
+
+@dataclass
+class ComputeStats:
+    """Per-compute-node counters."""
+
+    requests: int = 0
+    failed: int = 0
+    storage_round_trips: int = 0
+    busy_ms: float = 0.0
+
+
+class BaselineStorageNode:
+    """A storage replica in the baseline: a backend plus a CPU to contend on."""
+
+    def __init__(self, sim: Simulation, name: str, cores: int, ms_per_fuel: float) -> None:
+        self.sim = sim
+        self.name = name
+        self.cpu = Resource(sim, cores)
+        self.ms_per_fuel = ms_per_fuel
+        from repro.core.storage import MemoryBackend
+
+        self.backend = MemoryBackend()
+        self.busy_ms = 0.0
+
+    def serve_op(self, op: StorageOp):
+        """Simulation process: storage-side handling of one operation."""
+        yield self.cpu.request()
+        started = self.sim.now
+        try:
+            yield self.sim.timeout(op.fuel * self.ms_per_fuel)
+        finally:
+            self.busy_ms += self.sim.now - started
+            self.cpu.release()
+
+
+class ComputeNode:
+    """One stateless function-execution node."""
+
+    def __init__(
+        self,
+        sim: Simulation,
+        net: Network,
+        platform,
+        name: str,
+        storage_nodes: list[BaselineStorageNode],
+        cores: int = 20,
+        ms_per_fuel: float = 0.005,
+        container_pool: ContainerPool | None = None,
+        read_from_any_replica: bool = True,
+        dispatch_overhead_fuel: float = 300.0,
+    ) -> None:
+        self.sim = sim
+        self.net = net
+        self.platform = platform
+        self.name = name
+        self.host = net.add_host(name)
+        self.cpu = Resource(sim, cores)
+        self.pool = container_pool or ContainerPool(sim)
+        self.storage_nodes = storage_nodes
+        self.ms_per_fuel = ms_per_fuel
+        self._read_any = read_from_any_replica
+        self._dispatch_overhead = dispatch_overhead_fuel
+        self._rng = sim.rng(f"{name}.routing")
+        self.storage = RecordingStorage(
+            [node.backend for node in storage_nodes], costs=platform.costs
+        )
+        self.runtime = LocalRuntime(
+            storage=self.storage,
+            clock=lambda: sim.now,
+            enable_cache=False,  # conventional serverless: no consistent cache
+            costs=platform.costs,
+        )
+        self.stats = ComputeStats()
+
+    def start(self) -> None:
+        self.sim.process(self._serve(), name=f"{self.name}.serve")
+
+    def _serve(self):
+        while True:
+            message = (yield self.host.recv()).payload
+            if isinstance(message, ClientRequest):
+                self.sim.process(self._handle(message), name=f"{self.name}.req")
+
+    def _handle(self, request: ClientRequest):
+        self.stats.requests += 1
+        yield from self.pool.acquire()
+        try:
+            # Execute the function; its storage accesses are recorded.
+            trace = self.storage.begin_trace()
+            try:
+                result = self.runtime.invoke_detailed(
+                    request.object_id, request.method, *request.args
+                )
+            except (InvocationError, UnknownObjectError) as error:
+                self.stats.failed += 1
+                reply = ClientReply(request.request_id, False, error=str(error))
+                self.net.send(self.name, request.client, reply, size_bytes=reply.size())
+                return
+            finally:
+                self.storage.end_trace()
+
+            # CPU time: function bodies plus per-invocation dispatch
+            # overhead (every nested call is its own serverless dispatch).
+            total_fuel = result.total_fuel() + self._dispatch_overhead * result.total_invocations()
+            yield self.cpu.request()
+            started = self.sim.now
+            try:
+                yield self.sim.timeout(total_fuel * self.ms_per_fuel)
+            finally:
+                self.stats.busy_ms += self.sim.now - started
+                self.cpu.release()
+
+            # Replay each storage access as a round trip.
+            for op in trace:
+                yield from self._storage_round_trip(op)
+
+            reply = ClientReply(request.request_id, True, value=result.value)
+            self.net.send(self.name, request.client, reply, size_bytes=reply.size())
+        finally:
+            self.pool.release()
+
+    def _storage_round_trip(self, op: StorageOp):
+        self.stats.storage_round_trips += 1
+        if op.replica_ok and self._read_any:
+            target = self._rng.choice(self.storage_nodes)
+        else:
+            target = self.storage_nodes[0]  # the primary
+        latency = self.net.latency
+        rng = self._rng
+        yield self.sim.timeout(latency.sample(rng) + op.size_bytes / (1250 * 1000))
+        yield from target.serve_op(op)
+        yield self.sim.timeout(latency.sample(rng))

@@ -1,0 +1,186 @@
+"""Assembly of the disaggregated baseline platform."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Iterable, Optional
+
+from repro.core.ids import ObjectId
+from repro.core.object_type import ObjectType
+from repro.core.runtime import LocalRuntime
+from repro.serverless.client import SimpleClient
+from repro.serverless.compute_node import BaselineStorageNode, ComputeNode
+from repro.serverless.container import ContainerPool
+from repro.serverless.gateway import Gateway
+from repro.serverless.request_log import DurableRequestLog
+from repro.serverless.storage_client import RecordingStorage
+from repro.sim.core import Simulation
+from repro.sim.network import LogNormalLatency, Network
+from repro.wasm.host_api import OpCosts
+
+
+@dataclass
+class ServerlessConfig:
+    """Shape of the baseline deployment.
+
+    Defaults mirror the paper's evaluation: one compute machine, three
+    storage machines, same cluster network, no load balancer (§5).  The
+    cost model constants intentionally match
+    :class:`repro.cluster.ClusterConfig` so the comparison is fair.
+    """
+
+    num_compute_nodes: int = 1
+    num_storage_nodes: int = 3
+    cores_per_compute_node: int = 20
+    cores_per_storage_node: int = 20
+    container_pool_size: int = 120
+    cold_start_ms: float = 120.0
+    warm_start_ms: float = 0.3
+    keepalive_ms: float = 60_000.0
+    prewarm: bool = True
+    ms_per_fuel: float = 0.005
+    net_median_ms: float = 0.08
+    net_sigma: float = 0.3
+    net_cap_ms: float = 2.0
+    bandwidth_mbps: float = 10_000.0
+    read_from_any_replica: bool = True
+    use_gateway: bool = False
+    log_replicas: int = 3
+    #: compute-side fuel charged per function invocation (top-level or
+    #: nested) for serverless dispatch work: scheduling, container hand-off,
+    #: argument marshalling.  This is the §2.1 overhead that co-location
+    #: avoids; the aggregated variant's equivalent is the (much smaller)
+    #: wasm call_base cost.
+    dispatch_overhead_fuel: float = 300.0
+    seed: int = 0
+
+
+class ServerlessPlatform:
+    """A complete simulated conventional-serverless deployment."""
+
+    def __init__(self, sim: Simulation, config: Optional[ServerlessConfig] = None) -> None:
+        self.sim = sim
+        self.config = config or ServerlessConfig()
+        self.net = Network(
+            sim,
+            latency=LogNormalLatency(
+                self.config.net_median_ms,
+                sigma=self.config.net_sigma,
+                cap_ms=self.config.net_cap_ms,
+            ),
+            bandwidth_mbps=self.config.bandwidth_mbps,
+        )
+        self.costs = OpCosts()
+        self._id_rng = sim.rng("serverless.ids")
+
+        self.storage_nodes = [
+            BaselineStorageNode(
+                sim,
+                f"storage-{i}",
+                cores=self.config.cores_per_storage_node,
+                ms_per_fuel=self.config.ms_per_fuel,
+            )
+            for i in range(self.config.num_storage_nodes)
+        ]
+
+        self.compute_nodes: list[ComputeNode] = []
+        for i in range(self.config.num_compute_nodes):
+            pool = ContainerPool(
+                sim,
+                capacity=self.config.container_pool_size,
+                cold_start_ms=self.config.cold_start_ms,
+                warm_start_ms=self.config.warm_start_ms,
+                keepalive_ms=self.config.keepalive_ms,
+            )
+            if self.config.prewarm:
+                pool.prewarm(self.config.container_pool_size)
+            self.compute_nodes.append(
+                ComputeNode(
+                    sim,
+                    self.net,
+                    platform=self,
+                    name=f"compute-{i}",
+                    storage_nodes=self.storage_nodes,
+                    cores=self.config.cores_per_compute_node,
+                    ms_per_fuel=self.config.ms_per_fuel,
+                    container_pool=pool,
+                    read_from_any_replica=self.config.read_from_any_replica,
+                    dispatch_overhead_fuel=self.config.dispatch_overhead_fuel,
+                )
+            )
+
+        self.gateway: Optional[Gateway] = None
+        if self.config.use_gateway:
+            log = DurableRequestLog(
+                sim, self.net.latency, num_replicas=self.config.log_replicas
+            )
+            self.gateway = Gateway(
+                sim,
+                self.net,
+                "gateway",
+                [node.name for node in self.compute_nodes],
+                log,
+            )
+
+        # Setup-time runtime writing to every storage replica directly.
+        self._setup_storage = RecordingStorage(
+            [node.backend for node in self.storage_nodes], costs=self.costs
+        )
+        self._setup_runtime = LocalRuntime(
+            storage=self._setup_storage, enable_cache=False, costs=self.costs
+        )
+        self._next_compute = 0
+        self._started = False
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def start(self) -> None:
+        if self._started:
+            return
+        self._started = True
+        for node in self.compute_nodes:
+            node.start()
+        if self.gateway is not None:
+            self.gateway.start()
+
+    def entry_point(self) -> str:
+        """Where clients send requests: the gateway, or a compute node
+        round-robin (the paper's setup contacts executing nodes directly)."""
+        if self.gateway is not None:
+            return self.gateway.name
+        node = self.compute_nodes[self._next_compute % len(self.compute_nodes)]
+        self._next_compute += 1
+        return node.name
+
+    # -- types and objects ---------------------------------------------------
+
+    def register_type(self, object_type: ObjectType) -> None:
+        self._setup_runtime.register_type(object_type)
+        for node in self.compute_nodes:
+            node.runtime.register_type(object_type)
+
+    def register_types(self, object_types: Iterable[ObjectType]) -> None:
+        for object_type in object_types:
+            self.register_type(object_type)
+
+    def create_object(
+        self,
+        type_name: str,
+        object_id: Optional[ObjectId] = None,
+        initial: Optional[dict[str, Any]] = None,
+    ) -> ObjectId:
+        """Create an object in the storage layer (setup-time operation)."""
+        oid = object_id if object_id is not None else ObjectId.generate(self._id_rng)
+        self._setup_runtime.create_object(type_name, object_id=oid, initial=initial)
+        return oid
+
+    # -- clients -----------------------------------------------------------
+
+    def client(self, name: str, **kwargs: Any) -> SimpleClient:
+        return SimpleClient(self, name, **kwargs)
+
+    def run_invoke(self, client: SimpleClient, object_id: ObjectId, method: str, *args: Any):
+        """Convenience for tests: run the sim until one invocation completes."""
+        self.start()
+        process = self.sim.process(client.invoke(object_id, method, *args))
+        return self.sim.run_until_triggered(process, limit=self.sim.now + 600_000)

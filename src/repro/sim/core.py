@@ -1,0 +1,126 @@
+"""The simulation core: clock + scheduler + process factory."""
+
+from __future__ import annotations
+
+import heapq
+import random
+from typing import Any, Callable, Generator, Iterable, Optional
+
+from repro.errors import SimulationError
+from repro.sim.events import AllOf, AnyOf, Event
+from repro.sim.process import Process
+from repro.sim.rand import RandomStreams
+
+
+class Simulation:
+    """A deterministic discrete-event simulation.
+
+    Time is a float in **milliseconds** by convention throughout this
+    repository (network latencies and CPU costs are all expressed in ms).
+    """
+
+    def __init__(self, seed: int = 0) -> None:
+        self._now = 0.0
+        self._queue: list[tuple[float, int, Callable[[], None]]] = []
+        self._seq = 0
+        self._streams = RandomStreams(seed)
+        self._running = False
+
+    # -- time --------------------------------------------------------------
+
+    @property
+    def now(self) -> float:
+        """Current simulated time in milliseconds."""
+        return self._now
+
+    def rng(self, name: str) -> random.Random:
+        """The named deterministic PRNG stream for a component."""
+        return self._streams.stream(name)
+
+    # -- scheduling ----------------------------------------------------------
+
+    def _schedule(self, delay: float, fn: Callable[[], None]) -> None:
+        if delay < 0:
+            raise SimulationError(f"cannot schedule in the past (delay={delay})")
+        self._seq += 1
+        heapq.heappush(self._queue, (self._now + delay, self._seq, fn))
+
+    def _schedule_now(self, fn: Callable[[], None]) -> None:
+        self._schedule(0.0, fn)
+
+    # -- event factories -----------------------------------------------------
+
+    def event(self, name: str = "") -> Event:
+        """A fresh untriggered event."""
+        return Event(self, name=name)
+
+    def timeout(self, delay: float, value: Any = None) -> Event:
+        """An event that succeeds ``delay`` ms from now with ``value``."""
+        event = Event(self, name=f"timeout({delay})")
+        self._schedule(delay, lambda: event.succeed(value))
+        return event
+
+    def process(self, generator: Generator[Event, Any, Any], name: str = "") -> Process:
+        """Start a new process from ``generator`` at the current instant."""
+        return Process(self, generator, name=name)
+
+    def all_of(self, events: Iterable[Event]) -> AllOf:
+        """Event that succeeds once every event in ``events`` has."""
+        return AllOf(self, events)
+
+    def any_of(self, events: Iterable[Event]) -> AnyOf:
+        """Event that succeeds once the first event in ``events`` has."""
+        return AnyOf(self, events)
+
+    # -- running ---------------------------------------------------------
+
+    def run(self, until: Optional[float] = None) -> float:
+        """Run scheduled work; return the final simulated time.
+
+        With ``until`` set, the clock advances to exactly ``until`` and any
+        work scheduled later stays queued.  Without it, runs until the event
+        queue drains.
+        """
+        if self._running:
+            raise SimulationError("simulation is already running (re-entrant run())")
+        self._running = True
+        try:
+            while self._queue:
+                when, _seq, fn = self._queue[0]
+                if until is not None and when > until:
+                    break
+                heapq.heappop(self._queue)
+                self._now = when
+                fn()
+            if until is not None and until > self._now:
+                self._now = until
+        finally:
+            self._running = False
+        return self._now
+
+    def run_until_triggered(self, event: Event, limit: float = float("inf")) -> Any:
+        """Run until ``event`` triggers; return its value (raising failures).
+
+        ``limit`` bounds simulated time to guard against livelock; exceeding
+        it raises :class:`SimulationError`.
+        """
+        if self._running:
+            raise SimulationError("simulation is already running (re-entrant run())")
+        self._running = True
+        try:
+            while not event.triggered:
+                if not self._queue:
+                    raise SimulationError(
+                        "deadlock: event queue drained before target event triggered"
+                    )
+                when, _seq, fn = heapq.heappop(self._queue)
+                if when > limit:
+                    raise SimulationError(f"simulated time limit {limit} ms exceeded")
+                self._now = when
+                fn()
+        finally:
+            self._running = False
+        if event.ok:
+            return event.value
+        event._defused = True
+        raise event.value

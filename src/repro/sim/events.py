@@ -1,0 +1,150 @@
+"""Events: the unit of synchronisation in the simulation.
+
+An :class:`Event` starts *pending*, is triggered exactly once (either
+``succeed`` or ``fail``), and then notifies its callbacks.  Processes yield
+events to suspend until they trigger.  :class:`AllOf` / :class:`AnyOf`
+combine events.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterable, Optional
+
+from repro.errors import SimulationError
+
+_PENDING = object()
+
+
+class Event:
+    """A one-shot event owned by a :class:`~repro.sim.core.Simulation`."""
+
+    def __init__(self, sim: "Any", name: str = "") -> None:
+        self._sim = sim
+        self._name = name
+        self._value: Any = _PENDING
+        self._ok: Optional[bool] = None
+        self._callbacks: list[Callable[[Event], None]] = []
+        #: set True when a failure was consumed (so unhandled failures can
+        #: be detected by the loop if desired)
+        self._defused = False
+
+    # -- state ----------------------------------------------------------
+
+    @property
+    def triggered(self) -> bool:
+        """Whether the event already succeeded or failed."""
+        return self._value is not _PENDING
+
+    @property
+    def ok(self) -> bool:
+        """Whether the event succeeded.  Only valid once triggered."""
+        if self._ok is None:
+            raise SimulationError(f"event {self!r} not yet triggered")
+        return self._ok
+
+    @property
+    def value(self) -> Any:
+        """The success value or failure exception carried by the event."""
+        if self._value is _PENDING:
+            raise SimulationError(f"event {self!r} not yet triggered")
+        return self._value
+
+    # -- triggering -----------------------------------------------------
+
+    def succeed(self, value: Any = None) -> "Event":
+        """Trigger the event successfully, delivering ``value``."""
+        self._trigger(True, value)
+        return self
+
+    def fail(self, exception: BaseException) -> "Event":
+        """Trigger the event with a failure, delivering ``exception``."""
+        if not isinstance(exception, BaseException):
+            raise TypeError(f"fail() needs an exception, got {exception!r}")
+        self._trigger(False, exception)
+        return self
+
+    def _trigger(self, ok: bool, value: Any) -> None:
+        if self.triggered:
+            raise SimulationError(f"event {self!r} triggered twice")
+        self._ok = ok
+        self._value = value
+        # Callbacks run at the *current* simulated instant, but through the
+        # scheduler so triggering is re-entrancy safe.
+        self._sim._schedule_now(self._dispatch)
+
+    def _dispatch(self) -> None:
+        callbacks, self._callbacks = self._callbacks, []
+        for callback in callbacks:
+            callback(self)
+
+    # -- waiting --------------------------------------------------------
+
+    def add_callback(self, callback: Callable[["Event"], None]) -> None:
+        """Run ``callback(event)`` once the event triggers.
+
+        If the event already triggered, the callback runs at the current
+        instant (still via the scheduler, preserving FIFO ordering).
+        """
+        if self.triggered and not self._callbacks:
+            self._sim._schedule_now(lambda: callback(self))
+        else:
+            self._callbacks.append(callback)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        state = "pending"
+        if self.triggered:
+            state = "ok" if self._ok else "failed"
+        label = f" {self._name}" if self._name else ""
+        return f"<Event{label} {state}>"
+
+
+class _Condition(Event):
+    """Base for events that trigger based on a set of child events."""
+
+    def __init__(self, sim: Any, events: Iterable[Event]) -> None:
+        super().__init__(sim)
+        self._events = list(events)
+        self._results: dict[Event, Any] = {}
+        if not self._events:
+            self.succeed({})
+            return
+        for event in self._events:
+            event.add_callback(self._on_child)
+
+    def _on_child(self, event: Event) -> None:
+        raise NotImplementedError
+
+
+class AllOf(_Condition):
+    """Succeeds when every child succeeds; fails on the first child failure.
+
+    The success value is a dict mapping each child event to its value.
+    """
+
+    def _on_child(self, event: Event) -> None:
+        if self.triggered:
+            return
+        if not event.ok:
+            event._defused = True
+            self.fail(event.value)
+            return
+        self._results[event] = event.value
+        if len(self._results) == len(self._events):
+            self.succeed(dict(self._results))
+
+
+class AnyOf(_Condition):
+    """Succeeds when the first child succeeds; fails if the first child
+    to trigger failed.
+
+    The success value is a dict with the (single) triggering event.
+    """
+
+    def _on_child(self, event: Event) -> None:
+        if self.triggered:
+            return
+        if not event.ok:
+            event._defused = True
+            self.fail(event.value)
+            return
+        self.succeed({event: event.value})

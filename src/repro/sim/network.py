@@ -1,0 +1,222 @@
+"""Message-passing network between simulated hosts.
+
+The network delivers opaque payloads between named hosts after a sampled
+latency plus a serialisation cost proportional to message size.  Failure
+injection (message drops, partitions, host crashes) hooks in here so the
+distributed protocols above can be tested under adversity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional
+
+from repro.errors import SimulationError
+from repro.sim.core import Simulation
+from repro.sim.events import Event
+from repro.sim.resources import Store
+
+
+class LatencyModel:
+    """Samples one-way message latencies in milliseconds."""
+
+    def sample(self, rng: Any) -> float:
+        raise NotImplementedError
+
+
+class ConstantLatency(LatencyModel):
+    """Always the same latency; ideal for analytic sanity checks."""
+
+    def __init__(self, latency_ms: float) -> None:
+        if latency_ms < 0:
+            raise SimulationError(f"latency must be >= 0, got {latency_ms}")
+        self.latency_ms = latency_ms
+
+    def sample(self, rng: Any) -> float:
+        return self.latency_ms
+
+
+class UniformLatency(LatencyModel):
+    """Uniformly distributed latency in ``[low_ms, high_ms]``."""
+
+    def __init__(self, low_ms: float, high_ms: float) -> None:
+        if not 0 <= low_ms <= high_ms:
+            raise SimulationError(f"bad uniform latency range [{low_ms}, {high_ms}]")
+        self.low_ms = low_ms
+        self.high_ms = high_ms
+
+    def sample(self, rng: Any) -> float:
+        return rng.uniform(self.low_ms, self.high_ms)
+
+
+class LogNormalLatency(LatencyModel):
+    """Log-normally distributed latency — a heavy-ish tail like real LANs.
+
+    Parameterised by the median and a shape ``sigma``; an optional cap
+    bounds pathological samples.
+    """
+
+    def __init__(self, median_ms: float, sigma: float = 0.25, cap_ms: Optional[float] = None) -> None:
+        import math
+
+        if median_ms <= 0:
+            raise SimulationError(f"median latency must be > 0, got {median_ms}")
+        self._mu = math.log(median_ms)
+        self._sigma = sigma
+        self._cap = cap_ms
+
+    def sample(self, rng: Any) -> float:
+        value = rng.lognormvariate(self._mu, self._sigma)
+        if self._cap is not None:
+            value = min(value, self._cap)
+        return value
+
+
+@dataclass
+class Message:
+    """An in-flight network message."""
+
+    src: str
+    dst: str
+    payload: Any
+    size_bytes: int = 0
+    sent_at: float = 0.0
+
+
+@dataclass
+class NetworkStats:
+    """Counters the benchmarks read after a run."""
+
+    messages_sent: int = 0
+    messages_delivered: int = 0
+    messages_dropped: int = 0
+    bytes_sent: int = 0
+    per_link: dict = field(default_factory=dict)
+
+
+class NetworkHost:
+    """A named endpoint with an inbox mailbox."""
+
+    def __init__(self, sim: Simulation, name: str) -> None:
+        self.sim = sim
+        self.name = name
+        self.inbox: Store = Store(sim)
+        self.crashed = False
+
+    def recv(self) -> Event:
+        """Event yielding the next inbound :class:`Message`."""
+        return self.inbox.get()
+
+
+class Network:
+    """Connects hosts, applying latency, bandwidth, and failure injection."""
+
+    def __init__(
+        self,
+        sim: Simulation,
+        latency: LatencyModel | None = None,
+        bandwidth_mbps: float = 10_000.0,
+        rng_name: str = "network",
+    ) -> None:
+        self.sim = sim
+        self.latency = latency or ConstantLatency(0.05)
+        #: bytes transferred per millisecond
+        self._bytes_per_ms = bandwidth_mbps * 1e6 / 8 / 1000
+        self._rng = sim.rng(rng_name)
+        self._hosts: dict[str, NetworkHost] = {}
+        self.stats = NetworkStats()
+        #: probability a message is silently dropped (failure injection)
+        self.drop_probability = 0.0
+        #: pairs (src, dst) that cannot communicate (directional)
+        self._partitions: set[tuple[str, str]] = set()
+        #: optional tap invoked for each sent message (tracing)
+        self.tap: Optional[Callable[[Message], None]] = None
+
+    # -- membership -------------------------------------------------------
+
+    def add_host(self, name: str) -> NetworkHost:
+        """Register a new host; names are unique."""
+        if name in self._hosts:
+            raise SimulationError(f"duplicate host name {name!r}")
+        host = NetworkHost(self.sim, name)
+        self._hosts[name] = host
+        return host
+
+    def host(self, name: str) -> NetworkHost:
+        """Look up a registered host by name."""
+        try:
+            return self._hosts[name]
+        except KeyError:
+            raise SimulationError(f"unknown host {name!r}") from None
+
+    def hosts(self) -> list[str]:
+        """All registered host names."""
+        return list(self._hosts)
+
+    # -- failure injection --------------------------------------------------
+
+    def crash(self, name: str) -> None:
+        """Crash a host: its inbox stops receiving and sends are dropped."""
+        self.host(name).crashed = True
+
+    def recover(self, name: str) -> None:
+        """Bring a crashed host back (its inbox resumes receiving)."""
+        self.host(name).crashed = False
+
+    def partition(self, group_a: list[str], group_b: list[str]) -> None:
+        """Cut bidirectional connectivity between two groups of hosts."""
+        for a in group_a:
+            for b in group_b:
+                self._partitions.add((a, b))
+                self._partitions.add((b, a))
+
+    def heal(self) -> None:
+        """Remove all partitions."""
+        self._partitions.clear()
+
+    def is_partitioned(self, src: str, dst: str) -> bool:
+        """Whether messages from ``src`` to ``dst`` are currently cut."""
+        return (src, dst) in self._partitions
+
+    # -- transmission -----------------------------------------------------
+
+    def send(self, src: str, dst: str, payload: Any, size_bytes: int = 256) -> None:
+        """Send ``payload`` from ``src`` to ``dst``; delivery is async.
+
+        Messages between distinct hosts incur sampled latency plus a
+        serialisation delay for ``size_bytes``; loopback messages are
+        delivered after a negligible fixed cost.  Crashed or partitioned
+        endpoints silently eat messages, like a real datagram network.
+        """
+        src_host = self.host(src)
+        dst_host = self.host(dst)
+        message = Message(src, dst, payload, size_bytes, sent_at=self.sim.now)
+        self.stats.messages_sent += 1
+        self.stats.bytes_sent += size_bytes
+        link = (src, dst)
+        self.stats.per_link[link] = self.stats.per_link.get(link, 0) + 1
+        if self.tap is not None:
+            self.tap(message)
+
+        dropped = (
+            src_host.crashed
+            or self.is_partitioned(src, dst)
+            or (self.drop_probability > 0 and self._rng.random() < self.drop_probability)
+        )
+        if dropped:
+            self.stats.messages_dropped += 1
+            return
+
+        if src == dst:
+            delay = 0.001  # loopback: scheduling cost only
+        else:
+            delay = self.latency.sample(self._rng) + size_bytes / self._bytes_per_ms
+
+        def deliver() -> None:
+            if dst_host.crashed or self.is_partitioned(src, dst):
+                self.stats.messages_dropped += 1
+                return
+            self.stats.messages_delivered += 1
+            dst_host.inbox.put(message)
+
+        self.sim._schedule(delay, deliver)

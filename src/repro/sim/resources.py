@@ -1,0 +1,94 @@
+"""Shared resources for simulated processes.
+
+:class:`Resource` models a pool of identical slots (CPU cores, container
+slots) with FIFO admission.  :class:`Store` is an unbounded FIFO queue of
+items used for mailboxes: producers ``put`` immediately, consumers ``get``
+an event that triggers when an item is available.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any
+
+from repro.errors import SimulationError
+from repro.sim.events import Event
+
+
+class Resource:
+    """A pool of ``capacity`` identical slots with a FIFO wait queue."""
+
+    def __init__(self, sim: Any, capacity: int = 1) -> None:
+        if capacity < 1:
+            raise SimulationError(f"resource capacity must be >= 1, got {capacity}")
+        self._sim = sim
+        self.capacity = capacity
+        self._in_use = 0
+        self._waiting: deque[Event] = deque()
+
+    @property
+    def in_use(self) -> int:
+        """Number of currently held slots."""
+        return self._in_use
+
+    @property
+    def queue_length(self) -> int:
+        """Number of requests waiting for a slot."""
+        return len(self._waiting)
+
+    def request(self) -> Event:
+        """Return an event that succeeds once a slot is granted.
+
+        The holder must call :meth:`release` exactly once afterwards.
+        """
+        event = self._sim.event(name="resource.request")
+        if self._in_use < self.capacity:
+            self._in_use += 1
+            event.succeed()
+        else:
+            self._waiting.append(event)
+        return event
+
+    def release(self) -> None:
+        """Return one slot to the pool, waking the oldest waiter if any."""
+        if self._in_use <= 0:
+            raise SimulationError("release() without a matching request()")
+        if self._waiting:
+            # Hand the slot directly to the next waiter; _in_use unchanged.
+            self._waiting.popleft().succeed()
+        else:
+            self._in_use -= 1
+
+
+class Store:
+    """An unbounded FIFO queue of items with event-based consumption."""
+
+    def __init__(self, sim: Any) -> None:
+        self._sim = sim
+        self._items: deque[Any] = deque()
+        self._getters: deque[Event] = deque()
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def put(self, item: Any) -> None:
+        """Enqueue ``item``; wakes the oldest waiting consumer, if any."""
+        if self._getters:
+            self._getters.popleft().succeed(item)
+        else:
+            self._items.append(item)
+
+    def get(self) -> Event:
+        """Return an event that succeeds with the next item."""
+        event = self._sim.event(name="store.get")
+        if self._items:
+            event.succeed(self._items.popleft())
+        else:
+            self._getters.append(event)
+        return event
+
+    def drain(self) -> list[Any]:
+        """Remove and return all currently queued items (no waiting)."""
+        items = list(self._items)
+        self._items.clear()
+        return items

@@ -1,0 +1,41 @@
+"""Fuel metering: bounded computation for guest code."""
+
+from __future__ import annotations
+
+from repro.errors import FuelExhausted
+
+
+class FuelMeter:
+    """Counts abstract execution units and traps when the budget is gone.
+
+    One fuel unit corresponds loosely to "one cheap host operation"; the
+    cost table in :mod:`repro.wasm.host_api` assigns multiples.
+    """
+
+    #: budget meaning "no limit" — still counts usage for cost modelling
+    UNLIMITED = float("inf")
+
+    def __init__(self, budget: float = UNLIMITED) -> None:
+        if budget <= 0:
+            raise ValueError(f"fuel budget must be positive, got {budget}")
+        self._budget = budget
+        self._used = 0.0
+
+    @property
+    def used(self) -> float:
+        """Fuel consumed so far."""
+        return self._used
+
+    @property
+    def remaining(self) -> float:
+        return self._budget - self._used
+
+    def consume(self, units: float) -> None:
+        """Burn ``units`` fuel; raises :class:`FuelExhausted` past budget."""
+        if units < 0:
+            raise ValueError(f"cannot consume negative fuel ({units})")
+        self._used += units
+        if self._used > self._budget:
+            raise FuelExhausted(
+                f"fuel exhausted: used {self._used:.0f} of {self._budget:.0f}"
+            )

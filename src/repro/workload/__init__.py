@@ -1,0 +1,25 @@
+"""Workload generation and measurement.
+
+- :mod:`repro.workload.zipf` — skewed popularity sampling for the
+  follower graph and object selection;
+- :mod:`repro.workload.retwis_load` — the ReTwis dataset (10,000
+  accounts in the paper's setup) and the Post / GetTimeline / Follow
+  workload definitions of §5;
+- :mod:`repro.workload.clients` — closed-loop client processes;
+- :mod:`repro.workload.metrics` — latency/throughput collection with
+  warm-up trimming and percentiles.
+"""
+
+from repro.workload.clients import ClosedLoopDriver
+from repro.workload.metrics import LatencyRecorder, WorkloadReport
+from repro.workload.retwis_load import RetwisDataset, RetwisWorkload
+from repro.workload.zipf import ZipfSampler
+
+__all__ = [
+    "ClosedLoopDriver",
+    "LatencyRecorder",
+    "RetwisDataset",
+    "RetwisWorkload",
+    "WorkloadReport",
+    "ZipfSampler",
+]

@@ -1,0 +1,104 @@
+"""Latency and throughput measurement."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+
+def percentile(sorted_values: list[float], fraction: float) -> float:
+    """Nearest-rank percentile of an already-sorted list."""
+    if not sorted_values:
+        raise ValueError("percentile of empty data")
+    if not 0.0 <= fraction <= 1.0:
+        raise ValueError(f"fraction must be in [0, 1], got {fraction}")
+    index = min(len(sorted_values) - 1, max(0, round(fraction * (len(sorted_values) - 1))))
+    return sorted_values[index]
+
+
+@dataclass
+class WorkloadReport:
+    """Summary statistics for one (experiment, operation) series."""
+
+    operation: str
+    completed: int
+    duration_ms: float
+    latencies_ms: list[float] = field(repr=False, default_factory=list)
+
+    @property
+    def throughput_per_sec(self) -> float:
+        if self.duration_ms <= 0:
+            return 0.0
+        return self.completed / (self.duration_ms / 1000.0)
+
+    def latency(self, fraction: float) -> float:
+        return percentile(sorted(self.latencies_ms), fraction)
+
+    @property
+    def median_ms(self) -> float:
+        return self.latency(0.5)
+
+    @property
+    def p99_ms(self) -> float:
+        return self.latency(0.99)
+
+    @property
+    def mean_ms(self) -> float:
+        return sum(self.latencies_ms) / len(self.latencies_ms)
+
+    def to_row(self) -> dict[str, float]:
+        return {
+            "operation": self.operation,
+            "completed": self.completed,
+            "throughput_per_sec": round(self.throughput_per_sec, 1),
+            "median_ms": round(self.median_ms, 3),
+            "p99_ms": round(self.p99_ms, 3),
+            "mean_ms": round(self.mean_ms, 3),
+        }
+
+
+class LatencyRecorder:
+    """Collects per-operation completions with a warm-up cutoff.
+
+    Completions recorded before ``warmup_ms`` of simulated time are
+    discarded (cold caches, initial queue transients); the measurement
+    window for throughput starts there.
+    """
+
+    def __init__(self, warmup_ms: float = 0.0) -> None:
+        self.warmup_ms = warmup_ms
+        self._samples: dict[str, list[float]] = {}
+        self._started_at: Optional[float] = None
+        self._last_at = 0.0
+        self.discarded = 0
+
+    def record(self, now_ms: float, operation: str, latency_ms: float) -> None:
+        """Record one completed operation finishing at ``now_ms``."""
+        if now_ms < self.warmup_ms:
+            self.discarded += 1
+            return
+        if self._started_at is None:
+            self._started_at = self.warmup_ms
+        self._last_at = max(self._last_at, now_ms)
+        self._samples.setdefault(operation, []).append(latency_ms)
+
+    @property
+    def measured_duration_ms(self) -> float:
+        if self._started_at is None:
+            return 0.0
+        return self._last_at - self._started_at
+
+    def operations(self) -> list[str]:
+        return sorted(self._samples)
+
+    def report(self, operation: str, duration_ms: Optional[float] = None) -> WorkloadReport:
+        samples = self._samples.get(operation, [])
+        return WorkloadReport(
+            operation=operation,
+            completed=len(samples),
+            duration_ms=duration_ms if duration_ms is not None else self.measured_duration_ms,
+            latencies_ms=list(samples),
+        )
+
+    def reports(self, duration_ms: Optional[float] = None) -> dict[str, WorkloadReport]:
+        return {op: self.report(op, duration_ms) for op in self.operations()}

@@ -1,0 +1,166 @@
+"""The ReTwis dataset and workload mixes of the paper's evaluation (§5).
+
+"We set up 10,000 accounts and run up to 100 concurrent client requests
+for all workloads."  Three workloads:
+
+- **Post** — create a post and fan it out to every follower timeline;
+- **GetTimeline** — read-only: the newest posts of one user's timeline;
+- **Follow** — add a follower edge between two accounts.
+
+The follower graph is Zipf-skewed (a few celebrities hold most follower
+edges), which is what makes Post's fan-out cost heavy-tailed.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Any
+
+from repro.core.ids import ObjectId
+from repro.workload.zipf import ZipfSampler
+
+
+@dataclass
+class RetwisParams:
+    """Dataset shape parameters."""
+
+    num_accounts: int = 10_000
+    #: average number of accounts each user follows
+    avg_follows: int = 20
+    #: skew of the popularity distribution followers attach to
+    zipf_exponent: float = 1.0
+    #: timeline entries pre-seeded per account (so reads touch real data)
+    seed_posts_per_account: int = 10
+    seed: int = 0
+
+
+class RetwisDataset:
+    """Builds and remembers the account population on a platform.
+
+    ``platform`` is anything exposing ``register_type`` /
+    ``create_object`` — both the LambdaStore cluster and the serverless
+    baseline qualify, so the *same* dataset code drives both variants.
+    """
+
+    def __init__(self, params: RetwisParams | None = None) -> None:
+        self.params = params or RetwisParams()
+        self.accounts: list[ObjectId] = []
+        self._popularity = ZipfSampler(self.params.num_accounts, self.params.zipf_exponent)
+        self._rng = random.Random(self.params.seed)
+        #: follower count per account index (for fan-out analyses)
+        self.follower_counts: list[int] = []
+
+    def setup(self, platform: Any) -> None:
+        """Create every account with its follower edges and seed posts.
+
+        Graph construction happens in plain Python and lands as each
+        object's initial state — dataset loading is not part of any
+        measured experiment.
+        """
+        from repro.apps.retwis import user_type
+
+        platform.register_type(user_type())
+        params = self.params
+        self.accounts = [
+            ObjectId.from_name(f"retwis-user-{i}") for i in range(params.num_accounts)
+        ]
+
+        followers: list[dict[str, Any]] = [{} for _ in range(params.num_accounts)]
+        following: list[dict[str, Any]] = [{} for _ in range(params.num_accounts)]
+        for user_index in range(params.num_accounts):
+            for _ in range(params.avg_follows):
+                target = self._popularity.sample(self._rng)
+                if target == user_index:
+                    continue
+                followers[target][str(self.accounts[user_index])] = {"since": 0}
+                following[user_index][str(self.accounts[target])] = {"since": 0}
+
+        for index, oid in enumerate(self.accounts):
+            seed_posts = [
+                {"author": f"user-{index}", "time": -post, "text": f"seed post {post}"}
+                for post in range(params.seed_posts_per_account)
+            ]
+            platform.create_object(
+                "User",
+                object_id=oid,
+                initial={
+                    "name": f"user-{index}",
+                    "followers": followers[index],
+                    "following": following[index],
+                    "timeline": seed_posts,
+                    "posts": seed_posts,
+                },
+            )
+        self.follower_counts = [len(f) for f in followers]
+
+    # -- account selection ----------------------------------------------------
+
+    def uniform_account(self, rng: random.Random) -> ObjectId:
+        return self.accounts[rng.randrange(len(self.accounts))]
+
+    def popular_account(self, rng: random.Random) -> ObjectId:
+        return self.accounts[self._popularity.sample(rng)]
+
+    def mean_followers(self) -> float:
+        return sum(self.follower_counts) / len(self.follower_counts)
+
+
+class RetwisWorkload:
+    """Generates operations for one of the paper's three workloads."""
+
+    POST = "Post"
+    GET_TIMELINE = "GetTimeline"
+    FOLLOW = "Follow"
+    WORKLOADS = (POST, GET_TIMELINE, FOLLOW)
+
+    def __init__(self, dataset: RetwisDataset, name: str, timeline_limit: int = 10) -> None:
+        if name not in self.WORKLOADS:
+            raise ValueError(f"unknown workload {name!r}; pick one of {self.WORKLOADS}")
+        self.dataset = dataset
+        self.name = name
+        self.timeline_limit = timeline_limit
+        self._post_counter = 0
+
+    def next_operation(self, rng: random.Random) -> tuple[ObjectId, str, tuple]:
+        """The next ``(object id, method, args)`` for a client to issue."""
+        if self.name == self.POST:
+            self._post_counter += 1
+            author = self.dataset.uniform_account(rng)
+            return author, "create_post", (f"post #{self._post_counter}",)
+        if self.name == self.GET_TIMELINE:
+            reader = self.dataset.uniform_account(rng)
+            return reader, "get_timeline", (self.timeline_limit,)
+        follower = self.dataset.uniform_account(rng)
+        followee = self.dataset.popular_account(rng)
+        while followee == follower:
+            followee = self.dataset.popular_account(rng)
+        return follower, "follow", (followee,)
+
+
+class MixedRetwisWorkload:
+    """A weighted mix of the three workloads (e.g. a read-heavy feed with
+    a trickle of posts — the pattern that stresses cache invalidation)."""
+
+    def __init__(self, dataset: RetwisDataset, mix: dict[str, float], timeline_limit: int = 10):
+        if not mix:
+            raise ValueError("mix must name at least one workload")
+        total = sum(mix.values())
+        if total <= 0:
+            raise ValueError("mix weights must sum to a positive value")
+        self.dataset = dataset
+        self.name = "Mixed"
+        self._components: list[tuple[float, RetwisWorkload]] = []
+        cumulative = 0.0
+        for workload_name, weight in mix.items():
+            cumulative += weight / total
+            self._components.append(
+                (cumulative, RetwisWorkload(dataset, workload_name, timeline_limit))
+            )
+
+    def next_operation(self, rng: random.Random) -> tuple[ObjectId, str, tuple]:
+        draw = rng.random()
+        for boundary, workload in self._components:
+            if draw <= boundary:
+                return workload.next_operation(rng)
+        return self._components[-1][1].next_operation(rng)

@@ -1,0 +1,143 @@
+"""Tests for the auth service and the online-store composition."""
+
+import pytest
+
+from repro.apps.auth import auth_service_type
+from repro.apps.store import cart_type, product_type
+from repro.core import LocalRuntime
+from repro.errors import InvocationError
+
+
+@pytest.fixture()
+def rt():
+    runtime = LocalRuntime(seed=7)
+    runtime.register_types([auth_service_type(), product_type(), cart_type()])
+    return runtime
+
+
+@pytest.fixture()
+def auth(rt):
+    service = rt.create_object("AuthService")
+    assert rt.invoke(service, "register", "alice", "s3cret")
+    return service
+
+
+# -- auth -----------------------------------------------------------------
+
+
+def test_register_rejects_duplicates(rt, auth):
+    assert rt.invoke(auth, "register", "alice", "other") is False
+    assert rt.invoke(auth, "user_count") == 1
+
+
+def test_login_good_and_bad_password(rt, auth):
+    assert rt.invoke(auth, "login", "alice", "wrong") is None
+    token = rt.invoke(auth, "login", "alice", "s3cret")
+    assert token is not None
+    assert rt.invoke(auth, "validate_token", token) == "alice"
+
+
+def test_login_unknown_user(rt, auth):
+    assert rt.invoke(auth, "login", "nobody", "x") is None
+
+
+def test_tokens_are_unique_per_login(rt, auth):
+    t1 = rt.invoke(auth, "login", "alice", "s3cret")
+    t2 = rt.invoke(auth, "login", "alice", "s3cret")
+    assert t1 != t2
+    assert rt.invoke(auth, "validate_token", t1) == "alice"
+    assert rt.invoke(auth, "validate_token", t2) == "alice"
+
+
+def test_logout_invalidates_token(rt, auth):
+    token = rt.invoke(auth, "login", "alice", "s3cret")
+    rt.invoke(auth, "logout", token)
+    assert rt.invoke(auth, "validate_token", token) is None
+
+
+def test_validate_token_cached_until_logout(rt, auth):
+    token = rt.invoke(auth, "login", "alice", "s3cret")
+    rt.invoke(auth, "validate_token", token)
+    hit = rt.invoke_detailed(auth, "validate_token", token)
+    assert hit.cache_hit
+    rt.invoke(auth, "logout", token)
+    miss = rt.invoke_detailed(auth, "validate_token", token)
+    assert not miss.cache_hit and miss.value is None
+
+
+def test_change_password(rt, auth):
+    assert rt.invoke(auth, "change_password", "alice", "s3cret", "n3w") is True
+    assert rt.invoke(auth, "login", "alice", "s3cret") is None
+    assert rt.invoke(auth, "login", "alice", "n3w") is not None
+
+
+def test_change_password_requires_old(rt, auth):
+    assert rt.invoke(auth, "change_password", "alice", "wrong", "n3w") is False
+
+
+# -- store ------------------------------------------------------------------
+
+
+@pytest.fixture()
+def shop(rt, auth):
+    widget = rt.create_object("Product", initial={"name": "widget", "price": 5, "stock": 10})
+    gadget = rt.create_object("Product", initial={"name": "gadget", "price": 9, "stock": 1})
+    cart = rt.create_object("Cart")
+    token = rt.invoke(auth, "login", "alice", "s3cret")
+    return widget, gadget, cart, token
+
+
+def test_reserve_and_release(rt, shop):
+    widget, _gadget, _cart, _token = shop
+    assert rt.invoke(widget, "reserve", 4) == 6
+    assert rt.invoke(widget, "release", 2) is True
+    assert rt.invoke(widget, "get_stock") == 8
+
+
+def test_reserve_out_of_stock_traps(rt, shop):
+    _widget, gadget, _cart, _token = shop
+    with pytest.raises(InvocationError):
+        rt.invoke(gadget, "reserve", 5)
+    assert rt.invoke(gadget, "get_stock") == 1
+
+
+def test_checkout_happy_path(rt, auth, shop):
+    widget, gadget, cart, token = shop
+    rt.invoke(cart, "add_item", widget, 2)
+    rt.invoke(cart, "add_item", gadget, 1)
+    order = rt.invoke(cart, "checkout", auth, token)
+    assert order["user"] == "alice"
+    assert rt.invoke(widget, "get_stock") == 8
+    assert rt.invoke(gadget, "get_stock") == 0
+    assert rt.invoke(cart, "get_items") == {}
+    assert len(rt.invoke(cart, "get_orders")) == 1
+
+
+def test_checkout_invalid_token_rejected(rt, auth, shop):
+    widget, _gadget, cart, _token = shop
+    rt.invoke(cart, "add_item", widget, 1)
+    with pytest.raises(InvocationError):
+        rt.invoke(cart, "checkout", auth, "bogus-token")
+    assert rt.invoke(widget, "get_stock") == 10
+
+
+def test_checkout_compensates_on_partial_stock(rt, auth, shop):
+    widget, gadget, cart, token = shop
+    rt.invoke(cart, "add_item", widget, 2)
+    rt.invoke(cart, "add_item", gadget, 5)  # more than gadget's stock
+    with pytest.raises(InvocationError):
+        rt.invoke(cart, "checkout", auth, token)
+    # Widget's reservation was released; cart keeps its items.
+    assert rt.invoke(widget, "get_stock") == 10
+    assert rt.invoke(gadget, "get_stock") == 1
+    assert len(rt.invoke(cart, "get_items")) == 2
+    assert rt.invoke(cart, "get_orders") == []
+
+
+def test_add_remove_items(rt, shop):
+    widget, _gadget, cart, _token = shop
+    rt.invoke(cart, "add_item", widget, 1)
+    rt.invoke(cart, "add_item", widget, 2)
+    assert rt.invoke(cart, "get_items") == {str(widget): 3}
+    rt.invoke(cart, "remove_item", widget)
+    assert rt.invoke(cart, "get_items") == {}

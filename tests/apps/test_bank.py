@@ -1,0 +1,125 @@
+"""Tests for the payments application, including the overdraft invariant."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.apps.bank import account_type
+from repro.core import LocalRuntime
+from repro.errors import InvocationError
+
+from tests.cluster.conftest import build_cluster, run_ops
+
+
+@pytest.fixture()
+def rt():
+    runtime = LocalRuntime(seed=5)
+    runtime.register_type(account_type())
+    return runtime
+
+
+def test_deposit_withdraw(rt):
+    account = rt.create_object("Account", initial={"balance": 100})
+    assert rt.invoke(account, "deposit", 50) == 150
+    assert rt.invoke(account, "withdraw", 30) == 120
+    assert rt.invoke(account, "get_balance") == 120
+
+
+def test_overdraft_rejected_atomically(rt):
+    account = rt.create_object("Account", initial={"balance": 10})
+    with pytest.raises(InvocationError):
+        rt.invoke(account, "withdraw", 11)
+    assert rt.invoke(account, "get_balance") == 10
+    assert rt.invoke(account, "get_ledger") == []  # nothing committed
+
+
+def test_invalid_amounts_rejected(rt):
+    account = rt.create_object("Account")
+    for method_name in ("deposit", "withdraw"):
+        with pytest.raises(InvocationError):
+            rt.invoke(account, method_name, 0)
+        with pytest.raises(InvocationError):
+            rt.invoke(account, method_name, -5)
+
+
+def test_ledger_records_history(rt):
+    account = rt.create_object("Account", initial={"balance": 100})
+    rt.invoke(account, "deposit", 1)
+    rt.invoke(account, "withdraw", 2)
+    ledger = rt.invoke(account, "get_ledger")
+    assert [entry["kind"] for entry in ledger] == ["debit", "credit"]
+
+
+def test_transfer_moves_funds(rt):
+    a = rt.create_object("Account", initial={"balance": 100})
+    b = rt.create_object("Account", initial={"balance": 0})
+    assert rt.invoke(a, "transfer", b, 40) is True
+    assert rt.invoke(a, "get_balance") == 60
+    assert rt.invoke(b, "get_balance") == 40
+
+
+def test_transfer_insufficient_funds_changes_nothing(rt):
+    a = rt.create_object("Account", initial={"balance": 10})
+    b = rt.create_object("Account", initial={"balance": 5})
+    with pytest.raises(InvocationError):
+        rt.invoke(a, "transfer", b, 100)
+    assert rt.invoke(a, "get_balance") == 10
+    assert rt.invoke(b, "get_balance") == 5
+
+
+def test_transfer_compensates_when_credit_fails(rt):
+    a = rt.create_object("Account", initial={"balance": 100})
+    from repro.core import ObjectId
+
+    ghost = ObjectId.from_name("no-such-account")
+    with pytest.raises(InvocationError):
+        rt.invoke(a, "transfer", ghost, 40)
+    # The debit was compensated.
+    assert rt.invoke(a, "get_balance") == 100
+    kinds = [entry["kind"] for entry in rt.invoke(a, "get_ledger")]
+    assert kinds == ["credit", "debit"]  # compensation after the debit
+
+
+def test_interest_applies_once(rt):
+    account = rt.create_object("Account", initial={"balance": 1000})
+    assert rt.invoke(account, "credit_interest", 5) == 50
+    assert rt.invoke(account, "get_balance") == 1050
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.lists(st.integers(min_value=1, max_value=50), max_size=20))
+def test_balance_never_negative_property(amounts):
+    runtime = LocalRuntime(seed=1)
+    runtime.register_type(account_type())
+    account = runtime.create_object("Account", initial={"balance": 100})
+    for amount in amounts:
+        try:
+            runtime.invoke(account, "withdraw", amount)
+        except InvocationError:
+            pass
+        assert runtime.invoke(account, "get_balance") >= 0
+
+
+def test_no_overdraft_under_concurrent_cluster_withdrawals():
+    """The paper's payments argument, demonstrated on the full cluster:
+    concurrent withdrawals serialise per object and never overdraw."""
+    sim, cluster = build_cluster(seed=8)
+    cluster.register_type(account_type())
+    account = cluster.create_object("Account", initial={"balance": 50})
+    clients = [cluster.client(f"w{i}") for i in range(8)]
+
+    successes = []
+
+    def withdrawer(client):
+        try:
+            yield from client.invoke(account, "withdraw", 10)
+            successes.append(client.name)
+        except Exception:
+            pass
+
+    processes = [sim.process(withdrawer(client)) for client in clients]
+    sim.run_until_triggered(sim.all_of(processes), limit=120_000)
+    final = cluster.run_invoke(clients[0], account, "get_balance")
+    assert final == 50 - 10 * len(successes)
+    assert final >= 0
+    assert len(successes) == 5  # exactly the money that existed

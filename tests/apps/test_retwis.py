@@ -1,0 +1,120 @@
+"""Tests for the ReTwis application on the local runtime."""
+
+import pytest
+
+from repro.apps.retwis import user_type
+from repro.core import LocalRuntime
+
+
+@pytest.fixture()
+def rt():
+    runtime = LocalRuntime(seed=3)
+    runtime.register_type(user_type())
+    return runtime
+
+
+def make_user(rt, name):
+    return rt.create_object("User", initial={"name": name})
+
+
+def test_post_reaches_own_timeline(rt):
+    alice = make_user(rt, "alice")
+    rt.invoke(alice, "create_post", "hello world")
+    timeline = rt.invoke(alice, "get_timeline", 10)
+    assert len(timeline) == 1
+    assert timeline[0]["author"] == "alice"
+    assert timeline[0]["text"] == "hello world"
+
+
+def test_post_fans_out_to_followers(rt):
+    alice = make_user(rt, "alice")
+    followers = [make_user(rt, f"user{i}") for i in range(5)]
+    for follower in followers:
+        rt.invoke(follower, "follow", alice)
+    rt.invoke(alice, "create_post", "to everyone")
+    for follower in followers:
+        timeline = rt.invoke(follower, "get_timeline", 10)
+        assert [post["text"] for post in timeline] == ["to everyone"]
+
+
+def test_timeline_newest_first_with_limit(rt):
+    alice = make_user(rt, "alice")
+    for i in range(5):
+        rt.invoke(alice, "create_post", f"post-{i}")
+    timeline = rt.invoke(alice, "get_timeline", 3)
+    assert [post["text"] for post in timeline] == ["post-4", "post-3", "post-2"]
+
+
+def test_non_followers_see_nothing(rt):
+    alice = make_user(rt, "alice")
+    stranger = make_user(rt, "bob")
+    rt.invoke(alice, "create_post", "private-ish")
+    assert rt.invoke(stranger, "get_timeline", 10) == []
+
+
+def test_follow_updates_both_sides(rt):
+    alice = make_user(rt, "alice")
+    bob = make_user(rt, "bob")
+    rt.invoke(bob, "follow", alice)
+    assert rt.invoke(alice, "get_profile")["followers"] == 1
+    assert rt.invoke(bob, "get_profile")["following"] == 1
+    assert str(bob) in rt.invoke(alice, "get_followers")
+
+
+def test_unfollow_stops_delivery(rt):
+    alice = make_user(rt, "alice")
+    bob = make_user(rt, "bob")
+    rt.invoke(bob, "follow", alice)
+    rt.invoke(alice, "create_post", "first")
+    rt.invoke(bob, "unfollow", alice)
+    rt.invoke(alice, "create_post", "second")
+    texts = [post["text"] for post in rt.invoke(bob, "get_timeline", 10)]
+    assert texts == ["first"]
+
+
+def test_block_removes_follower_before_next_post(rt):
+    """The §2 motivating example: posts after a block must not reach the
+    blocked party."""
+    alice = make_user(rt, "alice")
+    stalker = make_user(rt, "mallory")
+    rt.invoke(stalker, "follow", alice)
+    rt.invoke(alice, "create_post", "before block")
+    rt.invoke(alice, "block", stalker)
+    rt.invoke(alice, "create_post", "after block")
+    texts = [post["text"] for post in rt.invoke(stalker, "get_timeline", 10)]
+    assert texts == ["before block"]
+    # The blocked user's following edge is gone too.
+    assert rt.invoke(stalker, "get_profile")["following"] == 0
+
+
+def test_blocked_user_cannot_refollow(rt):
+    alice = make_user(rt, "alice")
+    mallory = make_user(rt, "mallory")
+    rt.invoke(alice, "block", mallory)
+    rt.invoke(mallory, "follow", alice)
+    assert rt.invoke(alice, "get_profile")["followers"] == 0
+
+
+def test_own_posts_listing(rt):
+    alice = make_user(rt, "alice")
+    for i in range(3):
+        rt.invoke(alice, "create_post", f"p{i}")
+    posts = rt.invoke(alice, "get_posts", 10)
+    assert [post["text"] for post in posts] == ["p2", "p1", "p0"]
+
+
+def test_post_returns_timestamp_monotonic(rt):
+    alice = make_user(rt, "alice")
+    t1 = rt.invoke(alice, "create_post", "a")
+    t2 = rt.invoke(alice, "create_post", "b")
+    assert t2 > t1
+
+
+def test_fanout_invocation_count(rt):
+    alice = make_user(rt, "alice")
+    followers = [make_user(rt, f"f{i}") for i in range(4)]
+    for follower in followers:
+        rt.invoke(follower, "follow", alice)
+    result = rt.invoke_detailed(alice, "create_post", "fan out")
+    # One nested store_post for self plus one per follower.
+    assert len(result.sub_results) == 5

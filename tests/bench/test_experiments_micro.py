@@ -1,0 +1,79 @@
+"""Micro-scale smoke runs of every experiment definition.
+
+The real claims are asserted in ``benchmarks/``; here each experiment
+just has to run end to end at a tiny scale and produce its rows/text.
+"""
+
+import pytest
+
+from repro.bench.calibration import preset
+from repro.bench.experiments import (
+    abl_coldstart,
+    abl_failover,
+    abl_migration,
+    fig1,
+    fig2,
+    run_matrix,
+    table1,
+)
+
+MICRO = preset(
+    "quick", num_accounts=40, num_clients=4, duration_ms=60.0, warmup_ms=10.0, avg_follows=3
+)
+
+
+@pytest.fixture(scope="module")
+def matrix():
+    return run_matrix(MICRO)
+
+
+def test_fig1_structure(matrix):
+    result = fig1(MICRO, matrix=matrix)
+    assert [row["workload"] for row in result["rows"]] == [
+        "Post",
+        "GetTimeline",
+        "Follow",
+    ]
+    for row in result["rows"]:
+        assert row["aggregated_jobs_per_sec"] > 0
+        assert row["disaggregated_jobs_per_sec"] > 0
+    assert "Figure 1" in result["text"]
+
+
+def test_fig2_structure(matrix):
+    result = fig2(MICRO, matrix=matrix)
+    for row in result["rows"]:
+        assert row["aggregated_p99_ms"] >= row["aggregated_median_ms"]
+    assert "Figure 2" in result["text"]
+
+
+def test_table1_structure(matrix):
+    result = table1(MICRO, matrix=matrix)
+    assert len(result["rows"]) == 6
+    assert "Latency" in result["evidence"]
+    assert "measured" in result["evidence"]["Latency"]
+
+
+def test_abl_coldstart_rows():
+    result = abl_coldstart(MICRO)
+    configs = [row["config"] for row in result["rows"]]
+    assert "aggregated (no container)" in configs
+
+
+def test_abl_migration_rows():
+    result = abl_migration(MICRO)
+    row = result["rows"][0]
+    assert row["completions_before"] > 0
+    assert row["completions_after"] > 0
+
+
+def test_abl_failover_rows():
+    result = abl_failover(MICRO)
+    row = result["rows"][0]
+    assert row["lost_writes"] is False
+
+
+def test_cli_entry_point():
+    from repro.bench.__main__ import main
+
+    assert main(["abl_migration", "--preset", "quick"]) == 0

@@ -1,0 +1,69 @@
+"""Shared fixtures for cluster tests."""
+
+import pytest
+
+from repro.cluster import Cluster, ClusterConfig
+from repro.core import CollectionField, ObjectType, ValueField, method, readonly_method
+from repro.sim import Simulation
+
+
+def counter_type():
+    def increment(self, by=1):
+        self.set("count", (self.get("count") or 0) + by)
+        return self.get("count")
+
+    def read(self):
+        return self.get("count") or 0
+
+    def increment_remote(self, other_oid, by):
+        self.set("count", (self.get("count") or 0) + by)
+        return self.get_object(other_oid).increment(by)
+
+    return ObjectType(
+        "Counter",
+        fields=[ValueField("count", default=0)],
+        methods=[method(increment), readonly_method(read), method(increment_remote)],
+    )
+
+
+def notebook_type():
+    def add(self, text):
+        return self.collection("notes").push(text)
+
+    def listing(self, limit=None):
+        return [v for _k, v in self.collection("notes").items(limit=limit)]
+
+    return ObjectType(
+        "Notebook",
+        fields=[CollectionField("notes")],
+        methods=[method(add), readonly_method(listing)],
+    )
+
+
+def build_cluster(seed=1, **config_kwargs):
+    sim = Simulation(seed=seed)
+    cluster = Cluster(sim, ClusterConfig(seed=seed, **config_kwargs))
+    cluster.register_type(counter_type())
+    cluster.register_type(notebook_type())
+    cluster.start()
+    return sim, cluster
+
+
+@pytest.fixture()
+def small_cluster():
+    sim, cluster = build_cluster()
+    return sim, cluster
+
+
+def run_ops(sim, cluster, ops, limit_ms=120_000):
+    """Run client operations concurrently; returns list of results.
+
+    ``ops`` is a list of (client, oid, method, args) tuples; each runs in
+    its own simulation process starting at time ~now.
+    """
+    processes = []
+    for client, oid, method_name, args in ops:
+        processes.append(sim.process(client.invoke(oid, method_name, *args)))
+    gate = sim.all_of(processes)
+    values = sim.run_until_triggered(gate, limit=sim.now + limit_ms)
+    return [values[p] for p in processes]

@@ -1,0 +1,105 @@
+"""Tests for the coordination service state machine and leadership."""
+
+from repro.cluster.coordinator import CoordinatorState
+from repro.cluster.messages import CoordCommand
+from repro.cluster.shard import ReplicaSet, ShardMap
+from repro.core import ObjectId
+
+from tests.cluster.conftest import build_cluster
+
+
+def base_map():
+    return ShardMap(
+        replica_sets=[
+            ReplicaSet(0, "a", ["b", "c"]),
+            ReplicaSet(1, "d", ["e"]),
+        ]
+    )
+
+
+def fresh_state():
+    state = CoordinatorState()
+    state.apply(CoordCommand("init#1", "set_config", {"shard_map": base_map()}))
+    return state
+
+
+def test_set_config_bumps_epoch():
+    state = fresh_state()
+    assert state.epoch == 1
+    assert state.shard_map.replica_sets[0].primary == "a"
+
+
+def test_report_failure_of_backup_removes_it():
+    state = fresh_state()
+    state.apply(CoordCommand("c#2", "report_failure", {"node": "b"}))
+    assert state.epoch == 2
+    assert state.shard_map.replica_sets[0].members == ["a", "c"]
+
+
+def test_report_failure_of_primary_promotes_backup():
+    state = fresh_state()
+    state.apply(CoordCommand("c#2", "report_failure", {"node": "a"}))
+    assert state.shard_map.replica_sets[0].primary == "b"
+    assert state.shard_map.replica_sets[0].backups == ["c"]
+
+
+def test_duplicate_command_applies_once():
+    state = fresh_state()
+    command = CoordCommand("c#2", "report_failure", {"node": "b"})
+    state.apply(command)
+    result = state.apply(command)
+    assert result.get("duplicate")
+    assert state.epoch == 2
+
+
+def test_repeated_failure_report_is_idempotent():
+    state = fresh_state()
+    state.apply(CoordCommand("c#2", "report_failure", {"node": "b"}))
+    state.apply(CoordCommand("c#3", "report_failure", {"node": "b"}))
+    assert state.epoch == 2  # second report changed nothing
+
+
+def test_move_object_sets_override():
+    state = fresh_state()
+    oid = ObjectId.from_name("obj")
+    state.apply(CoordCommand("c#2", "move_object", {"object_id": oid, "to_shard": 1}))
+    assert state.shard_map.shard_for(oid).shard_id == 1
+
+
+def test_add_backup_rejoins_node():
+    state = fresh_state()
+    state.apply(CoordCommand("c#2", "report_failure", {"node": "b"}))
+    state.apply(CoordCommand("c#3", "add_backup", {"shard_id": 0, "node": "b"}))
+    assert "b" in state.shard_map.replica_sets[0].members
+    assert "b" not in state.dead_nodes
+
+
+def test_unknown_command_reports_error():
+    state = fresh_state()
+    result = state.apply(CoordCommand("c#2", "frobnicate", {}))
+    assert "error" in result
+
+
+def test_last_survivor_stays_primary():
+    state = fresh_state()
+    state.apply(CoordCommand("c#2", "report_failure", {"node": "e"}))
+    state.apply(CoordCommand("c#3", "report_failure", {"node": "d"}))
+    # Nobody left to promote: the dead primary stays on record.
+    assert state.shard_map.replica_sets[1].primary == "d"
+
+
+def test_leader_is_first_alive_coordinator():
+    sim, cluster = build_cluster(seed=31)
+    assert cluster.leader_coordinator().name == "coord-0"
+    cluster.coordinators["coord-0"].crash()
+    assert cluster.leader_coordinator().name == "coord-1"
+
+
+def test_config_changes_reach_storage_nodes():
+    sim, cluster = build_cluster(seed=32)
+    cluster.crash_node("store-2")
+    sim.run(until=sim.now + 500)
+    for name in ("store-0", "store-1"):
+        node = cluster.node(name)
+        assert node.epoch > 1
+        assert "store-2" not in node.shard_map.replica_sets[0].members

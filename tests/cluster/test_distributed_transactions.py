@@ -1,0 +1,245 @@
+"""Tests for distributed transactions (2PC + no-wait locking)."""
+
+import pytest
+
+from repro.apps.bank import account_type
+from repro.cluster.transactions import (
+    TransactionCoordinator,
+    enable_transactions,
+)
+from repro.core.transactions import TransactionAborted
+from repro.errors import InvocationError
+
+from tests.cluster.conftest import build_cluster
+
+
+def txn_cluster(seed=71, **kwargs):
+    sim, cluster = build_cluster(seed=seed, **kwargs)
+    cluster.register_type(account_type())
+    enable_transactions(cluster)
+    return sim, cluster
+
+
+def run(sim, generator, limit=600_000):
+    process = sim.process(generator)
+    return sim.run_until_triggered(process, limit=limit)
+
+
+def test_single_shard_commit():
+    sim, cluster = txn_cluster()
+    a = cluster.create_object("Account", initial={"balance": 100})
+    b = cluster.create_object("Account", initial={"balance": 0})
+    coordinator = TransactionCoordinator(cluster)
+
+    def body():
+        txn = coordinator.begin()
+        yield from txn.invoke(a, "withdraw", 40)
+        yield from txn.invoke(b, "deposit", 40)
+        yield from txn.commit()
+        return txn.state
+
+    assert run(sim, body()) == "committed"
+    client = cluster.client("check")
+    assert cluster.run_invoke(client, a, "get_balance") == 60
+    assert cluster.run_invoke(client, b, "get_balance") == 40
+
+
+def test_cross_shard_commit():
+    sim, cluster = txn_cluster(seed=72, num_storage_nodes=4, num_shards=2)
+    # Find accounts on different shards.
+    a = cluster.create_object("Account", initial={"balance": 100})
+    b = None
+    while b is None:
+        candidate = cluster.create_object("Account", initial={"balance": 0})
+        if (
+            cluster.bootstrap_shard_map.shard_for(candidate).shard_id
+            != cluster.bootstrap_shard_map.shard_for(a).shard_id
+        ):
+            b = candidate
+    coordinator = TransactionCoordinator(cluster)
+
+    def body():
+        txn = coordinator.begin()
+        yield from txn.invoke(a, "withdraw", 30)
+        yield from txn.invoke(b, "deposit", 30)
+        yield from txn.commit()
+        return len(txn.participants)
+
+    assert run(sim, body()) == 2  # two shard primaries participated
+    client = cluster.client("check")
+    assert cluster.run_invoke(client, a, "get_balance") == 70
+    assert cluster.run_invoke(client, b, "get_balance") == 30
+
+
+def test_abort_discards_on_all_participants():
+    sim, cluster = txn_cluster(seed=73, num_storage_nodes=4, num_shards=2)
+    a = cluster.create_object("Account", initial={"balance": 100})
+    b = cluster.create_object("Account", initial={"balance": 0})
+    coordinator = TransactionCoordinator(cluster)
+
+    def body():
+        txn = coordinator.begin()
+        yield from txn.invoke(a, "withdraw", 30)
+        yield from txn.invoke(b, "deposit", 30)
+        yield from txn.abort()
+
+    run(sim, body())
+    client = cluster.client("check")
+    assert cluster.run_invoke(client, a, "get_balance") == 100
+    assert cluster.run_invoke(client, b, "get_balance") == 0
+
+
+def test_uncommitted_invisible_and_plain_writes_blocked_until_release():
+    sim, cluster = txn_cluster(seed=74)
+    a = cluster.create_object("Account", initial={"balance": 100})
+    coordinator = TransactionCoordinator(cluster)
+    observed = {}
+
+    def body():
+        txn = coordinator.begin()
+        yield from txn.invoke(a, "withdraw", 30)
+        # A plain read-only invocation sees only committed state.
+        client = cluster.client("peek")
+        observed["mid"] = yield from client.invoke(a, "get_balance")
+        yield from txn.commit()
+        observed["after"] = yield from client.invoke(a, "get_balance")
+
+    run(sim, body())
+    assert observed == {"mid": 100, "after": 70}
+
+
+def test_guest_failure_poisons_and_aborts():
+    sim, cluster = txn_cluster(seed=75)
+    a = cluster.create_object("Account", initial={"balance": 10})
+    coordinator = TransactionCoordinator(cluster)
+
+    def body():
+        txn = coordinator.begin()
+        yield from txn.invoke(a, "deposit", 5)
+        with pytest.raises(InvocationError):
+            yield from txn.invoke(a, "withdraw", 1000)
+        return txn.state
+
+    state = run(sim, body())
+    assert state == "aborted"
+    client = cluster.client("check")
+    assert cluster.run_invoke(client, a, "get_balance") == 10
+
+
+def test_no_wait_conflict_aborts_second_transaction():
+    sim, cluster = txn_cluster(seed=76)
+    a = cluster.create_object("Account", initial={"balance": 100})
+    first = TransactionCoordinator(cluster, name="txn-c1")
+    second = TransactionCoordinator(cluster, name="txn-c2")
+    outcome = {}
+
+    def body():
+        txn1 = first.begin()
+        yield from txn1.invoke(a, "withdraw", 1)
+        txn2 = second.begin()
+        try:
+            yield from txn2.invoke(a, "withdraw", 1)
+        except TransactionAborted:
+            outcome["conflicted"] = True
+        yield from txn1.commit()
+
+    run(sim, body())
+    assert outcome.get("conflicted")
+    assert second.stats["conflicts"] == 1
+    client = cluster.client("check")
+    assert cluster.run_invoke(client, a, "get_balance") == 99
+
+
+def test_run_retries_conflicts_to_completion():
+    sim, cluster = txn_cluster(seed=77)
+    a = cluster.create_object("Account", initial={"balance": 0})
+    coordinators = [TransactionCoordinator(cluster, name=f"txn-r{i}") for i in range(4)]
+
+    def make_body(coordinator):
+        def body(txn):
+            balance = yield from txn.invoke(a, "get_balance")
+            yield from txn.invoke(a, "deposit", 1)
+            return balance
+
+        return body
+
+    def runner(coordinator):
+        yield from coordinator.run(make_body(coordinator))
+
+    processes = [sim.process(runner(c)) for c in coordinators]
+    sim.run_until_triggered(sim.all_of(processes), limit=600_000)
+    client = cluster.client("check")
+    assert cluster.run_invoke(client, a, "get_balance") == 4
+
+
+def test_committed_writes_replicate_to_backups():
+    sim, cluster = txn_cluster(seed=78)
+    a = cluster.create_object("Account", initial={"balance": 100})
+    coordinator = TransactionCoordinator(cluster)
+
+    def body():
+        txn = coordinator.begin()
+        yield from txn.invoke(a, "withdraw", 25)
+        yield from txn.commit()
+
+    run(sim, body())
+    sim.run(until=sim.now + 10)
+    from repro.core import keyspace
+
+    key = keyspace.value_key(a, "balance")
+    values = {node.runtime.storage.get(key) for node in cluster.nodes.values()}
+    assert len(values) == 1  # identical everywhere
+
+
+def test_nested_calls_join_transaction_on_same_node():
+    sim, cluster = txn_cluster(seed=79)
+    a = cluster.create_object("Account", initial={"balance": 100})
+    b = cluster.create_object("Account", initial={"balance": 0})
+    coordinator = TransactionCoordinator(cluster)
+    observed = {}
+
+    def body():
+        txn = coordinator.begin()
+        # transfer() nested-invokes withdraw + deposit; all one commit.
+        yield from txn.invoke(a, "transfer", b, 20)
+        client = cluster.client("peek2")
+        observed["mid_b"] = yield from client.invoke(b, "get_balance")
+        yield from txn.commit()
+
+    run(sim, body())
+    assert observed["mid_b"] == 0  # invisible before commit
+    client = cluster.client("check")
+    assert cluster.run_invoke(client, a, "get_balance") == 80
+    assert cluster.run_invoke(client, b, "get_balance") == 20
+
+
+def test_money_conserved_under_concurrent_distributed_transfers():
+    sim, cluster = txn_cluster(seed=80, num_storage_nodes=4, num_shards=2)
+    accounts = [cluster.create_object("Account", initial={"balance": 50}) for _ in range(4)]
+    coordinators = [TransactionCoordinator(cluster, name=f"txn-m{i}") for i in range(4)]
+
+    def transfer_body(source, sink, amount):
+        def body(txn):
+            balance = yield from txn.invoke(source, "get_balance")
+            if balance >= amount:
+                yield from txn.invoke(source, "withdraw", amount)
+                yield from txn.invoke(sink, "deposit", amount)
+            return None
+
+        return body
+
+    def runner(index, coordinator):
+        rng = sim.rng(f"mix.{index}")
+        for _ in range(3):
+            source, sink = rng.sample(accounts, 2)
+            try:
+                yield from coordinator.run(transfer_body(source, sink, rng.randint(1, 30)))
+            except TransactionAborted:
+                pass
+
+    processes = [sim.process(runner(i, c)) for i, c in enumerate(coordinators)]
+    sim.run_until_triggered(sim.all_of(processes), limit=600_000)
+    client = cluster.client("audit")
+    balances = [cluster.run_invoke(client, a, "get_balance") for a in accounts]
+    assert sum(balances) == 200
+    assert all(balance >= 0 for balance in balances)

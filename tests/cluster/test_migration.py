@@ -1,0 +1,114 @@
+"""Live microshard migration tests."""
+
+import pytest
+
+from repro.cluster.migration import Migrator
+from repro.core import ObjectId, keyspace
+
+from tests.cluster.conftest import build_cluster, run_ops
+
+
+def sharded_cluster(seed=21):
+    sim, cluster = build_cluster(seed=seed, num_storage_nodes=4, num_shards=2)
+    return sim, cluster
+
+
+def other_shard(cluster, oid):
+    home = cluster.bootstrap_shard_map.shard_for(oid).shard_id
+    return (home + 1) % 2
+
+
+def test_migrate_moves_data_and_ownership():
+    sim, cluster = sharded_cluster()
+    oid = cluster.create_object("Counter")
+    client = cluster.client("c0")
+    cluster.run_invoke(client, oid, "increment", 5)
+    target = other_shard(cluster, oid)
+
+    migrator = Migrator(cluster)
+    process = sim.process(migrator.migrate(oid, target))
+    sim.run_until_triggered(process, limit=sim.now + 10_000)
+
+    epoch, shard_map = cluster.current_config()
+    assert shard_map.shard_for(oid).shard_id == target
+    # Data is present at the destination primary.
+    dest_primary = cluster.node(shard_map.shard_for(oid).primary)
+    key = keyspace.value_key(oid, "count")
+    assert dest_primary.runtime.storage.get(key) is not None
+
+
+def test_invocations_work_after_migration():
+    sim, cluster = sharded_cluster(seed=22)
+    oid = cluster.create_object("Counter")
+    client = cluster.client("c0")
+    cluster.run_invoke(client, oid, "increment", 3)
+    target = other_shard(cluster, oid)
+
+    migrator = Migrator(cluster)
+    process = sim.process(migrator.migrate(oid, target))
+    sim.run_until_triggered(process, limit=sim.now + 10_000)
+
+    # The client still holds the old config; retries route it correctly.
+    assert cluster.run_invoke(client, oid, "increment", 1) == 4
+    assert cluster.run_invoke(client, oid, "read") == 4
+
+
+def test_source_drops_object_after_migration():
+    sim, cluster = sharded_cluster(seed=23)
+    oid = cluster.create_object("Counter")
+    client = cluster.client("c0")
+    cluster.run_invoke(client, oid, "increment", 1)
+    source_primary = cluster.bootstrap_shard_map.shard_for(oid).primary
+    target = other_shard(cluster, oid)
+
+    migrator = Migrator(cluster)
+    process = sim.process(migrator.migrate(oid, target))
+    sim.run_until_triggered(process, limit=sim.now + 10_000)
+    sim.run(until=sim.now + 20)  # let the drop + its replication settle
+
+    key = keyspace.meta_key(oid)
+    assert cluster.node(source_primary).runtime.storage.get(key) is None
+
+
+def test_other_objects_undisturbed_during_migration():
+    sim, cluster = sharded_cluster(seed=24)
+    moving = cluster.create_object("Counter")
+    steady = cluster.create_object("Counter")
+    client = cluster.client("c0")
+    cluster.run_invoke(client, moving, "increment", 1)
+    cluster.run_invoke(client, steady, "increment", 1)
+
+    migrator = Migrator(cluster)
+    other_clients = [cluster.client(f"s{i}") for i in range(4)]
+    migration = sim.process(migrator.migrate(moving, other_shard(cluster, moving)))
+    results = run_ops(
+        sim, cluster, [(c, steady, "increment", (1,)) for c in other_clients]
+    )
+    assert sorted(results) == [2, 3, 4, 5]
+    sim.run_until_triggered(migration, limit=sim.now + 10_000)
+
+
+def test_writes_during_migration_retry_and_land():
+    sim, cluster = sharded_cluster(seed=25)
+    oid = cluster.create_object("Counter")
+    client = cluster.client("c0")
+    cluster.run_invoke(client, oid, "increment", 1)
+
+    migrator = Migrator(cluster)
+    migration = sim.process(migrator.migrate(oid, other_shard(cluster, oid)))
+    # Issue a write concurrently with the migration window.
+    write = sim.process(client.invoke(oid, "increment", 1))
+    gate = sim.all_of([migration, write])
+    sim.run_until_triggered(gate, limit=sim.now + 20_000)
+    assert cluster.run_invoke(client, oid, "read") == 2
+
+
+def test_migrate_to_same_shard_is_noop():
+    sim, cluster = sharded_cluster(seed=26)
+    oid = cluster.create_object("Counter")
+    home = cluster.bootstrap_shard_map.shard_for(oid).shard_id
+    migrator = Migrator(cluster)
+    process = sim.process(migrator.migrate(oid, home))
+    sim.run_until_triggered(process, limit=sim.now + 1_000)
+    epoch, _ = cluster.current_config()
+    assert epoch == 1  # no reconfiguration happened

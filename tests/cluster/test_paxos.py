@@ -1,0 +1,130 @@
+"""Paxos tests: basic protocol behaviour plus safety under adversity."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster.paxos import PaxosNode
+from repro.sim import ConstantLatency, Network, Simulation
+
+
+def build_group(sim, count=3, drop_probability=0.0, **node_kwargs):
+    net = Network(sim, latency=ConstantLatency(0.1))
+    net.drop_probability = drop_probability
+    names = [f"p{i}" for i in range(count)]
+    nodes = {}
+    decided: dict[str, list] = {name: [] for name in names}
+
+    for name in names:
+        host = net.add_host(name)
+        node = PaxosNode(
+            sim,
+            net,
+            name,
+            names,
+            on_decide=lambda slot, value, n=name: decided[n].append((slot, value)),
+            **node_kwargs,
+        )
+        nodes[name] = node
+
+        def serve(host=host, node=node):
+            while True:
+                message = yield host.recv()
+                node.handle(message.payload)
+
+        sim.process(serve(), name=f"{name}.serve")
+    return net, nodes, decided
+
+
+def test_single_proposer_decides():
+    sim = Simulation(seed=1)
+    _net, nodes, decided = build_group(sim)
+    process = sim.process(nodes["p0"].propose(0, "value-A"))
+    result = sim.run_until_triggered(process, limit=1000)
+    assert result == "value-A"
+    sim.run(until=sim.now + 10)
+    for name in nodes:
+        assert decided[name] == [(0, "value-A")]
+
+
+def test_competing_proposers_agree():
+    sim = Simulation(seed=2)
+    _net, nodes, decided = build_group(sim)
+    p0 = sim.process(nodes["p0"].propose(0, "from-p0"))
+    p1 = sim.process(nodes["p1"].propose(0, "from-p1"))
+    gate = sim.all_of([p0, p1])
+    values = sim.run_until_triggered(gate, limit=5000)
+    results = list(values.values())
+    assert results[0] == results[1]
+    assert results[0] in ("from-p0", "from-p1")
+
+
+def test_multiple_slots_deliver_in_order():
+    sim = Simulation(seed=3)
+    _net, nodes, decided = build_group(sim)
+
+    def propose_all():
+        for slot, value in enumerate(["a", "b", "c"]):
+            yield from nodes["p0"].propose(slot, value)
+
+    process = sim.process(propose_all())
+    sim.run_until_triggered(process, limit=5000)
+    sim.run(until=sim.now + 10)
+    assert decided["p1"] == [(0, "a"), (1, "b"), (2, "c")]
+
+
+def test_decision_survives_minority_crash():
+    sim = Simulation(seed=4)
+    net, nodes, decided = build_group(sim)
+    net.crash("p2")
+    process = sim.process(nodes["p0"].propose(0, "majority"))
+    assert sim.run_until_triggered(process, limit=5000) == "majority"
+    sim.run(until=sim.now + 10)
+    assert decided["p1"] == [(0, "majority")]
+    assert decided["p2"] == []  # crashed learner hears nothing
+
+
+def test_no_progress_without_quorum_then_recovery():
+    sim = Simulation(seed=5)
+    net, nodes, decided = build_group(sim)
+    net.crash("p1")
+    net.crash("p2")
+    process = sim.process(nodes["p0"].propose(0, "stalled"))
+    sim.run(until=200)
+    assert not process.triggered  # no quorum, still retrying
+    net.recover("p1")
+    result = sim.run_until_triggered(process, limit=10_000)
+    assert result == "stalled"
+
+
+def test_message_loss_does_not_violate_safety():
+    sim = Simulation(seed=6)
+    net, nodes, decided = build_group(sim, drop_probability=0.2, prepare_timeout_ms=5.0)
+    p0 = sim.process(nodes["p0"].propose(0, "A"))
+    p1 = sim.process(nodes["p1"].propose(0, "B"))
+    gate = sim.all_of([p0, p1])
+    values = sim.run_until_triggered(gate, limit=60_000)
+    results = set(values.values())
+    assert len(results) == 1  # both proposers learned the same decision
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=10_000),
+    drop=st.floats(min_value=0.0, max_value=0.3),
+    proposers=st.integers(min_value=1, max_value=3),
+)
+def test_agreement_property(seed, drop, proposers):
+    """Under random loss and competing proposers, all deciders agree."""
+    sim = Simulation(seed=seed)
+    _net, nodes, decided = build_group(sim, drop_probability=drop, prepare_timeout_ms=5.0)
+    names = list(nodes)
+    processes = [
+        sim.process(nodes[names[i]].propose(0, f"value-{i}")) for i in range(proposers)
+    ]
+    gate = sim.all_of(processes)
+    values = sim.run_until_triggered(gate, limit=200_000)
+    assert len(set(values.values())) == 1
+    sim.run(until=sim.now + 50)
+    chosen = {slot_value for entries in decided.values() for slot_value in entries}
+    assert len(chosen) <= 1  # at most one (slot, value) ever learned for slot 0

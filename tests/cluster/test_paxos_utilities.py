@@ -1,0 +1,69 @@
+"""Small PaxosNode utility behaviours not covered by the protocol tests."""
+
+from repro.cluster.paxos import PaxosNode
+from repro.sim import ConstantLatency, Network, Simulation
+
+
+def solo_node():
+    sim = Simulation(seed=1)
+    net = Network(sim, latency=ConstantLatency(0.1))
+    net.add_host("p0")
+    node = PaxosNode(sim, net, "p0", ["p0"])
+
+    def serve():
+        while True:
+            message = yield net.host("p0").recv()
+            node.handle(message.payload)
+
+    sim.process(serve())
+    return sim, node
+
+
+def test_single_node_quorum_is_one():
+    _sim, node = solo_node()
+    assert node.quorum == 1
+
+
+def test_decided_value_and_first_undecided_slot():
+    sim, node = solo_node()
+    assert node.decided_value(0) is None
+    assert node.first_undecided_slot() == 0
+    process = sim.process(node.propose(0, "v0"))
+    sim.run_until_triggered(process, limit=1000)
+    assert node.decided_value(0) == "v0"
+    assert node.is_decided(0)
+    assert node.first_undecided_slot() == 1
+
+
+def test_sparse_decisions_do_not_advance_first_undecided():
+    sim, node = solo_node()
+    process = sim.process(node.propose(2, "later"))
+    sim.run_until_triggered(process, limit=1000)
+    assert node.is_decided(2)
+    assert node.first_undecided_slot() == 0  # slots 0,1 still open
+
+
+def test_in_order_delivery_waits_for_gaps():
+    sim, node = solo_node()
+    delivered = []
+    node.on_decide = lambda slot, value: delivered.append((slot, value))
+    # Learn slot 1 before slot 0: delivery must hold back.
+    node._learn(1, "b")
+    assert delivered == []
+    node._learn(0, "a")
+    assert delivered == [(0, "a"), (1, "b")]
+
+
+def test_duplicate_learn_ignored():
+    sim, node = solo_node()
+    delivered = []
+    node.on_decide = lambda slot, value: delivered.append((slot, value))
+    node._learn(0, "x")
+    node._learn(0, "y")  # duplicate decide (retransmission)
+    assert delivered == [(0, "x")]
+    assert node.decided_value(0) == "x"
+
+
+def test_non_paxos_message_not_handled():
+    _sim, node = solo_node()
+    assert node.handle("not a paxos message") is False

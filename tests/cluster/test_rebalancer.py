@@ -1,0 +1,98 @@
+"""Tests for load-driven microshard rebalancing."""
+
+import pytest
+
+from repro.cluster.rebalancer import Rebalancer
+from repro.core import ObjectId
+
+from tests.cluster.conftest import build_cluster
+
+
+def sharded_cluster(seed=41):
+    return build_cluster(seed=seed, num_storage_nodes=4, num_shards=2)
+
+
+def objects_on_shard(cluster, shard_id, count=6):
+    """Create counters until `count` of them live on `shard_id`."""
+    result = []
+    attempt = 0
+    while len(result) < count:
+        oid = cluster.create_object(
+            "Counter", object_id=ObjectId.from_name(f"reb-{shard_id}-{attempt}")
+        )
+        attempt += 1
+        if cluster.bootstrap_shard_map.shard_for(oid).shard_id == shard_id:
+            result.append(oid)
+    return result
+
+
+def test_plan_no_moves_when_balanced():
+    sim, cluster = sharded_cluster()
+    rebalancer = Rebalancer(cluster)
+    # Equal synthetic load on both shards' primaries.
+    for shard_id in (0, 1):
+        primary = cluster.nodes[cluster.bootstrap_shard_map.replica_set(shard_id).primary]
+        primary.object_load = {f"{'a'*31}{shard_id}": 100}
+    assert rebalancer.plan_moves() == []
+
+
+def test_plan_moves_hottest_from_busiest():
+    sim, cluster = sharded_cluster()
+    targets = objects_on_shard(cluster, 0, count=3)
+    primary0 = cluster.nodes[cluster.bootstrap_shard_map.replica_set(0).primary]
+    primary0.object_load = {
+        str(targets[0]): 500,
+        str(targets[1]): 50,
+        str(targets[2]): 10,
+    }
+    rebalancer = Rebalancer(cluster, max_moves_per_sweep=1)
+    moves = rebalancer.plan_moves()
+    assert moves == [(targets[0], 0, 1)]
+
+
+def test_bad_threshold_rejected():
+    sim, cluster = sharded_cluster()
+    with pytest.raises(ValueError):
+        Rebalancer(cluster, imbalance_threshold=1.0)
+
+
+def test_rebalancer_migrates_hot_object_under_real_load():
+    sim, cluster = sharded_cluster(seed=43)
+    hot = objects_on_shard(cluster, 0, count=1)[0]
+    rebalancer = Rebalancer(cluster, interval_ms=30.0, max_moves_per_sweep=1)
+    rebalancer.start()
+    client = cluster.client("hammer", request_timeout_ms=50.0)
+
+    def load():
+        while sim.now < 200.0:
+            yield from client.invoke(hot, "increment", 1)
+
+    process = sim.process(load())
+    sim.run_until_triggered(process, limit=600_000)
+    rebalancer.stop()
+
+    assert rebalancer.stats.migrations >= 1
+    _epoch, shard_map = cluster.current_config()
+    assert shard_map.shard_for(hot).shard_id == 1
+    # The object still works and lost nothing.
+    final = cluster.run_invoke(client, hot, "read")
+    completed = len([m for _l, m in client.completions if m == "increment"])
+    assert final == completed
+
+
+def test_load_counters_decay():
+    sim, cluster = sharded_cluster(seed=44)
+    node = cluster.nodes["store-0"]
+    node.object_load = {"x" * 32: 8, "y" * 32: 1}
+    rebalancer = Rebalancer(cluster)
+    rebalancer._decay_counters()
+    assert node.object_load == {"x" * 32: 4}
+
+
+def test_sweeps_counted():
+    sim, cluster = sharded_cluster(seed=45)
+    rebalancer = Rebalancer(cluster, interval_ms=20.0)
+    rebalancer.start()
+    sim.run(until=sim.now + 100.0)
+    rebalancer.stop()
+    assert rebalancer.stats.sweeps >= 4

@@ -1,0 +1,90 @@
+"""Unit tests for microshard mapping."""
+
+import random
+
+import pytest
+
+from repro.cluster.shard import ReplicaSet, ShardMap
+from repro.core import ObjectId
+from repro.errors import ShardUnavailableError
+
+
+def make_map(num_shards=3, nodes_per_shard=2):
+    replica_sets = []
+    node = 0
+    for shard_id in range(num_shards):
+        members = [f"n{node + i}" for i in range(nodes_per_shard)]
+        node += nodes_per_shard
+        replica_sets.append(ReplicaSet(shard_id, members[0], members[1:]))
+    return ShardMap(replica_sets=replica_sets)
+
+
+def test_assignment_is_deterministic():
+    shard_map = make_map()
+    oid = ObjectId.from_name("x")
+    assert shard_map.shard_for(oid).shard_id == shard_map.shard_for(oid).shard_id
+
+
+def test_assignment_distributes_reasonably():
+    shard_map = make_map(num_shards=4)
+    rng = random.Random(0)
+    counts = [0, 0, 0, 0]
+    for _ in range(2000):
+        counts[shard_map.shard_for(ObjectId.generate(rng)).shard_id] += 1
+    assert min(counts) > 300  # no empty/starved shard
+
+
+def test_override_redirects_object():
+    shard_map = make_map()
+    oid = ObjectId.from_name("moveme")
+    home = shard_map.shard_for(oid).shard_id
+    target = (home + 1) % 3
+    shard_map.move_override(oid, target)
+    assert shard_map.shard_for(oid).shard_id == target
+
+
+def test_override_back_home_clears_table():
+    shard_map = make_map()
+    oid = ObjectId.from_name("roundtrip")
+    home = shard_map.default_shard_id(oid)
+    shard_map.move_override(oid, (home + 1) % 3)
+    shard_map.move_override(oid, home)
+    assert shard_map.overrides == {}
+
+
+def test_override_to_unknown_shard_rejected():
+    shard_map = make_map()
+    with pytest.raises(ShardUnavailableError):
+        shard_map.move_override(ObjectId.from_name("x"), 99)
+
+
+def test_copy_is_deep():
+    shard_map = make_map()
+    clone = shard_map.copy()
+    clone.replica_sets[0].primary = "other"
+    clone.overrides["foo" * 10 + "ab"] = 1
+    assert shard_map.replica_sets[0].primary != "other"
+    assert shard_map.overrides == {}
+
+
+def test_nodes_lists_every_member_once():
+    shard_map = make_map(num_shards=2, nodes_per_shard=3)
+    assert shard_map.nodes() == [f"n{i}" for i in range(6)]
+
+
+def test_shard_of_node():
+    shard_map = make_map()
+    assert shard_map.shard_of_node("n0").shard_id == 0
+    assert shard_map.shard_of_node("n3").shard_id == 1
+    assert shard_map.shard_of_node("ghost") is None
+
+
+def test_empty_map_raises():
+    with pytest.raises(ShardUnavailableError):
+        ShardMap().shard_for(ObjectId.from_name("x"))
+
+
+def test_primary_for_matches_shard():
+    shard_map = make_map()
+    oid = ObjectId.from_name("p")
+    assert shard_map.primary_for(oid) == shard_map.shard_for(oid).primary

@@ -1,0 +1,86 @@
+"""Tests for the message tracer."""
+
+from repro.cluster.tracing import MessageTracer
+
+from tests.cluster.conftest import build_cluster
+
+
+def traced_cluster(seed=91):
+    sim, cluster = build_cluster(seed=seed)
+    tracer = MessageTracer(cluster.net)
+    return sim, cluster, tracer
+
+
+def test_records_request_path():
+    sim, cluster, tracer = traced_cluster()
+    oid = cluster.create_object("Counter")
+    client = cluster.client("c0")
+    cluster.run_invoke(client, oid, "increment", 1)
+    path = tracer.request_path("c0#1")
+    kinds = [entry.kind for entry in path]
+    assert "ClientRequest" in kinds
+    assert "ClientReply" in kinds
+    # The request went client -> primary, the reply came back.
+    assert path[0].src == "c0"
+    assert any(entry.dst == "c0" for entry in path)
+
+
+def test_by_kind_counts_replication():
+    sim, cluster, tracer = traced_cluster(seed=92)
+    oid = cluster.create_object("Counter")
+    client = cluster.client("c0")
+    cluster.run_invoke(client, oid, "increment", 1)
+    sim.run(until=sim.now + 5)
+    counts = tracer.by_kind()
+    assert counts["ReplicateWrites"] == 2  # two backups
+    assert counts["ReplicateAck"] >= 2
+
+
+def test_between_filters_links():
+    sim, cluster, tracer = traced_cluster(seed=93)
+    oid = cluster.create_object("Counter")
+    client = cluster.client("c0")
+    cluster.run_invoke(client, oid, "increment", 1)
+    link = tracer.between("c0", "store-0")
+    assert all(e.src == "c0" and e.dst == "store-0" for e in link)
+    assert link
+
+
+def test_bytes_by_link_positive():
+    sim, cluster, tracer = traced_cluster(seed=94)
+    oid = cluster.create_object("Counter")
+    client = cluster.client("c0")
+    cluster.run_invoke(client, oid, "increment", 1)
+    totals = tracer.bytes_by_link()
+    assert totals and all(v > 0 for v in totals.values())
+
+
+def test_render_and_limit():
+    sim, cluster, tracer = traced_cluster(seed=95)
+    oid = cluster.create_object("Counter")
+    client = cluster.client("c0")
+    cluster.run_invoke(client, oid, "increment", 1)
+    text = tracer.render(limit=3)
+    assert "ClientRequest" in text or "more" in text
+
+
+def test_ring_buffer_bounds_memory():
+    sim, cluster, tracer = traced_cluster(seed=96)
+    tracer._max = 10
+    oid = cluster.create_object("Counter")
+    client = cluster.client("c0")
+    for _ in range(5):
+        cluster.run_invoke(client, oid, "increment", 1)
+    assert len(tracer) <= 10
+    assert tracer.dropped_oldest > 0
+
+
+def test_detach_stops_recording():
+    sim, cluster, tracer = traced_cluster(seed=97)
+    oid = cluster.create_object("Counter")
+    client = cluster.client("c0")
+    cluster.run_invoke(client, oid, "increment", 1)
+    before = len(tracer)
+    tracer.detach()
+    cluster.run_invoke(client, oid, "increment", 1)
+    assert len(tracer) == before

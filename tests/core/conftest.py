@@ -1,0 +1,100 @@
+"""Shared object types for core tests."""
+
+import pytest
+
+from repro.core import (
+    CollectionField,
+    LocalRuntime,
+    ObjectType,
+    ValueField,
+    method,
+    readonly_method,
+)
+
+
+def make_counter_type():
+    def increment(self, by=1):
+        self.set("count", (self.get("count") or 0) + by)
+        return self.get("count")
+
+    def read(self):
+        return self.get("count") or 0
+
+    def read_with_time(self):
+        _ = self.now()
+        return self.get("count") or 0
+
+    def increment_other(self, other_oid, by):
+        # Writes locally, then nested-invokes another object (§3.1 split).
+        self.set("count", (self.get("count") or 0) + by)
+        return self.get_object(other_oid).increment(by)
+
+    def fail_after_write(self):
+        self.set("count", 999_999)
+        raise RuntimeError("deliberate guest failure")
+
+    def write_then_call_then_fail(self, other_oid):
+        self.set("count", 123)
+        self.get_object(other_oid).increment(1)
+        raise RuntimeError("fails after the nested call")
+
+    return ObjectType(
+        "Counter",
+        fields=[ValueField("count", default=0)],
+        methods=[
+            method(increment),
+            readonly_method(read),
+            readonly_method(read_with_time),
+            method(increment_other),
+            method(fail_after_write),
+            method(write_then_call_then_fail),
+        ],
+    )
+
+
+def make_notebook_type():
+    def add_note(self, text):
+        return self.collection("notes").push(text)
+
+    def set_note(self, key, text):
+        self.collection("notes").put(key, text)
+
+    def remove_note(self, key):
+        self.collection("notes").delete(key)
+
+    def list_notes(self, limit=None, reverse=False):
+        return list(self.collection("notes").items(limit=limit, reverse=reverse))
+
+    def note_count(self):
+        return len(self.collection("notes"))
+
+    def secret_touch(self):
+        self.set("touched", True)
+
+    def touch_via_self_call(self):
+        # Calls a non-public method of the same object through the
+        # invocation machinery (allowed: caller is an invocation).
+        self.secret_touch()
+        return self.get("touched")
+
+    return ObjectType(
+        "Notebook",
+        fields=[ValueField("touched"), CollectionField("notes")],
+        methods=[
+            method(add_note),
+            method(set_note),
+            method(remove_note),
+            readonly_method(list_notes),
+            readonly_method(note_count),
+            method(secret_touch, public=False),
+            method(touch_via_self_call),
+        ],
+    )
+
+
+@pytest.fixture()
+def runtime():
+    rt = LocalRuntime(seed=7)
+    rt.register_type(make_counter_type())
+    rt.register_type(make_notebook_type())
+    return rt

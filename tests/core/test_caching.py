@@ -1,0 +1,179 @@
+"""Tests for the consistent result cache — unit level and through the runtime."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import LocalRuntime, ResultCache
+from repro.core.caching import args_digest
+from repro.core.fields import value_digest
+
+
+# -- unit level ----------------------------------------------------------
+
+
+def test_lookup_miss_then_hit():
+    cache = ResultCache()
+    store = {b"k": b"v"}
+    digest = args_digest(())
+    hit, _ = cache.lookup("oid", "m", digest, store.get)
+    assert not hit
+    cache.store("oid", "m", digest, "result", {b"k": value_digest(b"v")})
+    hit, value = cache.lookup("oid", "m", digest, store.get)
+    assert hit and value == "result"
+
+
+def test_validation_rejects_stale_entry():
+    cache = ResultCache()
+    store = {b"k": b"v1"}
+    digest = args_digest(())
+    cache.store("oid", "m", digest, "old", {b"k": value_digest(b"v1")})
+    store[b"k"] = b"v2"
+    hit, _ = cache.lookup("oid", "m", digest, store.get)
+    assert not hit
+    assert cache.stats.validation_failures == 1
+
+
+def test_validation_detects_deleted_key():
+    cache = ResultCache()
+    store = {b"k": b"v"}
+    digest = args_digest(())
+    cache.store("oid", "m", digest, "r", {b"k": value_digest(b"v")})
+    del store[b"k"]
+    hit, _ = cache.lookup("oid", "m", digest, store.get)
+    assert not hit
+
+
+def test_validation_detects_created_key():
+    cache = ResultCache()
+    store = {}
+    digest = args_digest(())
+    absent = b"\x00" * 8
+    cache.store("oid", "m", digest, "r", {b"k": absent})
+    store[b"k"] = b"now-exists"
+    hit, _ = cache.lookup("oid", "m", digest, store.get)
+    assert not hit
+
+
+def test_eager_invalidation_by_written_keys():
+    cache = ResultCache()
+    digest = args_digest(())
+    cache.store("oid", "m", digest, "r", {b"a": value_digest(b"1"), b"b": value_digest(b"2")})
+    dropped = cache.invalidate_keys([b"b"])
+    assert dropped == 1
+    assert len(cache) == 0
+
+
+def test_invalidation_leaves_unrelated_entries():
+    cache = ResultCache()
+    cache.store("o1", "m", args_digest((1,)), "r1", {b"a": value_digest(b"1")})
+    cache.store("o2", "m", args_digest((2,)), "r2", {b"b": value_digest(b"2")})
+    cache.invalidate_keys([b"a"])
+    assert len(cache) == 1
+
+
+def test_lru_eviction_bounds_entries():
+    cache = ResultCache(max_entries=3)
+    for i in range(5):
+        cache.store("oid", "m", args_digest((i,)), i, {})
+    assert len(cache) == 3
+
+
+def test_different_args_cached_separately():
+    cache = ResultCache()
+    store = {}
+    cache.store("oid", "m", args_digest((1,)), "one", {})
+    cache.store("oid", "m", args_digest((2,)), "two", {})
+    assert cache.lookup("oid", "m", args_digest((1,)), store.get) == (True, "one")
+    assert cache.lookup("oid", "m", args_digest((2,)), store.get) == (True, "two")
+
+
+def test_bad_max_entries_rejected():
+    with pytest.raises(ValueError):
+        ResultCache(max_entries=0)
+
+
+# -- through the runtime ---------------------------------------------------
+
+
+def test_readonly_results_cached(runtime):
+    oid = runtime.create_object("Counter", initial={"count": 3})
+    first = runtime.invoke_detailed(oid, "read")
+    second = runtime.invoke_detailed(oid, "read")
+    assert not first.cache_hit
+    assert second.cache_hit
+    assert second.value == 3
+
+
+def test_write_invalidates_cached_read(runtime):
+    oid = runtime.create_object("Counter")
+    runtime.invoke(oid, "read")
+    runtime.invoke(oid, "increment", 5)
+    result = runtime.invoke_detailed(oid, "read")
+    assert not result.cache_hit
+    assert result.value == 5
+
+
+def test_cached_result_always_equals_reexecution(runtime):
+    oid = runtime.create_object("Notebook")
+    for i in range(5):
+        runtime.invoke(oid, "add_note", f"n{i}")
+    cached = runtime.invoke(oid, "list_notes")
+    fresh_rt_value = runtime.invoke(oid, "list_notes")  # cache hit path
+    assert cached == fresh_rt_value
+
+
+def test_collection_mutation_invalidates_scan_cache(runtime):
+    oid = runtime.create_object("Notebook")
+    runtime.invoke(oid, "add_note", "a")
+    assert runtime.invoke(oid, "note_count") == 1
+    runtime.invoke(oid, "add_note", "b")
+    assert runtime.invoke(oid, "note_count") == 2
+
+
+def test_collection_delete_invalidates_scan_cache(runtime):
+    oid = runtime.create_object("Notebook", initial={"notes": {"k1": "a", "k2": "b"}})
+    assert runtime.invoke(oid, "note_count") == 2
+    runtime.invoke(oid, "remove_note", "k1")
+    assert runtime.invoke(oid, "note_count") == 1
+
+
+def test_mutating_methods_never_cached(runtime):
+    oid = runtime.create_object("Counter")
+    r1 = runtime.invoke_detailed(oid, "increment")
+    r2 = runtime.invoke_detailed(oid, "increment")
+    assert not r1.cache_hit and not r2.cache_hit
+    assert r2.value == 2
+
+
+def test_nondeterministic_readonly_never_cached(runtime):
+    oid = runtime.create_object("Counter")
+    runtime.invoke(oid, "read_with_time")
+    result = runtime.invoke_detailed(oid, "read_with_time")
+    assert not result.cache_hit
+
+
+def test_cache_disabled_runtime_never_hits():
+    from tests.core.conftest import make_counter_type
+
+    rt = LocalRuntime(enable_cache=False)
+    rt.register_type(make_counter_type())
+    oid = rt.create_object("Counter")
+    rt.invoke(oid, "read")
+    assert not rt.invoke_detailed(oid, "read").cache_hit
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.lists(st.sampled_from(["read", "increment"]), max_size=30))
+def test_cache_transparency_property(ops):
+    """Interleaved reads/writes: cached runtime == uncached runtime."""
+    from tests.core.conftest import make_counter_type
+
+    cached = LocalRuntime(enable_cache=True)
+    plain = LocalRuntime(enable_cache=False)
+    for rt in (cached, plain):
+        rt.register_type(make_counter_type())
+    a = cached.create_object("Counter")
+    b = plain.create_object("Counter")
+    for op in ops:
+        assert cached.invoke(a, op) == plain.invoke(b, op)

@@ -1,0 +1,151 @@
+"""Unit tests for object ids, field specs/codec, and the key layout."""
+
+import random
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core import CollectionField, FieldKind, ObjectId, ValueField
+from repro.core import keyspace
+from repro.core.fields import decode_value, encode_value, value_digest
+from repro.errors import ModelError
+
+
+# -- ObjectId -----------------------------------------------------------
+
+
+def test_generate_is_deterministic_per_seed():
+    a = ObjectId.generate(random.Random(1))
+    b = ObjectId.generate(random.Random(1))
+    assert a == b
+
+
+def test_from_name_is_stable():
+    assert ObjectId.from_name("user:alice") == ObjectId.from_name("user:alice")
+    assert ObjectId.from_name("user:alice") != ObjectId.from_name("user:bob")
+
+
+def test_bad_ids_rejected():
+    with pytest.raises(ModelError):
+        ObjectId("short")
+    with pytest.raises(ModelError):
+        ObjectId("G" * 32)
+
+
+def test_id_is_json_friendly_string():
+    import json
+
+    oid = ObjectId.from_name("x")
+    assert json.loads(json.dumps([oid])) == [str(oid)]
+    assert oid.short == str(oid)[:8]
+
+
+# -- fields / codec --------------------------------------------------------
+
+
+def test_field_constructors():
+    value = ValueField("name", default="anon")
+    collection = CollectionField("posts")
+    assert value.kind == FieldKind.VALUE and value.default == "anon"
+    assert collection.kind == FieldKind.COLLECTION
+
+
+def test_bad_field_name_rejected():
+    with pytest.raises(ModelError):
+        ValueField("has space")
+    with pytest.raises(ModelError):
+        ValueField("9starts_with_digit")
+
+
+def test_collection_default_rejected():
+    with pytest.raises(ModelError):
+        from repro.core.fields import FieldSpec
+
+        FieldSpec("c", FieldKind.COLLECTION, default=[])
+
+
+def test_codec_roundtrip():
+    for value in [None, 0, 1.5, "text", [1, 2], {"a": [True, None]}]:
+        assert decode_value(encode_value(value)) == value
+
+
+def test_codec_is_canonical():
+    assert encode_value({"b": 1, "a": 2}) == encode_value({"a": 2, "b": 1})
+
+
+def test_codec_rejects_non_json():
+    with pytest.raises(ModelError):
+        encode_value(object())
+
+
+def test_value_digest_stable_and_sensitive():
+    assert value_digest(b"abc") == value_digest(b"abc")
+    assert value_digest(b"abc") != value_digest(b"abd")
+
+
+@given(
+    st.recursive(
+        st.none() | st.booleans() | st.integers() | st.text(max_size=20),
+        lambda children: st.lists(children, max_size=4)
+        | st.dictionaries(st.text(max_size=8), children, max_size=4),
+        max_leaves=20,
+    )
+)
+def test_codec_roundtrip_property(value):
+    assert decode_value(encode_value(value)) == value
+
+
+# -- keyspace ------------------------------------------------------------
+
+
+OID = ObjectId.from_name("test-object")
+
+
+def test_all_object_keys_share_prefix():
+    prefix = keyspace.object_prefix(OID)
+    for key in [
+        keyspace.meta_key(OID),
+        keyspace.value_key(OID, "name"),
+        keyspace.collection_key(OID, "posts", "k1"),
+        keyspace.counter_key(OID, "posts"),
+    ]:
+        assert key.startswith(prefix)
+
+
+def test_collection_entries_under_collection_prefix():
+    prefix = keyspace.collection_prefix(OID, "posts")
+    key = keyspace.collection_key(OID, "posts", "entry")
+    assert key.startswith(prefix)
+    assert keyspace.entry_key_from_storage_key(key, prefix) == "entry"
+
+
+def test_different_collections_do_not_collide():
+    a = keyspace.collection_prefix(OID, "posts")
+    b = keyspace.collection_prefix(OID, "posts_extra")
+    assert not a.startswith(b) and not b.startswith(a)
+
+
+def test_append_keys_sort_numerically():
+    keys = [keyspace.append_entry_key(n) for n in [1, 2, 10, 99, 100]]
+    assert keys == sorted(keys)
+
+
+def test_prefix_end_is_tight_bound():
+    prefix = b"o/abc/"
+    end = keyspace.prefix_end(prefix)
+    assert prefix < end
+    assert (prefix + b"\xff\xff") < end
+    assert not (prefix + b"anything").startswith(end)
+
+
+def test_prefix_end_all_ff_returns_none():
+    assert keyspace.prefix_end(b"\xff\xff") is None
+
+
+@given(st.binary(min_size=1, max_size=8).filter(lambda b: b != b"\xff" * len(b)))
+def test_prefix_end_property(prefix):
+    end = keyspace.prefix_end(prefix)
+    assert end is not None
+    assert (prefix + b"\x00") < end
+    assert (prefix + b"\xff" * 4) < end

@@ -1,0 +1,101 @@
+"""Unit tests for ObjectType and the class-decorator form."""
+
+import pytest
+
+from repro.core import CollectionField, FieldKind, ObjectType, ValueField, method, readonly_method
+from repro.core.object_type import object_type
+from repro.errors import ModelError, UnknownFieldError
+from repro.wasm.module import Module
+
+
+def noop(self):
+    return None
+
+
+def test_explicit_construction():
+    otype = ObjectType(
+        "Account",
+        fields=[ValueField("balance", default=0), CollectionField("history")],
+        methods=[method(noop, name="touch")],
+    )
+    assert otype.field("balance").default == 0
+    assert otype.has_method("touch")
+    assert isinstance(otype.module, Module)
+
+
+def test_unknown_field_raises():
+    otype = ObjectType("T", fields=[ValueField("a")], methods=[method(noop)])
+    with pytest.raises(UnknownFieldError):
+        otype.field("b")
+
+
+def test_require_field_checks_kind():
+    otype = ObjectType(
+        "T", fields=[ValueField("v"), CollectionField("c")], methods=[method(noop)]
+    )
+    otype.require_field("v", FieldKind.VALUE)
+    with pytest.raises(UnknownFieldError):
+        otype.require_field("v", FieldKind.COLLECTION)
+    with pytest.raises(UnknownFieldError):
+        otype.require_field("c", FieldKind.VALUE)
+
+
+def test_field_kind_queries():
+    otype = ObjectType(
+        "T", fields=[ValueField("v"), CollectionField("c")], methods=[method(noop)]
+    )
+    assert [f.name for f in otype.value_fields()] == ["v"]
+    assert [f.name for f in otype.collection_fields()] == ["c"]
+
+
+def test_duplicate_field_rejected():
+    with pytest.raises(ModelError):
+        ObjectType("T", fields=[ValueField("a"), ValueField("a")], methods=[method(noop)])
+
+
+def test_field_method_name_collision_rejected():
+    with pytest.raises(ModelError):
+        ObjectType("T", fields=[ValueField("noop")], methods=[method(noop)])
+
+
+def test_empty_name_rejected():
+    with pytest.raises(ModelError):
+        ObjectType("", methods=[method(noop)])
+
+
+def test_decorator_form_collects_fields_and_methods():
+    @object_type
+    class User:
+        name = ValueField("name")
+        posts = CollectionField("posts")
+
+        @method
+        def rename(self, new_name):
+            self.set("name", new_name)
+
+        @readonly_method
+        def get_name(self):
+            return self.get("name")
+
+        @method(public=False)
+        def internal_hook(self):
+            pass
+
+    assert isinstance(User, ObjectType)
+    assert User.name == "User"
+    assert set(User.fields) == {"name", "posts"}
+    assert User.method_def("rename").public
+    assert User.method_def("get_name").readonly
+    assert not User.method_def("internal_hook").public
+
+
+def test_decorator_rejects_mismatched_field_name():
+    with pytest.raises(ModelError):
+
+        @object_type
+        class Bad:
+            wrong = ValueField("right")
+
+            @method
+            def touch(self):
+                pass

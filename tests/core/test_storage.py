@@ -1,0 +1,101 @@
+"""Unit and property tests for storage backends.
+
+The key property: MemoryBackend and KVBackend must be observationally
+identical under any operation sequence.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.storage import KVBackend, MemoryBackend
+from repro.kvstore import DB, WriteBatch
+
+
+def batch_of(*ops):
+    batch = WriteBatch()
+    for op in ops:
+        if len(op) == 2:
+            batch.put(*op)
+        else:
+            batch.delete(op[0])
+    return batch
+
+
+def test_memory_get_put():
+    backend = MemoryBackend()
+    backend.apply(batch_of((b"k", b"v")))
+    assert backend.get(b"k") == b"v"
+    assert backend.get(b"missing") is None
+
+
+def test_memory_delete():
+    backend = MemoryBackend()
+    backend.apply(batch_of((b"k", b"v")))
+    backend.apply(batch_of((b"k",)))
+    assert backend.get(b"k") is None
+    assert len(backend) == 0
+
+
+def test_memory_iterate_sorted_with_bounds():
+    backend = MemoryBackend()
+    backend.apply(batch_of((b"c", b"3"), (b"a", b"1"), (b"b", b"2"), (b"d", b"4")))
+    assert [k for k, _ in backend.iterate(b"b", b"d")] == [b"b", b"c"]
+    assert [k for k, _ in backend.iterate(b"", None)] == [b"a", b"b", b"c", b"d"]
+
+
+def test_memory_sequence_increases_per_op():
+    backend = MemoryBackend()
+    s1 = backend.apply(batch_of((b"a", b"1")))
+    s2 = backend.apply(batch_of((b"b", b"2"), (b"c", b"3")))
+    assert s2 > s1
+    assert backend.last_sequence == s2
+
+
+def test_memory_size_bytes():
+    backend = MemoryBackend()
+    backend.apply(batch_of((b"key", b"value")))
+    assert backend.size_bytes() == len(b"key") + len(b"value")
+
+
+def test_kv_backend_delegates(tmp_path):
+    with DB.open(str(tmp_path / "db")) as db:
+        backend = KVBackend(db)
+        backend.apply(batch_of((b"k", b"v")))
+        assert backend.get(b"k") == b"v"
+        assert [k for k, _ in backend.iterate(b"", None)] == [b"k"]
+        assert backend.last_sequence >= 1
+
+
+_ops = st.lists(
+    st.one_of(
+        st.tuples(st.just("put"), st.binary(min_size=1, max_size=5), st.binary(max_size=10)),
+        st.tuples(st.just("del"), st.binary(min_size=1, max_size=5), st.just(b"")),
+    ),
+    max_size=40,
+)
+
+
+@settings(max_examples=25, deadline=None, suppress_health_check=[HealthCheck.function_scoped_fixture])
+@given(_ops)
+def test_backends_observationally_equal(tmp_path_factory, ops):
+    directory = str(tmp_path_factory.mktemp("kv"))
+    memory = MemoryBackend()
+    with DB.open(directory) as db:
+        kv = KVBackend(db)
+        for op, key, value in ops:
+            batch = WriteBatch()
+            if op == "put":
+                batch.put(key, value)
+            else:
+                batch.delete(key)
+            memory.apply(batch)
+            second = WriteBatch()
+            if op == "put":
+                second.put(key, value)
+            else:
+                second.delete(key)
+            kv.apply(second)
+        assert list(memory.iterate(b"", None)) == list(kv.iterate(b"", None))
+        for _, key, _ in ops:
+            assert memory.get(key) == kv.get(key)

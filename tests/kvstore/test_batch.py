@@ -1,0 +1,105 @@
+"""Unit and property tests for WriteBatch."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import CorruptionError
+from repro.kvstore.batch import WriteBatch
+from repro.kvstore.record import ValueType
+
+
+def test_put_delete_recorded_in_order():
+    batch = WriteBatch()
+    batch.put(b"a", b"1").delete(b"b").put(b"c", b"3")
+    ops = list(batch.items())
+    assert ops == [
+        (ValueType.VALUE, b"a", b"1"),
+        (ValueType.DELETION, b"b", b""),
+        (ValueType.VALUE, b"c", b"3"),
+    ]
+
+
+def test_len_and_bool():
+    batch = WriteBatch()
+    assert not batch
+    assert len(batch) == 0
+    batch.put(b"k", b"v")
+    assert batch
+    assert len(batch) == 1
+
+
+def test_clear():
+    batch = WriteBatch()
+    batch.put(b"k", b"v")
+    batch.clear()
+    assert not batch
+
+
+def test_extend_appends():
+    a = WriteBatch()
+    a.put(b"x", b"1")
+    b = WriteBatch()
+    b.delete(b"y")
+    a.extend(b)
+    assert len(a) == 2
+
+
+def test_non_bytes_rejected():
+    batch = WriteBatch()
+    with pytest.raises(TypeError):
+        batch.put("str", b"v")  # type: ignore[arg-type]
+    with pytest.raises(TypeError):
+        batch.put(b"k", 123)  # type: ignore[arg-type]
+
+
+def test_encode_decode_roundtrip_simple():
+    batch = WriteBatch()
+    batch.put(b"key", b"value").delete(b"gone").put(b"", b"")
+    decoded = WriteBatch.decode(batch.encode())
+    assert list(decoded.items()) == list(batch.items())
+
+
+def test_decode_rejects_trailing_garbage():
+    data = WriteBatch().encode() + b"x"
+    with pytest.raises(CorruptionError):
+        WriteBatch.decode(data)
+
+
+def test_decode_rejects_bad_kind():
+    batch = WriteBatch()
+    batch.put(b"k", b"v")
+    data = bytearray(batch.encode())
+    data[1] = 9  # corrupt the op kind byte
+    with pytest.raises(CorruptionError):
+        WriteBatch.decode(bytes(data))
+
+
+def test_decode_rejects_truncation():
+    batch = WriteBatch()
+    batch.put(b"key", b"value")
+    data = batch.encode()
+    with pytest.raises(CorruptionError):
+        WriteBatch.decode(data[:-2])
+
+
+_ops = st.lists(
+    st.tuples(
+        st.booleans(),
+        st.binary(max_size=64),
+        st.binary(max_size=256),
+    ),
+    max_size=50,
+)
+
+
+@given(_ops)
+def test_roundtrip_property(ops):
+    batch = WriteBatch()
+    for is_put, key, value in ops:
+        if is_put:
+            batch.put(key, value)
+        else:
+            batch.delete(key)
+    decoded = WriteBatch.decode(batch.encode())
+    assert list(decoded.items()) == list(batch.items())

@@ -1,0 +1,115 @@
+"""Unit and property tests for data blocks."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import CorruptionError
+from repro.kvstore.block import Block, BlockBuilder
+from repro.kvstore.record import InternalRecord, MAX_SEQUENCE, ValueType
+
+
+def build_block(records):
+    builder = BlockBuilder()
+    for record in records:
+        builder.add(record)
+    return Block.decode(builder.finish())
+
+
+def test_roundtrip_preserves_records():
+    records = [
+        InternalRecord(b"apple", 3, ValueType.VALUE, b"red"),
+        InternalRecord(b"apricot", 2, ValueType.VALUE, b"orange"),
+        InternalRecord(b"banana", 1, ValueType.DELETION, b""),
+    ]
+    block = build_block(records)
+    assert list(block) == records
+
+
+def test_prefix_compression_shrinks_shared_keys():
+    shared = [InternalRecord(b"prefix/long/key/%03d" % i, i + 1, ValueType.VALUE, b"v") for i in range(50)]
+    builder = BlockBuilder()
+    for record in sorted(shared, key=lambda r: r.sort_key()):
+        builder.add(record)
+    compressed_size = len(builder.finish())
+    raw_size = sum(len(r.user_key) + len(r.value) + 9 for r in shared)
+    assert compressed_size < raw_size
+
+
+def test_get_finds_newest_visible():
+    records = [
+        InternalRecord(b"k", 5, ValueType.VALUE, b"v5"),
+        InternalRecord(b"k", 2, ValueType.VALUE, b"v2"),
+    ]
+    block = build_block(records)
+    assert block.get(b"k", MAX_SEQUENCE).value == b"v5"
+    assert block.get(b"k", 3).value == b"v2"
+    assert block.get(b"k", 1) is None
+    assert block.get(b"missing", MAX_SEQUENCE) is None
+
+
+def test_seek_returns_position():
+    records = [
+        InternalRecord(b"a", 1, ValueType.VALUE, b""),
+        InternalRecord(b"c", 2, ValueType.VALUE, b""),
+    ]
+    block = build_block(records)
+    assert block.seek(b"b", MAX_SEQUENCE) == 1
+    assert list(block.records_from(1))[0].user_key == b"c"
+
+
+def test_crc_detects_corruption():
+    builder = BlockBuilder()
+    builder.add(InternalRecord(b"key", 1, ValueType.VALUE, b"value"))
+    data = bytearray(builder.finish())
+    data[2] ^= 0xFF
+    with pytest.raises(CorruptionError):
+        Block.decode(bytes(data))
+
+
+def test_too_short_block_rejected():
+    with pytest.raises(CorruptionError):
+        Block.decode(b"tiny")
+
+
+def test_builder_reset_allows_reuse():
+    builder = BlockBuilder()
+    builder.add(InternalRecord(b"a", 1, ValueType.VALUE, b"1"))
+    builder.finish()
+    builder.reset()
+    builder.add(InternalRecord(b"b", 2, ValueType.VALUE, b"2"))
+    block = Block.decode(builder.finish())
+    assert [r.user_key for r in block] == [b"b"]
+
+
+def test_restart_points_every_interval():
+    builder = BlockBuilder(restart_interval=4)
+    records = [InternalRecord(b"key%02d" % i, i + 1, ValueType.VALUE, b"") for i in range(10)]
+    for record in records:
+        builder.add(record)
+    block = Block.decode(builder.finish())
+    assert list(block) == records
+
+
+_record_lists = st.lists(
+    st.tuples(st.binary(min_size=1, max_size=12), st.binary(max_size=32)),
+    min_size=1,
+    max_size=100,
+    unique_by=lambda t: t[0],
+)
+
+
+@given(_record_lists)
+def test_roundtrip_property(pairs):
+    records = sorted(
+        (
+            InternalRecord(key, seq + 1, ValueType.VALUE, value)
+            for seq, (key, value) in enumerate(pairs)
+        ),
+        key=lambda r: r.sort_key(),
+    )
+    block = build_block(records)
+    assert list(block) == records
+    for record in records:
+        found = block.get(record.user_key, MAX_SEQUENCE)
+        assert found is not None and found.value == record.value

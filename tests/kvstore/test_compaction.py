@@ -1,0 +1,120 @@
+"""Unit tests for compaction picking and version pruning."""
+
+from repro.kvstore.compaction import pick_compaction, prune_versions
+from repro.kvstore.record import InternalRecord, ValueType
+from repro.kvstore.version import FileMetadata, VersionEdit, VersionSet
+
+
+def meta(number, smallest, largest, size=1000):
+    return FileMetadata(number, smallest, largest, size, entry_count=10)
+
+
+def versions_with(files_by_level):
+    versions = VersionSet("/nonexistent")
+    edit = VersionEdit()
+    for level, files in files_by_level.items():
+        for file in files:
+            edit.added.append((level, file))
+    versions.apply(edit)
+    return versions
+
+
+def test_no_compaction_when_healthy():
+    versions = versions_with({0: [meta(1, b"a", b"z")]})
+    assert pick_compaction(versions) is None
+
+
+def test_l0_trigger_fires_at_threshold():
+    files = [meta(i, b"a", b"z") for i in range(1, 5)]
+    versions = versions_with({0: files})
+    compaction = pick_compaction(versions, l0_trigger=4)
+    assert compaction is not None
+    assert compaction.level == 0
+    assert len(compaction.inputs_upper) == 4
+
+
+def test_l0_compaction_pulls_overlapping_l1_files():
+    l0 = [meta(i, b"c", b"m") for i in range(1, 5)]
+    l1 = [meta(10, b"a", b"d"), meta(11, b"n", b"z")]
+    versions = versions_with({0: l0, 1: l1})
+    compaction = pick_compaction(versions)
+    assert [f.number for f in compaction.inputs_lower] == [10]
+
+
+def test_level_size_trigger():
+    big = [meta(i, b"a%d" % i, b"b%d" % i, size=5 * 1024 * 1024) for i in range(1, 4)]
+    versions = versions_with({1: big})
+    compaction = pick_compaction(versions, base_bytes=8 * 1024 * 1024)
+    assert compaction is not None
+    assert compaction.level == 1
+    assert len(compaction.inputs_upper) == 1
+
+
+def prune(records, snapshots, drop_tombstones=False):
+    return list(prune_versions(records, snapshots, drop_tombstones))
+
+
+def test_prune_keeps_only_newest_without_snapshots():
+    records = [
+        InternalRecord(b"k", 5, ValueType.VALUE, b"v5"),
+        InternalRecord(b"k", 3, ValueType.VALUE, b"v3"),
+        InternalRecord(b"k", 1, ValueType.VALUE, b"v1"),
+    ]
+    kept = prune(records, snapshots=[10])
+    assert [(r.sequence) for r in kept] == [5]
+
+
+def test_prune_preserves_snapshot_visible_versions():
+    records = [
+        InternalRecord(b"k", 5, ValueType.VALUE, b"v5"),
+        InternalRecord(b"k", 3, ValueType.VALUE, b"v3"),
+        InternalRecord(b"k", 1, ValueType.VALUE, b"v1"),
+    ]
+    # Snapshot at 2 still needs v1; snapshot at 4 needs v3; head needs v5.
+    kept = prune(records, snapshots=[2, 4, 10])
+    assert [r.sequence for r in kept] == [5, 3, 1]
+
+
+def test_prune_drops_future_records_never():
+    # A record newer than every snapshot boundary cannot be claimed and is
+    # dropped only if a newer version already claimed all boundaries — with
+    # a single record nothing shadows it, head snapshot must keep it.
+    records = [InternalRecord(b"k", 5, ValueType.VALUE, b"v5")]
+    kept = prune(records, snapshots=[5])
+    assert len(kept) == 1
+
+
+def test_prune_handles_multiple_keys_independently():
+    records = [
+        InternalRecord(b"a", 4, ValueType.VALUE, b"a4"),
+        InternalRecord(b"a", 2, ValueType.VALUE, b"a2"),
+        InternalRecord(b"b", 3, ValueType.VALUE, b"b3"),
+    ]
+    kept = prune(records, snapshots=[10])
+    assert [(r.user_key, r.sequence) for r in kept] == [(b"a", 4), (b"b", 3)]
+
+
+def test_tombstone_dropped_at_bottom_when_nothing_older_survives():
+    records = [
+        InternalRecord(b"k", 5, ValueType.DELETION, b""),
+        InternalRecord(b"k", 3, ValueType.VALUE, b"v3"),
+    ]
+    kept = prune(records, snapshots=[10], drop_tombstones=True)
+    assert kept == []
+
+
+def test_tombstone_kept_when_snapshot_needs_older_version():
+    records = [
+        InternalRecord(b"k", 5, ValueType.DELETION, b""),
+        InternalRecord(b"k", 3, ValueType.VALUE, b"v3"),
+    ]
+    # Snapshot at 4 must still see v3, so the tombstone must keep shadowing
+    # it for the head snapshot.
+    kept = prune(records, snapshots=[4, 10], drop_tombstones=True)
+    assert [(r.sequence, r.is_deletion) for r in kept] == [(5, True), (3, False)]
+
+
+def test_tombstone_kept_when_not_bottom_level():
+    records = [InternalRecord(b"k", 5, ValueType.DELETION, b"")]
+    kept = prune(records, snapshots=[10], drop_tombstones=False)
+    assert len(kept) == 1 and kept[0].is_deletion

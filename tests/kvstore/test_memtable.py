@@ -1,0 +1,99 @@
+"""Unit and property tests for the skiplist memtable."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.kvstore.memtable import MemTable
+from repro.kvstore.record import MAX_SEQUENCE, ValueType
+
+
+def test_get_returns_latest_version():
+    mem = MemTable()
+    mem.add(1, ValueType.VALUE, b"k", b"v1")
+    mem.add(2, ValueType.VALUE, b"k", b"v2")
+    record = mem.get(b"k", MAX_SEQUENCE)
+    assert record is not None and record.value == b"v2"
+
+
+def test_get_respects_snapshot_sequence():
+    mem = MemTable()
+    mem.add(1, ValueType.VALUE, b"k", b"v1")
+    mem.add(5, ValueType.VALUE, b"k", b"v5")
+    record = mem.get(b"k", 3)
+    assert record is not None and record.value == b"v1"
+
+
+def test_get_before_first_version_is_none():
+    mem = MemTable()
+    mem.add(10, ValueType.VALUE, b"k", b"v")
+    assert mem.get(b"k", 5) is None
+
+
+def test_get_missing_key_is_none():
+    mem = MemTable()
+    mem.add(1, ValueType.VALUE, b"a", b"v")
+    assert mem.get(b"b", MAX_SEQUENCE) is None
+
+
+def test_tombstone_returned_as_deletion():
+    mem = MemTable()
+    mem.add(1, ValueType.VALUE, b"k", b"v")
+    mem.add(2, ValueType.DELETION, b"k")
+    record = mem.get(b"k", MAX_SEQUENCE)
+    assert record is not None and record.is_deletion
+
+
+def test_iteration_is_sorted_newest_first_per_key():
+    mem = MemTable()
+    mem.add(1, ValueType.VALUE, b"b", b"b1")
+    mem.add(2, ValueType.VALUE, b"a", b"a2")
+    mem.add(3, ValueType.VALUE, b"b", b"b3")
+    records = list(mem)
+    assert [(r.user_key, r.sequence) for r in records] == [
+        (b"a", 2),
+        (b"b", 3),
+        (b"b", 1),
+    ]
+
+
+def test_iterate_from_seeks_correctly():
+    mem = MemTable()
+    for i, key in enumerate([b"a", b"c", b"e"], start=1):
+        mem.add(i, ValueType.VALUE, key, b"v")
+    keys = [r.user_key for r in mem.iterate_from(b"b", MAX_SEQUENCE)]
+    assert keys == [b"c", b"e"]
+
+
+def test_len_and_size_grow():
+    mem = MemTable()
+    assert len(mem) == 0
+    mem.add(1, ValueType.VALUE, b"key", b"value")
+    assert len(mem) == 1
+    assert mem.approximate_size > 0
+
+
+@given(
+    st.lists(
+        st.tuples(st.binary(min_size=1, max_size=8), st.binary(max_size=16)),
+        max_size=200,
+    )
+)
+def test_matches_model_dict(ops):
+    """Inserting versions in order and reading at head matches a dict."""
+    mem = MemTable()
+    model = {}
+    for sequence, (key, value) in enumerate(ops, start=1):
+        mem.add(sequence, ValueType.VALUE, key, value)
+        model[key] = value
+    for key, expected in model.items():
+        record = mem.get(key, MAX_SEQUENCE)
+        assert record is not None and record.value == expected
+
+
+@given(st.lists(st.binary(min_size=1, max_size=8), min_size=1, max_size=100))
+def test_iteration_sorted_property(keys):
+    mem = MemTable()
+    for sequence, key in enumerate(keys, start=1):
+        mem.add(sequence, ValueType.VALUE, key, b"")
+    sort_keys = [r.sort_key() for r in mem]
+    assert sort_keys == sorted(sort_keys)

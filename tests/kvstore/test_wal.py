@@ -1,0 +1,90 @@
+"""Unit tests for the write-ahead log."""
+
+import os
+
+import pytest
+
+from repro.errors import CorruptionError, DBClosedError
+from repro.kvstore.wal import WALWriter, read_wal
+
+
+def test_roundtrip(tmp_path):
+    path = str(tmp_path / "test.log")
+    with WALWriter(path) as wal:
+        wal.append(b"first")
+        wal.append(b"second")
+        wal.append(b"")
+    assert list(read_wal(path)) == [b"first", b"second", b""]
+
+
+def test_append_after_close_raises(tmp_path):
+    path = str(tmp_path / "test.log")
+    wal = WALWriter(path)
+    wal.close()
+    with pytest.raises(DBClosedError):
+        wal.append(b"x")
+
+
+def test_reopen_appends(tmp_path):
+    path = str(tmp_path / "test.log")
+    with WALWriter(path) as wal:
+        wal.append(b"a")
+    with WALWriter(path) as wal:
+        wal.append(b"b")
+    assert list(read_wal(path)) == [b"a", b"b"]
+
+
+def test_torn_tail_yields_valid_prefix(tmp_path):
+    path = str(tmp_path / "test.log")
+    with WALWriter(path) as wal:
+        wal.append(b"keep me")
+        wal.append(b"torn record")
+    size = os.path.getsize(path)
+    with open(path, "r+b") as file:
+        file.truncate(size - 3)
+    assert list(read_wal(path)) == [b"keep me"]
+
+
+def test_bitflip_detected_by_crc(tmp_path):
+    path = str(tmp_path / "test.log")
+    with WALWriter(path) as wal:
+        wal.append(b"aaaa")
+        wal.append(b"bbbb")
+    with open(path, "r+b") as file:
+        file.seek(8)  # inside the first payload
+        file.write(b"X")
+    assert list(read_wal(path)) == []  # damage in record 1 hides record 2 too
+
+
+def test_strict_mode_raises_on_damage(tmp_path):
+    path = str(tmp_path / "test.log")
+    with WALWriter(path) as wal:
+        wal.append(b"data")
+    with open(path, "r+b") as file:
+        file.seek(0)
+        file.write(b"\x00\x00\x00\x00")
+    with pytest.raises(CorruptionError):
+        list(read_wal(path, strict=True))
+
+
+def test_truncated_header_is_end_of_log(tmp_path):
+    path = str(tmp_path / "test.log")
+    with WALWriter(path) as wal:
+        wal.append(b"ok")
+    with open(path, "ab") as file:
+        file.write(b"\x01\x02")  # partial next header
+    assert list(read_wal(path)) == [b"ok"]
+
+
+def test_size_reports_bytes(tmp_path):
+    path = str(tmp_path / "test.log")
+    with WALWriter(path) as wal:
+        assert wal.size() == 0
+        wal.append(b"12345")
+        assert wal.size() == 8 + 5
+
+
+def test_empty_log_yields_nothing(tmp_path):
+    path = str(tmp_path / "empty.log")
+    WALWriter(path).close()
+    assert list(read_wal(path)) == []

@@ -1,0 +1,86 @@
+"""Unit tests for the container pool."""
+
+import pytest
+
+from repro.errors import NoCapacityError
+from repro.serverless.container import ContainerPool
+from repro.sim import Simulation
+
+
+def run_acquire(sim, pool):
+    """Run one acquire to completion; returns elapsed simulated ms."""
+    start = sim.now
+    process = sim.process(pool.acquire())
+    sim.run_until_triggered(process, limit=sim.now + 10_000)
+    return sim.now - start
+
+
+def test_first_acquisition_is_cold():
+    sim = Simulation()
+    pool = ContainerPool(sim, capacity=2, cold_start_ms=100.0, warm_start_ms=1.0)
+    elapsed = run_acquire(sim, pool)
+    assert elapsed == pytest.approx(100.0)
+    assert pool.stats.cold_starts == 1
+
+
+def test_released_container_is_warm():
+    sim = Simulation()
+    pool = ContainerPool(sim, capacity=2, cold_start_ms=100.0, warm_start_ms=1.0)
+    run_acquire(sim, pool)
+    pool.release()
+    elapsed = run_acquire(sim, pool)
+    assert elapsed == pytest.approx(1.0)
+    assert pool.stats.warm_starts == 1
+
+
+def test_keepalive_expiry_forces_cold_start():
+    sim = Simulation()
+    pool = ContainerPool(sim, capacity=2, cold_start_ms=100.0, warm_start_ms=1.0, keepalive_ms=50.0)
+    run_acquire(sim, pool)
+    pool.release()
+    sim.run(until=sim.now + 60.0)  # past keep-alive
+    elapsed = run_acquire(sim, pool)
+    assert elapsed == pytest.approx(100.0)
+    assert pool.stats.expirations == 1
+
+
+def test_capacity_limits_concurrency():
+    sim = Simulation()
+    pool = ContainerPool(sim, capacity=1, cold_start_ms=10.0, warm_start_ms=1.0)
+    holds = []
+
+    def worker(name):
+        yield from pool.acquire()
+        holds.append((name, sim.now))
+        yield sim.timeout(5.0)
+        pool.release()
+
+    sim.process(worker("a"))
+    sim.process(worker("b"))
+    sim.run()
+    # b could not start its container until a released the slot.
+    assert holds[1][1] > holds[0][1] + 5.0 - 1e-9
+
+
+def test_prewarm_avoids_cold_starts():
+    sim = Simulation()
+    pool = ContainerPool(sim, capacity=4, cold_start_ms=100.0, warm_start_ms=1.0)
+    pool.prewarm(4)
+    elapsed = run_acquire(sim, pool)
+    assert elapsed == pytest.approx(1.0)
+    assert pool.stats.cold_starts == 0
+
+
+def test_zero_capacity_rejected():
+    sim = Simulation()
+    with pytest.raises(NoCapacityError):
+        ContainerPool(sim, capacity=0)
+
+
+def test_warm_count_prunes_expired():
+    sim = Simulation()
+    pool = ContainerPool(sim, capacity=3, keepalive_ms=10.0)
+    pool.prewarm(3)
+    assert pool.warm_count() == 3
+    sim.run(until=sim.now + 20.0)
+    assert pool.warm_count() == 0

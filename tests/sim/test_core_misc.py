@@ -1,0 +1,98 @@
+"""Simulation core edge cases: re-entrancy, RNG streams, scheduling."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim import Simulation
+from repro.sim.rand import RandomStreams
+
+
+def test_negative_delay_rejected():
+    sim = Simulation()
+    with pytest.raises(SimulationError):
+        sim.timeout(-1.0)
+
+
+def test_reentrant_run_rejected():
+    sim = Simulation()
+
+    def body(sim):
+        yield sim.timeout(1.0)
+        sim.run()  # illegal: we're already inside run()
+
+    process = sim.process(body(sim))
+    sim.run()
+    assert not process.ok
+    assert isinstance(process.value, SimulationError)
+
+
+def test_same_instant_fifo_order():
+    sim = Simulation()
+    order = []
+    for index in range(5):
+        sim._schedule(1.0, lambda i=index: order.append(i))
+    sim.run()
+    assert order == [0, 1, 2, 3, 4]
+
+
+def test_run_with_until_leaves_future_work_queued():
+    sim = Simulation()
+    fired = []
+    sim._schedule(10.0, lambda: fired.append("late"))
+    sim.run(until=5.0)
+    assert fired == []
+    assert sim.now == 5.0
+    sim.run()
+    assert fired == ["late"]
+
+
+def test_rng_streams_independent():
+    sim = Simulation(seed=1)
+    a1 = sim.rng("a").random()
+    b1 = sim.rng("b").random()
+    sim2 = Simulation(seed=1)
+    # Drawing from b first must not change what a produces.
+    sim2.rng("b").random()
+    a2 = sim2.rng("a").random()
+    assert a1 == a2
+    assert a1 != b1
+
+
+def test_rng_streams_differ_across_seeds():
+    assert Simulation(seed=1).rng("x").random() != Simulation(seed=2).rng("x").random()
+
+
+def test_random_streams_fork():
+    parent = RandomStreams(7)
+    child_a = parent.fork("node-a")
+    child_b = parent.fork("node-b")
+    assert child_a.stream("s").random() != child_b.stream("s").random()
+    assert RandomStreams(7).fork("node-a").stream("s").random() == RandomStreams(7).fork(
+        "node-a"
+    ).stream("s").random()
+
+
+def test_run_until_triggered_time_limit():
+    sim = Simulation()
+
+    def body(sim):
+        yield sim.timeout(1000.0)
+
+    process = sim.process(body(sim))
+    with pytest.raises(SimulationError, match="limit"):
+        sim.run_until_triggered(process, limit=10.0)
+
+
+def test_clock_monotonic_across_events():
+    sim = Simulation()
+    stamps = []
+
+    def body(sim):
+        for _ in range(10):
+            yield sim.timeout(0.5)
+            stamps.append(sim.now)
+
+    sim.process(body(sim))
+    sim.run()
+    assert stamps == sorted(stamps)
+    assert stamps[-1] == pytest.approx(5.0)

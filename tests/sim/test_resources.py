@@ -1,0 +1,111 @@
+"""Unit tests for Resource and Store."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim import Resource, Simulation, Store
+
+
+def test_resource_serialises_beyond_capacity():
+    sim = Simulation()
+    cpu = Resource(sim, capacity=1)
+    spans = []
+
+    def job(sim, name, duration):
+        req = cpu.request()
+        yield req
+        start = sim.now
+        yield sim.timeout(duration)
+        cpu.release()
+        spans.append((name, start, sim.now))
+
+    sim.process(job(sim, "a", 5.0))
+    sim.process(job(sim, "b", 5.0))
+    sim.run()
+    assert spans == [("a", 0.0, 5.0), ("b", 5.0, 10.0)]
+
+
+def test_resource_parallelism_matches_capacity():
+    sim = Simulation()
+    cpu = Resource(sim, capacity=2)
+    ends = []
+
+    def job(sim):
+        yield cpu.request()
+        yield sim.timeout(4.0)
+        cpu.release()
+        ends.append(sim.now)
+
+    for _ in range(4):
+        sim.process(job(sim))
+    sim.run()
+    assert ends == [4.0, 4.0, 8.0, 8.0]
+
+
+def test_release_without_request_raises():
+    sim = Simulation()
+    cpu = Resource(sim, capacity=1)
+    with pytest.raises(SimulationError):
+        cpu.release()
+
+
+def test_bad_capacity_rejected():
+    sim = Simulation()
+    with pytest.raises(SimulationError):
+        Resource(sim, capacity=0)
+
+
+def test_resource_queue_length_tracks_waiters():
+    sim = Simulation()
+    cpu = Resource(sim, capacity=1)
+    cpu.request()
+    cpu.request()
+    cpu.request()
+    assert cpu.in_use == 1
+    assert cpu.queue_length == 2
+
+
+def test_store_fifo_order():
+    sim = Simulation()
+    store = Store(sim)
+    got = []
+
+    def consumer(sim):
+        for _ in range(3):
+            item = yield store.get()
+            got.append(item)
+
+    sim.process(consumer(sim))
+    store.put(1)
+    store.put(2)
+    store.put(3)
+    sim.run()
+    assert got == [1, 2, 3]
+
+
+def test_store_get_blocks_until_put():
+    sim = Simulation()
+    store = Store(sim)
+    got = []
+
+    def consumer(sim):
+        item = yield store.get()
+        got.append((item, sim.now))
+
+    def producer(sim):
+        yield sim.timeout(7.0)
+        store.put("late")
+
+    sim.process(consumer(sim))
+    sim.process(producer(sim))
+    sim.run()
+    assert got == [("late", 7.0)]
+
+
+def test_store_drain_empties_queue():
+    sim = Simulation()
+    store = Store(sim)
+    store.put("a")
+    store.put("b")
+    assert store.drain() == ["a", "b"]
+    assert len(store) == 0

@@ -1,0 +1,30 @@
+"""Every example script must run to completion (they assert internally)."""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).resolve().parent.parent / "examples"
+SCRIPTS = sorted(path.name for path in EXAMPLES_DIR.glob("*.py"))
+
+
+def test_examples_exist():
+    assert "quickstart.py" in SCRIPTS
+    assert len(SCRIPTS) >= 3
+
+
+@pytest.mark.parametrize("script", SCRIPTS)
+def test_example_runs(script):
+    completed = subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / script)],
+        capture_output=True,
+        text=True,
+        timeout=240,
+    )
+    assert completed.returncode == 0, (
+        f"{script} failed:\nstdout:\n{completed.stdout[-2000:]}\n"
+        f"stderr:\n{completed.stderr[-2000:]}"
+    )
+    assert completed.stdout.strip(), f"{script} produced no output"

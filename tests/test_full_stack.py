@@ -1,0 +1,97 @@
+"""Full-stack correctness: the cluster must compute exactly what a
+sequential oracle computes.
+
+A deterministic script of ReTwis operations runs through the complete
+distributed machinery (clients, network, locks, sandbox, replication);
+the same script replays on the embedded LocalRuntime.  Every observable
+result — timelines, profiles — must match, which pins down the whole
+stack end to end (the distributed system is "just" a faster LocalRuntime
+with failures).
+"""
+
+import pytest
+
+from repro.apps.retwis import user_type
+from repro.cluster import Cluster, ClusterConfig
+from repro.core import LocalRuntime, ObjectId
+from repro.sim import Simulation
+
+
+def make_script(num_users=8, rounds=3):
+    """A deterministic operation script over named users."""
+    users = [ObjectId.from_name(f"stack-user-{i}") for i in range(num_users)]
+    script = []
+    for i, user in enumerate(users):
+        script.append((user, "follow", (users[(i + 1) % num_users],)))
+        if i % 2 == 0:
+            script.append((user, "follow", (users[(i + 3) % num_users],)))
+    for round_number in range(rounds):
+        for i, user in enumerate(users):
+            if (i + round_number) % 3 == 0:
+                script.append((user, "create_post", (f"r{round_number} by {i}",)))
+        script.append((users[round_number % num_users], "block", (users[(round_number + 1) % num_users],)))
+    return users, script
+
+
+def observe(invoke, users):
+    """Everything we compare between the two executions."""
+    state = {}
+    for index, user in enumerate(users):
+        timeline = invoke(user, "get_timeline", 50)
+        state[index] = {
+            "texts": [post["text"] for post in timeline],
+            "profile": invoke(user, "get_profile"),
+        }
+    return state
+
+
+def run_on_cluster(users, script):
+    sim = Simulation(seed=5)
+    cluster = Cluster(sim, ClusterConfig(seed=5))
+    cluster.register_type(user_type())
+    cluster.start()
+    for index, user in enumerate(users):
+        cluster.create_object("User", object_id=user, initial={"name": f"u{index}"})
+    client = cluster.client("script")
+    for user, method_name, args in script:
+        cluster.run_invoke(client, user, method_name, *args)
+    return observe(lambda oid, m, *a: cluster.run_invoke(client, oid, m, *a), users)
+
+
+def run_on_oracle(users, script):
+    runtime = LocalRuntime(seed=5)
+    runtime.register_type(user_type())
+    for index, user in enumerate(users):
+        runtime.create_object("User", object_id=user, initial={"name": f"u{index}"})
+    for user, method_name, args in script:
+        runtime.invoke(user, method_name, *args)
+    return observe(runtime.invoke, users)
+
+
+def test_cluster_matches_sequential_oracle():
+    users, script = make_script()
+    cluster_state = run_on_cluster(users, script)
+    oracle_state = run_on_oracle(users, script)
+    for index in cluster_state:
+        assert cluster_state[index]["texts"] == oracle_state[index]["texts"], index
+        assert (
+            cluster_state[index]["profile"] == oracle_state[index]["profile"]
+        ), index
+
+
+def test_cluster_matches_oracle_with_sharding():
+    users, script = make_script(num_users=6, rounds=2)
+    sim = Simulation(seed=9)
+    cluster = Cluster(sim, ClusterConfig(seed=9, num_storage_nodes=4, num_shards=2))
+    cluster.register_type(user_type())
+    cluster.start()
+    for index, user in enumerate(users):
+        cluster.create_object("User", object_id=user, initial={"name": f"u{index}"})
+    client = cluster.client("script")
+    for user, method_name, args in script:
+        cluster.run_invoke(client, user, method_name, *args)
+    sharded_state = observe(
+        lambda oid, m, *a: cluster.run_invoke(client, oid, m, *a), users
+    )
+    oracle_state = run_on_oracle(users, script)
+    assert sharded_state == oracle_state

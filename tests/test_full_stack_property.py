@@ -1,0 +1,75 @@
+"""Property-based full-stack equivalence: random operation scripts must
+produce identical observable state on the cluster and the sequential
+oracle (LocalRuntime)."""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.apps.bank import account_type
+from repro.cluster import Cluster, ClusterConfig
+from repro.core import LocalRuntime, ObjectId
+from repro.errors import RequestTimeout
+from repro.sim import Simulation
+
+ACCOUNTS = [ObjectId.from_name(f"prop-account-{i}") for i in range(3)]
+
+_ops = st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=2),  # which account
+        st.sampled_from(["deposit", "withdraw", "transfer"]),
+        st.integers(min_value=1, max_value=40),
+    ),
+    min_size=1,
+    max_size=12,
+)
+
+
+def apply_script(invoke, script):
+    """Run a script; returns per-op outcome ('ok'/'err') list."""
+    outcomes = []
+    for index, (account_index, op, amount) in enumerate(script):
+        source = ACCOUNTS[account_index]
+        args = (amount,)
+        if op == "transfer":
+            args = (ACCOUNTS[(account_index + 1) % len(ACCOUNTS)], amount)
+        try:
+            invoke(source, op, *args)
+            outcomes.append("ok")
+        except Exception:
+            outcomes.append("err")
+    return outcomes
+
+
+@settings(
+    max_examples=12,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(_ops)
+def test_cluster_equals_oracle_for_random_scripts(script):
+    # Oracle: plain sequential runtime.
+    oracle = LocalRuntime(seed=3)
+    oracle.register_type(account_type())
+    for account in ACCOUNTS:
+        oracle.create_object("Account", object_id=account, initial={"balance": 30})
+    oracle_outcomes = apply_script(oracle.invoke, script)
+    oracle_balances = [oracle.invoke(a, "get_balance") for a in ACCOUNTS]
+
+    # The distributed system, same script, sequential submission.
+    sim = Simulation(seed=3)
+    cluster = Cluster(sim, ClusterConfig(seed=3))
+    cluster.register_type(account_type())
+    cluster.start()
+    for account in ACCOUNTS:
+        cluster.create_object("Account", object_id=account, initial={"balance": 30})
+    client = cluster.client("prop")
+
+    def cluster_invoke(oid, method, *args):
+        return cluster.run_invoke(client, oid, method, *args)
+
+    cluster_outcomes = apply_script(cluster_invoke, script)
+    cluster_balances = [cluster_invoke(a, "get_balance") for a in ACCOUNTS]
+
+    assert cluster_outcomes == oracle_outcomes
+    assert cluster_balances == oracle_balances

@@ -1,0 +1,66 @@
+"""Tests for the closed-loop driver against a real (tiny) cluster."""
+
+import random
+
+from repro.workload.clients import ClosedLoopDriver
+from repro.workload.retwis_load import RetwisDataset, RetwisParams, RetwisWorkload
+
+from tests.cluster.conftest import build_cluster
+
+
+def tiny_driver(seed=2, num_clients=5, duration_ms=60.0, warmup_ms=10.0, **cluster_kwargs):
+    sim, cluster = build_cluster(seed=seed, **cluster_kwargs)
+    dataset = RetwisDataset(
+        RetwisParams(num_accounts=30, avg_follows=3, seed_posts_per_account=2, seed=seed)
+    )
+    dataset.setup(cluster)
+    workload = RetwisWorkload(dataset, RetwisWorkload.GET_TIMELINE)
+    driver = ClosedLoopDriver(
+        sim, cluster, workload, num_clients=num_clients,
+        duration_ms=duration_ms, warmup_ms=warmup_ms,
+    )
+    return sim, cluster, driver
+
+
+def test_driver_completes_operations():
+    _sim, _cluster, driver = tiny_driver()
+    result = driver.run()
+    assert result.total_completed > 10
+    assert result.failures == 0
+    assert "get_timeline" in result.reports
+
+
+def test_driver_latencies_positive():
+    _sim, _cluster, driver = tiny_driver()
+    result = driver.run()
+    report = result.primary_report()
+    assert all(latency > 0 for latency in report.latencies_ms)
+    assert report.throughput_per_sec > 0
+
+
+def test_more_clients_more_throughput_until_saturation():
+    _s1, _c1, few = tiny_driver(num_clients=2)
+    _s2, _c2, many = tiny_driver(num_clients=10)
+    few_result = few.run()
+    many_result = many.run()
+    assert many_result.total_completed > few_result.total_completed
+
+
+def test_driver_is_deterministic():
+    def run_once():
+        _sim, _cluster, driver = tiny_driver()
+        result = driver.run()
+        return (
+            result.total_completed,
+            round(result.primary_report().median_ms, 9),
+        )
+
+    assert run_once() == run_once()
+
+
+def test_warmup_discards_early_completions():
+    _sim, _cluster, driver = tiny_driver(warmup_ms=30.0)
+    result = driver.run()
+    # Something completed during warm-up and was discarded.
+    assert driver.recorder.discarded > 0
+    assert result.total_completed > 0

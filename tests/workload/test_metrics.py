@@ -1,0 +1,79 @@
+"""Unit tests for latency recording and report math."""
+
+import pytest
+
+from repro.workload.metrics import LatencyRecorder, WorkloadReport, percentile
+
+
+def test_percentile_basic():
+    data = sorted([1.0, 2.0, 3.0, 4.0, 5.0])
+    assert percentile(data, 0.0) == 1.0
+    assert percentile(data, 0.5) == 3.0
+    assert percentile(data, 1.0) == 5.0
+
+
+def test_percentile_errors():
+    with pytest.raises(ValueError):
+        percentile([], 0.5)
+    with pytest.raises(ValueError):
+        percentile([1.0], 1.5)
+
+
+def test_report_throughput():
+    report = WorkloadReport("op", completed=500, duration_ms=1000.0, latencies_ms=[1.0] * 500)
+    assert report.throughput_per_sec == pytest.approx(500.0)
+
+
+def test_report_zero_duration():
+    report = WorkloadReport("op", completed=0, duration_ms=0.0, latencies_ms=[])
+    assert report.throughput_per_sec == 0.0
+
+
+def test_report_latency_stats():
+    latencies = [float(i) for i in range(1, 101)]
+    report = WorkloadReport("op", completed=100, duration_ms=1000.0, latencies_ms=latencies)
+    assert report.median_ms == pytest.approx(50.0, abs=1.0)
+    assert report.p99_ms >= 99.0
+    assert report.mean_ms == pytest.approx(50.5)
+
+
+def test_report_row_shape():
+    report = WorkloadReport("op", completed=2, duration_ms=100.0, latencies_ms=[1.0, 2.0])
+    row = report.to_row()
+    assert set(row) == {
+        "operation",
+        "completed",
+        "throughput_per_sec",
+        "median_ms",
+        "p99_ms",
+        "mean_ms",
+    }
+
+
+def test_recorder_discards_warmup():
+    recorder = LatencyRecorder(warmup_ms=100.0)
+    recorder.record(50.0, "op", 1.0)
+    recorder.record(150.0, "op", 2.0)
+    assert recorder.discarded == 1
+    assert recorder.report("op").completed == 1
+
+
+def test_recorder_separates_operations():
+    recorder = LatencyRecorder()
+    recorder.record(1.0, "read", 0.5)
+    recorder.record(2.0, "write", 1.5)
+    assert recorder.operations() == ["read", "write"]
+    assert recorder.report("read").latencies_ms == [0.5]
+
+
+def test_recorder_measured_duration():
+    recorder = LatencyRecorder(warmup_ms=100.0)
+    recorder.record(150.0, "op", 1.0)
+    recorder.record(400.0, "op", 1.0)
+    assert recorder.measured_duration_ms == pytest.approx(300.0)
+
+
+def test_recorder_empty():
+    recorder = LatencyRecorder()
+    assert recorder.measured_duration_ms == 0.0
+    assert recorder.reports() == {}

@@ -1,0 +1,59 @@
+"""Tests for the weighted workload mix."""
+
+import random
+
+import pytest
+
+from repro.workload.retwis_load import (
+    MixedRetwisWorkload,
+    RetwisDataset,
+    RetwisParams,
+    RetwisWorkload,
+)
+
+from tests.workload.test_retwis_load import LocalPlatformAdapter
+
+
+@pytest.fixture()
+def dataset():
+    platform = LocalPlatformAdapter()
+    built = RetwisDataset(RetwisParams(num_accounts=40, avg_follows=3, seed=1))
+    built.setup(platform)
+    return built
+
+
+def test_mix_roughly_matches_weights(dataset):
+    workload = MixedRetwisWorkload(
+        dataset, {RetwisWorkload.GET_TIMELINE: 0.8, RetwisWorkload.POST: 0.2}
+    )
+    rng = random.Random(0)
+    methods = [workload.next_operation(rng)[1] for _ in range(1000)]
+    reads = methods.count("get_timeline")
+    posts = methods.count("create_post")
+    assert reads + posts == 1000
+    assert 700 < reads < 900
+
+
+def test_single_component_mix(dataset):
+    workload = MixedRetwisWorkload(dataset, {RetwisWorkload.FOLLOW: 1.0})
+    rng = random.Random(1)
+    assert all(workload.next_operation(rng)[1] == "follow" for _ in range(20))
+
+
+def test_weights_normalised(dataset):
+    # Weights 3:1 behave like 0.75:0.25.
+    workload = MixedRetwisWorkload(
+        dataset, {RetwisWorkload.GET_TIMELINE: 3, RetwisWorkload.POST: 1}
+    )
+    rng = random.Random(2)
+    methods = [workload.next_operation(rng)[1] for _ in range(800)]
+    assert 500 < methods.count("get_timeline") < 700
+
+
+def test_invalid_mixes_rejected(dataset):
+    with pytest.raises(ValueError):
+        MixedRetwisWorkload(dataset, {})
+    with pytest.raises(ValueError):
+        MixedRetwisWorkload(dataset, {RetwisWorkload.POST: 0.0})
+    with pytest.raises(ValueError):
+        MixedRetwisWorkload(dataset, {"Nope": 1.0})

@@ -1,0 +1,110 @@
+"""Tests for dataset construction and workload generation."""
+
+import random
+
+import pytest
+
+from repro.core import LocalRuntime
+from repro.workload.retwis_load import RetwisDataset, RetwisParams, RetwisWorkload
+
+
+class LocalPlatformAdapter:
+    """Adapts LocalRuntime to the platform interface datasets expect."""
+
+    def __init__(self):
+        self.runtime = LocalRuntime(seed=0)
+
+    def register_type(self, object_type):
+        self.runtime.register_type(object_type)
+
+    def create_object(self, type_name, object_id=None, initial=None):
+        return self.runtime.create_object(type_name, object_id=object_id, initial=initial)
+
+
+@pytest.fixture()
+def loaded():
+    platform = LocalPlatformAdapter()
+    dataset = RetwisDataset(
+        RetwisParams(num_accounts=60, avg_follows=5, seed_posts_per_account=3, seed=4)
+    )
+    dataset.setup(platform)
+    return platform, dataset
+
+
+def test_creates_every_account(loaded):
+    platform, dataset = loaded
+    assert len(dataset.accounts) == 60
+    for oid in dataset.accounts[:5]:
+        profile = platform.runtime.invoke(oid, "get_profile")
+        assert profile["name"].startswith("user-")
+
+
+def test_follower_graph_is_consistent(loaded):
+    platform, dataset = loaded
+    total_followers = sum(dataset.follower_counts)
+    total_following = sum(
+        platform.runtime.invoke(oid, "get_profile")["following"] for oid in dataset.accounts
+    )
+    assert total_followers == total_following
+    assert 0 < dataset.mean_followers() <= 5
+
+
+def test_popularity_is_skewed(loaded):
+    _platform, dataset = loaded
+    # Rank-0 account should have far more followers than the median.
+    ranked = sorted(dataset.follower_counts, reverse=True)
+    assert ranked[0] >= 3 * max(ranked[len(ranked) // 2], 1)
+
+
+def test_seed_posts_present(loaded):
+    platform, dataset = loaded
+    timeline = platform.runtime.invoke(dataset.accounts[0], "get_timeline", 10)
+    assert len(timeline) == 3
+
+
+def test_posting_works_after_seeding(loaded):
+    platform, dataset = loaded
+    oid = dataset.accounts[1]
+    platform.runtime.invoke(oid, "create_post", "fresh")
+    timeline = platform.runtime.invoke(oid, "get_timeline", 10)
+    assert timeline[0]["text"] == "fresh"
+
+
+def test_dataset_deterministic():
+    def build():
+        platform = LocalPlatformAdapter()
+        dataset = RetwisDataset(RetwisParams(num_accounts=30, avg_follows=4, seed=9))
+        dataset.setup(platform)
+        return dataset.follower_counts
+
+    assert build() == build()
+
+
+def test_workload_operations_shape(loaded):
+    _platform, dataset = loaded
+    rng = random.Random(0)
+    post = RetwisWorkload(dataset, RetwisWorkload.POST)
+    oid, method, args = post.next_operation(rng)
+    assert method == "create_post" and len(args) == 1
+
+    read = RetwisWorkload(dataset, RetwisWorkload.GET_TIMELINE, timeline_limit=7)
+    oid, method, args = read.next_operation(rng)
+    assert method == "get_timeline" and args == (7,)
+
+    follow = RetwisWorkload(dataset, RetwisWorkload.FOLLOW)
+    oid, method, args = follow.next_operation(rng)
+    assert method == "follow" and args[0] != oid
+
+
+def test_workload_rejects_unknown_name(loaded):
+    _platform, dataset = loaded
+    with pytest.raises(ValueError):
+        RetwisWorkload(dataset, "Nope")
+
+
+def test_post_messages_unique(loaded):
+    _platform, dataset = loaded
+    rng = random.Random(1)
+    workload = RetwisWorkload(dataset, RetwisWorkload.POST)
+    messages = {workload.next_operation(rng)[2][0] for _ in range(50)}
+    assert len(messages) == 50

@@ -1,0 +1,88 @@
+"""Unit and property tests for the Zipf sampler."""
+
+import random
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.workload.zipf import ZipfSampler
+
+
+def test_samples_within_range():
+    sampler = ZipfSampler(100, 1.0)
+    rng = random.Random(0)
+    assert all(0 <= sampler.sample(rng) < 100 for _ in range(1000))
+
+
+def test_rank_zero_most_popular():
+    sampler = ZipfSampler(1000, 1.0)
+    rng = random.Random(1)
+    counts = [0] * 1000
+    for _ in range(20_000):
+        counts[sampler.sample(rng)] += 1
+    assert counts[0] == max(counts)
+    assert counts[0] > 5 * (sum(counts[500:]) / 500)
+
+
+def test_zero_exponent_is_uniform():
+    sampler = ZipfSampler(10, 0.0)
+    rng = random.Random(2)
+    counts = [0] * 10
+    for _ in range(10_000):
+        counts[sampler.sample(rng)] += 1
+    assert max(counts) < 2 * min(counts)
+
+
+def test_higher_exponent_more_skewed():
+    rng1, rng2 = random.Random(3), random.Random(3)
+    mild = ZipfSampler(100, 0.5)
+    harsh = ZipfSampler(100, 1.5)
+    mild_head = sum(mild.sample(rng1) == 0 for _ in range(5000))
+    harsh_head = sum(harsh.sample(rng2) == 0 for _ in range(5000))
+    assert harsh_head > mild_head
+
+
+def test_probabilities_sum_to_one():
+    sampler = ZipfSampler(50, 1.2)
+    total = sum(sampler.probability(rank) for rank in range(50))
+    assert total == pytest.approx(1.0)
+
+
+def test_probability_monotonically_decreasing():
+    sampler = ZipfSampler(20, 1.0)
+    probabilities = [sampler.probability(rank) for rank in range(20)]
+    assert probabilities == sorted(probabilities, reverse=True)
+
+
+def test_invalid_parameters_rejected():
+    with pytest.raises(ValueError):
+        ZipfSampler(0)
+    with pytest.raises(ValueError):
+        ZipfSampler(10, -1.0)
+    with pytest.raises(ValueError):
+        ZipfSampler(10).probability(10)
+
+
+def test_single_element_population():
+    sampler = ZipfSampler(1, 1.0)
+    assert sampler.sample(random.Random(0)) == 0
+    assert sampler.probability(0) == pytest.approx(1.0)
+
+
+@given(
+    st.integers(min_value=1, max_value=500),
+    st.floats(min_value=0.0, max_value=3.0),
+    st.integers(min_value=0, max_value=1000),
+)
+def test_sample_always_in_range_property(n, exponent, seed):
+    sampler = ZipfSampler(n, exponent)
+    rng = random.Random(seed)
+    for _ in range(20):
+        assert 0 <= sampler.sample(rng) < n
+
+
+def test_deterministic_under_seed():
+    a = [ZipfSampler(100, 1.0).sample(random.Random(7)) for _ in range(1)]
+    b = [ZipfSampler(100, 1.0).sample(random.Random(7)) for _ in range(1)]
+    assert a == b
