@@ -1,0 +1,24 @@
+"""Chaos soak: randomized fault schedules + full consistency checking.
+
+Unlike the figure/table benchmarks this regenerates no paper artifact; it
+is the confidence artifact — a multi-seed nemesis soak whose acceptance
+is the consistency checker coming back clean on every seed."""
+
+from repro.bench.chaos import chaos_soak
+
+from benchmarks.conftest import run_once
+
+
+def test_chaos_soak_stays_consistent(benchmark, cal):
+    result = run_once(benchmark, chaos_soak, cal)
+    benchmark.extra_info.update(result["summary"])
+
+    assert result["summary"]["all_consistent"], [
+        row["violations"] for row in result["rows"] if not row["consistent"]
+    ]
+    for row in result["rows"]:
+        assert row["quiesced"], f"seed {row['seed']} failed to quiesce"
+        assert row["operations"] > 100
+    # the soak must actually have been adversarial
+    assert result["summary"]["total_nemesis_events"] > 10
+    assert any(row["messages_dropped"] > 0 for row in result["rows"])

@@ -18,6 +18,7 @@ from repro.bench.calibration import (
     PAPER_TABLE1,
     preset,
 )
+from repro.bench.chaos import chaos_soak
 from repro.bench.harness import (
     AGGREGATED,
     DISAGGREGATED,
@@ -625,4 +626,5 @@ ALL_EXPERIMENTS = {
     "abl_fanout": abl_fanout,
     "abl_migration": abl_migration,
     "abl_failover": abl_failover,
+    "chaos_soak": chaos_soak,
 }

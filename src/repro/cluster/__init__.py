@@ -27,6 +27,7 @@ Typical use::
 from repro.cluster.cluster import Cluster, ClusterConfig
 from repro.cluster.client import ClusterClient
 from repro.cluster.coordinator import CoordinatorNode, CoordinatorState
+from repro.cluster.dedupe import CompletedRequestTable, split_request_id
 from repro.cluster.migration import Migrator
 from repro.cluster.paxos import PaxosNode
 from repro.cluster.rebalancer import Rebalancer
@@ -38,6 +39,7 @@ __all__ = [
     "Cluster",
     "ClusterClient",
     "ClusterConfig",
+    "CompletedRequestTable",
     "CoordinatorNode",
     "CoordinatorState",
     "Migrator",
@@ -48,4 +50,5 @@ __all__ = [
     "StoreNode",
     "TransactionCoordinator",
     "enable_transactions",
+    "split_request_id",
 ]

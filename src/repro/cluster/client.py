@@ -20,12 +20,16 @@ from repro.errors import RequestTimeout
 class ClusterClient:
     """One simulated client endpoint; drive it from a simulation process."""
 
+    #: reply errors that mean "back off, refresh config, and retry"
+    RETRYABLE_ERRORS = ("wrong epoch", "node behind", "not primary", "migration in progress")
+
     def __init__(
         self,
         cluster: Any,
         name: str,
         request_timeout_ms: float = 1_000.0,
         max_attempts: int = 40,
+        recorder: Any = None,
     ) -> None:
         self.cluster = cluster
         self.sim = cluster.sim
@@ -38,6 +42,9 @@ class ClusterClient:
         self.shard_map = cluster.bootstrap_shard_map
         self._timeout = request_timeout_ms
         self._max_attempts = max_attempts
+        #: optional chaos-harness HistoryRecorder: every invocation is
+        #: logged as (invoke_at, return_at, object, method, args, result)
+        self.recorder = recorder
         #: (latency_ms, method) per successful invocation, for metrics
         self.completions: list[tuple[float, str]] = []
         # A single pump moves inbox messages into a scannable mailbox so
@@ -55,6 +62,9 @@ class ClusterClient:
         started = self.sim.now
         self._counter += 1
         request_id = f"{self.name}#{self._counter}"
+        record = None
+        if self.recorder is not None:
+            record = self.recorder.begin(self.name, str(object_id), method, args, started)
 
         last_error = "no attempts made"
         for attempt in range(self._max_attempts):
@@ -74,10 +84,14 @@ class ClusterClient:
             )
             if reply is not None and reply.ok:
                 self.completions.append((self.sim.now - started, method))
+                if record is not None:
+                    self.recorder.finish(record, self.sim.now, reply.value)
                 return reply.value
             if reply is not None:
                 last_error = reply.error
-                if reply.error not in ("wrong epoch", "not primary", "migration in progress"):
+                if reply.error not in self.RETRYABLE_ERRORS:
+                    if record is not None:
+                        self.recorder.fail(record, self.sim.now, reply.error)
                     raise RequestTimeout(
                         f"{method} on {object_id.short} failed: {reply.error}"
                     )
@@ -86,6 +100,8 @@ class ClusterClient:
             # Stale routing or node failure: refresh config and back off.
             yield from self.refresh_config()
             yield self.sim.timeout(self._rng.uniform(0.1, 0.5) * (1 + attempt))
+        if record is not None:
+            self.recorder.fail(record, self.sim.now, last_error)
         raise RequestTimeout(
             f"{method} on {object_id.short} gave up after "
             f"{self._max_attempts} attempts: {last_error}"

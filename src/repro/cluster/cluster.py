@@ -51,6 +51,10 @@ class ClusterConfig:
     #: when set, each storage node persists through the real LSM store in
     #: ``<durable_dir>/<node name>`` instead of an in-memory backend
     durable_dir: Optional[str] = None
+    #: LRU backstop for the per-node at-most-once reply tables
+    completed_cap: int = 4096
+    #: retransmission budget for RemoteCharge delivery to nested-call owners
+    charge_max_attempts: int = 5
     seed: int = 0
 
 
@@ -109,6 +113,8 @@ class Cluster:
                 heartbeat_interval_ms=self.config.heartbeat_interval_ms,
                 ack_timeout_ms=self.config.ack_timeout_ms,
                 storage=storage,
+                completed_cap=self.config.completed_cap,
+                charge_max_attempts=self.config.charge_max_attempts,
             )
             node.install_config(self.bootstrap_epoch, self.bootstrap_shard_map.copy())
             self.nodes[name] = node
@@ -252,6 +258,60 @@ class Cluster:
     def crash_node(self, name: str) -> None:
         """Fail-stop a storage node."""
         self.node(name).crash()
+
+    def recover_node(self, name: str) -> None:
+        """Bring a crashed storage node back online (state intact)."""
+        self.node(name).recover()
+
+    def live_nodes(self) -> list[StoreNode]:
+        """Storage nodes currently up."""
+        return [node for node in self.nodes.values() if not node.crashed]
+
+    # -- quiescence (used by the chaos/consistency harness) -------------------
+
+    def is_quiet(self) -> bool:
+        """Whether no request, replication round, or remote charge is in
+        flight anywhere on a live node.
+
+        Backup appliers only count while their node is still a member of
+        the shard under the applier's recorded primary — an applier
+        stranded by reconfiguration can legitimately hold buffered
+        sequences forever.
+        """
+        _epoch, shard_map = self.current_config()
+        for node in self.live_nodes():
+            if node._inflight or node._ack_waiters or node._charge_waiters:
+                return False
+            for shard_id, applier in node.backup_appliers.items():
+                if applier.pending_count == 0:
+                    continue
+                replica_set = next(
+                    (rs for rs in shard_map.replica_sets if rs.shard_id == shard_id), None
+                )
+                if (
+                    replica_set is not None
+                    and node.name in replica_set.members
+                    and getattr(applier, "primary", None) == replica_set.primary
+                ):
+                    return False
+        return True
+
+    def quiesce(self, settle_ms: float = 25.0, max_ms: float = 10_000.0) -> bool:
+        """Run the simulation until the cluster is quiescent (no in-flight
+        work for two consecutive settle windows).  Returns True on success,
+        False if ``max_ms`` of simulated time elapsed first.  Callers must
+        clear injected faults (heal partitions, zero drop rates) first."""
+        deadline = self.sim.now + max_ms
+        quiet_streak = 0
+        while self.sim.now < deadline:
+            self.sim.run(until=self.sim.now + settle_ms)
+            if self.is_quiet():
+                quiet_streak += 1
+                if quiet_streak >= 2:
+                    return True
+            else:
+                quiet_streak = 0
+        return self.is_quiet()
 
     def close(self) -> None:
         """Close any durable databases the cluster opened."""

@@ -89,23 +89,35 @@ class Migrator:
         if not entries:
             raise ClusterError(f"object {object_id.short} has no data at source")
 
-        # 2. install at the destination primary
-        move = MigrateObject(object_id, entries, epoch, sender=self.name)
-        self.net.send(self.name, destination.primary, move, size_bytes=move.size())
-        ack = yield from self._await(
-            lambda p: isinstance(p, MigrateAck) and p.object_id == object_id
-        )
-        if ack is None or not ack.ok:
-            raise ClusterError(f"migration copy of {object_id.short} failed")
+        try:
+            # 2. install at the destination primary
+            move = MigrateObject(object_id, entries, epoch, sender=self.name)
+            self.net.send(self.name, destination.primary, move, size_bytes=move.size())
+            ack = yield from self._await(
+                lambda p: isinstance(p, MigrateAck) and p.object_id == object_id
+            )
+            if ack is None or not ack.ok:
+                raise ClusterError(f"migration copy of {object_id.short} failed")
 
-        # 3. flip ownership through the coordination service
-        self._counter += 1
-        command = CoordCommand(
-            command_id=f"{self.name}#{self._counter}",
-            kind="move_object",
-            payload={"object_id": object_id, "to_shard": to_shard},
-        )
-        yield from self._submit_command(command)
+            # 3. flip ownership through the coordination service
+            self._counter += 1
+            command = CoordCommand(
+                command_id=f"{self.name}#{self._counter}",
+                kind="move_object",
+                payload={"object_id": object_id, "to_shard": to_shard},
+            )
+            yield from self._submit_command(command)
+        except ClusterError:
+            # Abort: unfreeze at the source *without* dropping its state so
+            # the object keeps serving (fire a few times — the unfreeze is
+            # idempotent and the network may be lossy mid-chaos).
+            rollback = UnfreezeObject(object_id, drop=False)
+            for _ in range(3):
+                self.net.send(
+                    self.name, source.primary, rollback, size_bytes=rollback.size()
+                )
+                yield self.sim.timeout(1.0)
+            raise
 
         # 4. release the source
         unfreeze = UnfreezeObject(object_id, drop=True)

@@ -27,15 +27,27 @@ class ReplicationStats:
 
 
 class PrimaryReplicationLog:
-    """Primary-side sequence assignment and ack tracking."""
+    """Primary-side sequence assignment and ack tracking.
+
+    History entries are retained only while their replication round is in
+    flight: :meth:`mark_complete` advances a contiguous completion
+    watermark and prunes everything at or below it, so the log's memory is
+    bounded by the number of concurrently outstanding rounds instead of
+    growing for the node's lifetime.
+    """
 
     def __init__(self, shard_id: int) -> None:
         self.shard_id = shard_id
         self._next_sequence = 1
         #: sequence -> set of backups that acked
         self._acks: dict[int, set[str]] = {}
-        #: sequence -> encoded batches, kept for backup catch-up
+        #: sequence -> encoded batches, kept for retransmission while the
+        #: replication round is outstanding
         self.history: dict[int, list[bytes]] = {}
+        #: completed rounds above the contiguous watermark
+        self._complete: set[int] = set()
+        #: every sequence <= this has finished replicating and been pruned
+        self.completed_through = 0
         self.stats = ReplicationStats()
 
     def next_sequence(self, batches: list[bytes]) -> int:
@@ -66,6 +78,26 @@ class PrimaryReplicationLog:
         for done in [s for s in self.history if s <= sequence]:
             del self.history[done]
 
+    def mark_complete(self, sequence: int) -> None:
+        """Record that ``sequence``'s replication round finished (every
+        live backup acked, or the stragglers left the replica set) and
+        prune the contiguous completed prefix."""
+        if sequence <= self.completed_through:
+            return
+        self._complete.add(sequence)
+        advanced = False
+        while self.completed_through + 1 in self._complete:
+            self.completed_through += 1
+            self._complete.discard(self.completed_through)
+            advanced = True
+        if advanced:
+            self.forget_through(self.completed_through)
+
+    @property
+    def retained(self) -> int:
+        """History entries still held for in-flight rounds."""
+        return len(self.history)
+
 
 class BackupApplier:
     """Backup-side in-order application with out-of-order buffering."""
@@ -79,23 +111,28 @@ class BackupApplier:
         self._pending: dict[int, list[bytes]] = {}
         self.stats = ReplicationStats()
 
-    def receive(self, sequence: int, batches: list[bytes]) -> list[int]:
-        """Accept a replicated write; returns sequences applied right now.
+    def receive(self, sequence: int, batches: list[bytes]) -> list[tuple[int, list[bytes]]]:
+        """Accept a replicated write; returns ``(sequence, batches)`` pairs
+        applied right now — including sequences drained from the
+        out-of-order buffer, whose batches the caller must still see (e.g.
+        for cache invalidation of the keys they wrote).
 
-        Duplicates (retransmissions) of already-applied sequences are
-        ignored but still reported so the primary gets a (re-)ack.
+        Duplicates (retransmissions) of already-applied sequences are not
+        reapplied but still reported (with no batches) so the primary gets
+        a (re-)ack.
         """
         if sequence <= self.applied_through:
-            return [sequence]  # duplicate: ack again, apply nothing
+            return [(sequence, [])]  # duplicate: ack again, apply nothing
         self._pending[sequence] = batches
-        applied: list[int] = []
+        applied: list[tuple[int, list[bytes]]] = []
         while self.applied_through + 1 in self._pending:
             next_sequence = self.applied_through + 1
-            for payload in self._pending.pop(next_sequence):
+            next_batches = self._pending.pop(next_sequence)
+            for payload in next_batches:
                 self._apply(WriteBatch.decode(payload))
             self.applied_through = next_sequence
             self.stats.applied += 1
-            applied.append(next_sequence)
+            applied.append((next_sequence, next_batches))
         if not applied:
             self.stats.buffered_out_of_order += 1
         return applied

@@ -16,6 +16,7 @@ control behaves exactly as in the paper.
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Any, Optional
 
@@ -23,9 +24,12 @@ from repro.core.invocation import InvocationResult
 from repro.core.runtime import LocalRuntime
 from repro.core.ids import ObjectId
 from repro.core.storage import MemoryBackend
+from repro.cluster.dedupe import CompletedRequestTable
 from repro.cluster.messages import (
     ClientReply,
     ClientRequest,
+    ConfigQuery,
+    ConfigReply,
     Heartbeat,
     MigrateAck,
     MigrateObject,
@@ -110,10 +114,19 @@ class NodeStats:
     readonly_requests: int = 0
     mutating_requests: int = 0
     rejected_wrong_epoch: int = 0
+    #: requests carrying an epoch *newer* than this node's (node behind
+    #: after a reconfiguration it has not yet learned about)
+    rejected_node_behind: int = 0
     rejected_not_primary: int = 0
+    #: laggard duplicates of requests the client already moved past,
+    #: fenced by the at-most-once watermark instead of re-executed
+    dropped_stale_duplicates: int = 0
     failed_invocations: int = 0
     replication_rounds: int = 0
     remote_charges: int = 0
+    remote_charge_retries: int = 0
+    remote_charge_timeouts: int = 0
+    config_refreshes: int = 0
     busy_ms: float = 0.0
 
 
@@ -203,6 +216,8 @@ class StoreNode:
         heartbeat_interval_ms: float = 10.0,
         ack_timeout_ms: float = 5.0,
         storage: Optional[Any] = None,
+        completed_cap: int = 4096,
+        charge_max_attempts: int = 5,
     ) -> None:
         self.sim = sim
         self.net = net
@@ -231,9 +246,13 @@ class StoreNode:
         #: (shard_id, sequence) -> (still-needed backups, event)
         self._ack_waiters: dict[tuple[int, int], tuple[set, Any]] = {}
         self._charge_waiters: dict[str, Any] = {}
+        self._charge_max_attempts = max(1, charge_max_attempts)
+        #: charge_id -> completed?  (at-most-once for retransmitted charges)
+        self._charges_seen: "OrderedDict[str, bool]" = OrderedDict()
         self._freeze_waiters: dict[str, Any] = {}
-        #: request_id -> ClientReply already sent (at-most-once per primary)
-        self._completed: dict[str, ClientReply] = {}
+        #: request_id -> ClientReply already sent (at-most-once per primary,
+        #: bounded by per-client watermarks + an LRU cap)
+        self._completed = CompletedRequestTable(completed_cap)
         #: request_id -> completion event for requests still executing, so
         #: client retries of an in-flight request never re-execute it
         self._inflight: dict[str, Any] = {}
@@ -246,23 +265,53 @@ class StoreNode:
         self.extensions: list[Any] = []
         self.stats = NodeStats()
         self.crashed = False
+        self._hb_generation = 0
+        self._config_query_counter = 0
+        self._last_config_query = float("-inf")
 
     # -- wiring -------------------------------------------------------------
 
     def start(self) -> None:
         self.sim.process(self._serve(), name=f"{self.name}.serve")
-        self.sim.process(self._heartbeat_loop(), name=f"{self.name}.heartbeat")
+        self._hb_generation += 1
+        self.sim.process(
+            self._heartbeat_loop(self._hb_generation), name=f"{self.name}.heartbeat"
+        )
 
     def crash(self) -> None:
         """Fail-stop: no further sends or receives."""
         self.crashed = True
         self.net.crash(self.name)
 
+    def recover(self) -> None:
+        """Bring a crashed node back online (state intact, inbox resumes).
+
+        The node keeps whatever epoch/shard map/storage it had; any
+        replication it missed while down is filled in by the primary's
+        retransmission loop, or the node leaves the replica set if the
+        coordinator already declared it dead."""
+        if not self.crashed:
+            return
+        self.crashed = False
+        self.net.recover(self.name)
+        self._hb_generation += 1
+        self.sim.process(
+            self._heartbeat_loop(self._hb_generation), name=f"{self.name}.heartbeat"
+        )
+
     def owner_node_for(self, object_id: ObjectId) -> Optional["StoreNode"]:
         """The StoreNode acting as primary for ``object_id`` (or None)."""
         if self.shard_map is None:
             return None
         return self.cluster.node(self.shard_map.primary_for(object_id))
+
+    def dump_object_state(self, object_id: ObjectId) -> list[tuple[bytes, bytes]]:
+        """Sorted (key, value) dump of one object's microshard, for the
+        consistency checker's replica-convergence comparison."""
+        from repro.core import keyspace
+
+        prefix = keyspace.object_prefix(object_id)
+        return sorted(self.runtime.storage.iterate(prefix, keyspace.prefix_end(prefix)))
 
     def _on_commit(self, batch: WriteBatch) -> None:
         capture = self.cluster.capture
@@ -278,11 +327,11 @@ class StoreNode:
 
     # -- background processes ----------------------------------------------
 
-    def _heartbeat_loop(self):
+    def _heartbeat_loop(self, generation: int):
         rng = self.sim.rng(f"{self.name}.hb")
         yield self.sim.timeout(rng.uniform(0, self._heartbeat_interval))
         while True:
-            if self.crashed:
+            if self.crashed or generation != self._hb_generation:
                 return
             for coordinator in self.cluster.coordinator_names():
                 message = Heartbeat(self.name, self.sim.now)
@@ -304,10 +353,24 @@ class StoreNode:
                 self._on_replicate_ack(message)
             elif isinstance(message, NewConfig):
                 self.install_config(message.epoch, message.config)
+            elif isinstance(message, ConfigReply):
+                self.install_config(message.epoch, message.config)
             elif isinstance(message, RemoteCharge):
-                self.sim.process(
-                    self._handle_remote_charge(message), name=f"{self.name}.charge"
-                )
+                done = self._charges_seen.get(message.charge_id)
+                if done is None:
+                    # First sighting: remember it so retransmissions of the
+                    # same charge never double-bill CPU or re-replicate.
+                    self._charges_seen[message.charge_id] = False
+                    while len(self._charges_seen) > 4096:
+                        self._charges_seen.popitem(last=False)
+                    self.sim.process(
+                        self._handle_remote_charge(message), name=f"{self.name}.charge"
+                    )
+                elif done:
+                    # Already settled; the earlier ack was lost — re-ack.
+                    ack = RemoteChargeAck(message.charge_id)
+                    self.net.send(self.name, message.sender, ack, size_bytes=ack.size())
+                # else: still in flight; the original handler will ack.
             elif isinstance(message, RemoteChargeAck):
                 waiter = self._charge_waiters.pop(message.charge_id, None)
                 if waiter is not None:
@@ -343,18 +406,21 @@ class StoreNode:
             )
             applier.primary = message.primary
             self.backup_appliers[message.shard_id] = applier
-        before = applier.applied_through
-        acked = applier.receive(message.sequence, message.batches)
-        if applier.applied_through != before and self.runtime.cache is not None:
+        applied = applier.receive(message.sequence, message.batches)
+        if self.runtime.cache is not None:
             # Writes landed on this replica; cached read-only results that
-            # depend on them must not be served stale.
-            for sequence in acked:
-                for payload in message.batches:
+            # depend on them must not be served stale.  The applier may
+            # have drained buffered out-of-order sequences beyond this
+            # message, so invalidate the keys of *every* applied batch —
+            # decoding each batch exactly once.
+            written_keys: list[bytes] = []
+            for _sequence, applied_batches in applied:
+                for payload in applied_batches:
                     batch = WriteBatch.decode(payload)
-                    self.runtime.cache.invalidate_keys(
-                        [key for _kind, key, _v in batch.items()]
-                    )
-        for sequence in acked:
+                    written_keys.extend(key for _kind, key, _v in batch.items())
+            if written_keys:
+                self.runtime.cache.invalidate_keys(written_keys)
+        for sequence, _batches in applied:
             reply = ReplicateAck(message.shard_id, sequence, self.name)
             self.net.send(self.name, message.primary, reply, size_bytes=reply.size())
 
@@ -376,6 +442,7 @@ class StoreNode:
         log = self.primary_logs.setdefault(shard_id, PrimaryReplicationLog(shard_id))
         sequence = log.next_sequence(batches)
         if not backups:
+            log.mark_complete(sequence)
             return sequence
         message = ReplicateWrites(shard_id, self.epoch, sequence, batches, self.name)
         for backup in backups:
@@ -404,6 +471,9 @@ class StoreNode:
                     self.net.send(self.name, backup, message, size_bytes=message.size())
         finally:
             self._ack_waiters.pop((shard_id, sequence), None)
+            # The round is settled (acked by every backup still in the
+            # replica set); prune the history once the prefix is contiguous.
+            log.mark_complete(sequence)
         return sequence
 
     # -- client requests ---------------------------------------------------
@@ -413,16 +483,23 @@ class StoreNode:
 
     def _handle_request(self, request: ClientRequest):
         self.stats.requests += 1
-        previous = self._completed.get(request.request_id)
+        previous = self._completed.lookup(request.request_id)
         if previous is not None:
             self._reply(request, previous)
+            return
+        if self._completed.is_superseded(request.request_id):
+            # A laggard duplicate of a request whose reply the client has
+            # long since consumed (it moved on to higher counters).  The
+            # stored reply was pruned; re-executing would break
+            # at-most-once, and nobody is waiting — drop it.
+            self.stats.dropped_stale_duplicates += 1
             return
         pending = self._inflight.get(request.request_id)
         if pending is not None:
             # A retry of a request still executing: wait for the original
             # rather than executing twice (at-most-once under retry storms).
             yield pending
-            previous = self._completed.get(request.request_id)
+            previous = self._completed.lookup(request.request_id)
             if previous is not None:
                 self._reply(request, previous)
             return
@@ -434,6 +511,20 @@ class StoreNode:
                     request.request_id, False, error="wrong epoch", current_epoch=self.epoch
                 ),
             )
+            return
+        if request.epoch > self.epoch:
+            # The *node* is behind: the client has seen a newer
+            # configuration than this node has installed.  Executing under
+            # the stale shard map could route or commit wrongly, so reject
+            # as retryable and catch up from the coordinators.
+            self.stats.rejected_node_behind += 1
+            self._reply(
+                request,
+                ClientReply(
+                    request.request_id, False, error="node behind", current_epoch=self.epoch
+                ),
+            )
+            self._request_config_refresh()
             return
         if str(request.object_id) in self._frozen:
             self._reply(
@@ -492,6 +583,22 @@ class StoreNode:
                 if not completion.triggered:
                     completion.succeed()
 
+    def _request_config_refresh(self) -> None:
+        """Ask a coordinator for the latest configuration (rate-limited;
+        rotates through coordinators so one dead coordinator cannot wedge
+        the catch-up path)."""
+        coordinators = self.cluster.coordinator_names()
+        if not coordinators:
+            return
+        if self.sim.now - self._last_config_query < self._heartbeat_interval:
+            return
+        self._last_config_query = self.sim.now
+        self.stats.config_refreshes += 1
+        self._config_query_counter += 1
+        target = coordinators[self._config_query_counter % len(coordinators)]
+        query = ConfigQuery(f"{self.name}#{self._config_query_counter}")
+        self.net.send(self.name, target, query, size_bytes=query.size())
+
     def _note_load(self, request: ClientRequest) -> None:
         key = str(request.object_id)
         self.object_load[key] = self.object_load.get(key, 0) + 1
@@ -534,7 +641,7 @@ class StoreNode:
                 except (InvocationError, UnknownObjectError) as error:
                     self.stats.failed_invocations += 1
                     reply = ClientReply(request.request_id, False, error=str(error))
-                    self._completed[request.request_id] = reply
+                    self._completed.record(request.request_id, reply)
                     self._reply(request, reply)
                     return
                 finally:
@@ -573,18 +680,39 @@ class StoreNode:
                     batches=capture.batches.get(owner_name, []),
                     sender=self.name,
                 )
-                event = self.sim.event()
-                self._charge_waiters[charge.charge_id] = event
-                self.net.send(self.name, owner_name, charge, size_bytes=charge.size())
-                timeout = self.sim.timeout(self._ack_timeout * 4)
-                yield self.sim.any_of([event, timeout])
-                self._charge_waiters.pop(charge.charge_id, None)
+                yield from self._send_charge(charge, owner_name)
 
             reply = ClientReply(request.request_id, True, value=result.value)
-            self._completed[request.request_id] = reply
+            self._completed.record(request.request_id, reply)
             self._reply(request, reply)
         finally:
             self.locks.release(object_key)
+
+    def _send_charge(self, charge: RemoteCharge, owner_name: str):
+        """Deliver a RemoteCharge with bounded retransmission + backoff.
+
+        The charge carries the owner's write batches for replication to
+        its backups, so dropping it on first timeout would silently lose
+        those writes' replication.  Retransmit until acked or the attempt
+        budget runs out (the owner is then presumed dead and its shard's
+        reconfiguration takes over); dedupe at the owner keeps
+        retransmissions at-most-once."""
+        event = self.sim.event()
+        self._charge_waiters[charge.charge_id] = event
+        timeout_ms = self._ack_timeout * 2
+        try:
+            for attempt in range(self._charge_max_attempts):
+                if attempt:
+                    self.stats.remote_charge_retries += 1
+                self.net.send(self.name, owner_name, charge, size_bytes=charge.size())
+                yield self.sim.any_of([event, self.sim.timeout(timeout_ms)])
+                if event.triggered:
+                    return True
+                timeout_ms *= 2
+            self.stats.remote_charge_timeouts += 1
+            return False
+        finally:
+            self._charge_waiters.pop(charge.charge_id, None)
 
     def _charge_cpu(self, fuel: float):
         """Occupy one core for ``fuel`` worth of simulated time."""
@@ -610,6 +738,8 @@ class StoreNode:
             own_shard = self.shard_map.shard_of_node(self.name)
             if own_shard is not None and own_shard.primary == self.name:
                 yield from self._replicate(own_shard.shard_id, message.batches)
+        if message.charge_id in self._charges_seen:
+            self._charges_seen[message.charge_id] = True
         ack = RemoteChargeAck(message.charge_id)
         self.net.send(self.name, message.sender, ack, size_bytes=ack.size())
 

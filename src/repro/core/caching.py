@@ -140,6 +140,31 @@ class ResultCache:
         self._entries.clear()
         self._by_read_key.clear()
 
+    # -- auditing -----------------------------------------------------------
+
+    def stale_entries(
+        self, current_get: Callable[[bytes], Optional[bytes]]
+    ) -> list[tuple]:
+        """Cache keys whose read set no longer matches committed state.
+
+        With eager invalidation working correctly this is always empty:
+        every commit drops intersecting entries.  A non-empty result means
+        an invalidation was missed (read-set validation would still refuse
+        to *serve* these entries, but the invariant is broken) — the
+        chaos-harness consistency checker asserts on this.
+        """
+        stale: list[tuple] = []
+        for cache_key, entry in self._entries.items():
+            for storage_key, expected_digest in entry.read_set.items():
+                current = current_get(storage_key)
+                current_digest = (
+                    value_digest(current) if current is not None else _ABSENT_DIGEST
+                )
+                if current_digest != expected_digest:
+                    stale.append(cache_key)
+                    break
+        return stale
+
     # -- internals ---------------------------------------------------------
 
     def _drop(self, cache_key: tuple) -> None:

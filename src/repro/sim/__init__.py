@@ -23,6 +23,7 @@ from repro.sim.process import Process
 from repro.sim.core import Simulation
 from repro.sim.resources import Resource, Store
 from repro.sim.network import (
+    BimodalLatency,
     ConstantLatency,
     LatencyModel,
     LogNormalLatency,
@@ -35,6 +36,7 @@ from repro.sim.rand import RandomStreams
 __all__ = [
     "AllOf",
     "AnyOf",
+    "BimodalLatency",
     "ConstantLatency",
     "Event",
     "LatencyModel",

@@ -49,6 +49,33 @@ class UniformLatency(LatencyModel):
         return rng.uniform(self.low_ms, self.high_ms)
 
 
+class BimodalLatency(LatencyModel):
+    """Mostly-fast latency with occasional slow outliers.
+
+    With ``slow_probability`` well above zero this aggressively *reorders*
+    consecutive messages on the same link (a slow message sent first
+    arrives after a fast message sent later), which is exactly the
+    adversity the in-order replication appliers must absorb.  The chaos
+    tests use it to exercise the out-of-order buffering paths.
+    """
+
+    def __init__(
+        self, fast_ms: float = 0.05, slow_ms: float = 2.0, slow_probability: float = 0.25
+    ) -> None:
+        if not 0 <= fast_ms <= slow_ms:
+            raise SimulationError(f"bad bimodal latency range [{fast_ms}, {slow_ms}]")
+        if not 0 <= slow_probability <= 1:
+            raise SimulationError(f"bad slow probability {slow_probability}")
+        self.fast_ms = fast_ms
+        self.slow_ms = slow_ms
+        self.slow_probability = slow_probability
+
+    def sample(self, rng: Any) -> float:
+        if rng.random() < self.slow_probability:
+            return self.slow_ms
+        return self.fast_ms
+
+
 class LogNormalLatency(LatencyModel):
     """Log-normally distributed latency — a heavy-ish tail like real LANs.
 
@@ -127,6 +154,12 @@ class Network:
         self.stats = NetworkStats()
         #: probability a message is silently dropped (failure injection)
         self.drop_probability = 0.0
+        #: per-link drop probabilities, overriding nothing — they compose
+        #: with the global probability (either may drop)
+        self._link_drop: dict[tuple[str, str], float] = {}
+        #: optional predicate: return True to drop a specific message
+        #: (targeted fault scripting, e.g. "drop the first ReplicateWrites")
+        self.drop_filter: Optional[Callable[[Message], bool]] = None
         #: pairs (src, dst) that cannot communicate (directional)
         self._partitions: set[tuple[str, str]] = set()
         #: optional tap invoked for each sent message (tracing)
@@ -155,6 +188,29 @@ class Network:
 
     # -- failure injection --------------------------------------------------
 
+    def set_drop_probability(self, probability: float) -> None:
+        """Set the global message-drop probability (fault scripting)."""
+        if not 0 <= probability <= 1:
+            raise SimulationError(f"drop probability must be in [0, 1], got {probability}")
+        self.drop_probability = probability
+
+    def set_link_drop(self, src: str, dst: str, probability: float) -> None:
+        """Drop messages on one directional link with ``probability``."""
+        if not 0 <= probability <= 1:
+            raise SimulationError(f"drop probability must be in [0, 1], got {probability}")
+        if probability == 0:
+            self._link_drop.pop((src, dst), None)
+        else:
+            self._link_drop[(src, dst)] = probability
+
+    def clear_link_drops(self) -> None:
+        self._link_drop.clear()
+
+    def schedule(self, delay_ms: float, fn: Callable[[], None]) -> None:
+        """Run ``fn`` after ``delay_ms`` of simulated time — the primitive
+        behind scripted fault schedules ("at t+50ms, partition store-1")."""
+        self.sim._schedule(delay_ms, fn)
+
     def crash(self, name: str) -> None:
         """Crash a host: its inbox stops receiving and sends are dropped."""
         self.host(name).crashed = True
@@ -169,6 +225,11 @@ class Network:
             for b in group_b:
                 self._partitions.add((a, b))
                 self._partitions.add((b, a))
+
+    def isolate(self, name: str) -> None:
+        """Cut ``name`` off from every other registered host."""
+        others = [host for host in self._hosts if host != name]
+        self.partition([name], others)
 
     def heal(self) -> None:
         """Remove all partitions."""
@@ -198,10 +259,13 @@ class Network:
         if self.tap is not None:
             self.tap(message)
 
+        link_drop = self._link_drop.get((src, dst), 0.0)
         dropped = (
             src_host.crashed
             or self.is_partitioned(src, dst)
             or (self.drop_probability > 0 and self._rng.random() < self.drop_probability)
+            or (link_drop > 0 and self._rng.random() < link_drop)
+            or (self.drop_filter is not None and self.drop_filter(message))
         )
         if dropped:
             self.stats.messages_dropped += 1

@@ -41,10 +41,14 @@ def test_primary_forget_through_drops_state():
     assert 3 in log.history and 1 not in log.history
 
 
+def applied_sequences(applied):
+    return [sequence for sequence, _batches in applied]
+
+
 def test_backup_applies_in_order():
     applier, backend = make_applier()
-    assert applier.receive(1, [encoded(b"k1", b"v1")]) == [1]
-    assert applier.receive(2, [encoded(b"k2", b"v2")]) == [2]
+    assert applied_sequences(applier.receive(1, [encoded(b"k1", b"v1")])) == [1]
+    assert applied_sequences(applier.receive(2, [encoded(b"k2", b"v2")])) == [2]
     assert backend.get(b"k1") == b"v1"
     assert backend.get(b"k2") == b"v2"
 
@@ -54,15 +58,25 @@ def test_backup_buffers_out_of_order():
     assert applier.receive(2, [encoded(b"k2", b"v2")]) == []
     assert backend.get(b"k2") is None
     assert applier.pending_count == 1
-    assert applier.receive(1, [encoded(b"k1", b"v1")]) == [1, 2]
+    assert applied_sequences(applier.receive(1, [encoded(b"k1", b"v1")])) == [1, 2]
     assert backend.get(b"k2") == b"v2"
+
+
+def test_receive_reports_batches_of_drained_sequences():
+    # The caller needs the *batches* of every applied sequence — including
+    # ones drained from the out-of-order buffer — to invalidate caches.
+    applier, _backend = make_applier()
+    second = encoded(b"k2", b"v2")
+    first = encoded(b"k1", b"v1")
+    assert applier.receive(2, [second]) == []
+    assert applier.receive(1, [first]) == [(1, [first]), (2, [second])]
 
 
 def test_backup_acks_duplicates_without_reapplying():
     applier, backend = make_applier()
     applier.receive(1, [encoded(b"k", b"v1")])
     backend.apply(_overwrite(b"k", b"local"))
-    assert applier.receive(1, [encoded(b"k", b"v1")]) == [1]
+    assert applier.receive(1, [encoded(b"k", b"v1")]) == [(1, [])]
     assert backend.get(b"k") == b"local"  # duplicate did not reapply
 
 
