@@ -52,6 +52,11 @@ def _get_balance(self):
     return self.get("balance") or 0
 
 
+def _get_pending_transfer(self):
+    """The in-flight outbound credit, or None when no transfer is mid-flight."""
+    return self.get("pending_transfer")
+
+
 def _get_ledger(self, limit=20):
     return [entry for _k, entry in self.collection("ledger").items(limit=limit, reverse=True)]
 
@@ -60,14 +65,23 @@ def _transfer(self, to_account, amount):
     """Move money to another account (compensation on failure).
 
     The debit commits before the nested credit runs (§3.1); if the credit
-    traps, a compensating re-credit restores the funds.
+    traps, a compensating re-credit restores the funds.  The payer also
+    records the in-flight credit in ``pending_transfer``: the marker
+    commits with the caller's segment (the §3.1 caller-commit split), so
+    an audit catches a transfer interrupted between debit and credit.
     """
     self.withdraw(amount, f"transfer to {str(to_account)[:8]}")
+    self.set("pending_transfer", {"to": str(to_account)[:8], "amount": amount})
     try:
         self.get_object(to_account).deposit(amount, f"transfer from {str(self.self_id())[:8]}")
     except Exception:
+        # Clear the marker *before* the compensating nested call: a
+        # trapped invocation's uncommitted writes are discarded, so a
+        # clear buffered after it would be lost when we re-raise.
+        self.set("pending_transfer", None)
         self.deposit(amount, "transfer compensation")
         raise
+    self.set("pending_transfer", None)
     return True
 
 
@@ -84,13 +98,18 @@ def account_type() -> ObjectType:
     """Build the ``Account`` object type."""
     return ObjectType(
         "Account",
-        fields=[ValueField("balance", default=0), CollectionField("ledger")],
+        fields=[
+            ValueField("balance", default=0),
+            ValueField("pending_transfer", default=None),
+            CollectionField("ledger"),
+        ],
         methods=[
             method(_deposit, name="deposit"),
             method(_withdraw, name="withdraw"),
             method(_transfer, name="transfer"),
             method(_credit_interest, name="credit_interest"),
             readonly_method(_get_balance, name="get_balance"),
+            readonly_method(_get_pending_transfer, name="get_pending_transfer"),
             readonly_method(_get_ledger, name="get_ledger"),
         ],
     )

@@ -26,11 +26,21 @@ def main(argv: list[str] | None = None) -> int:
         choices=["quick", "full"],
         help="quick: laptop-scale (default); full: the paper's §5 parameters",
     )
+    parser.add_argument(
+        "--metrics-out",
+        metavar="PATH",
+        default=None,
+        help="also run one instrumented workload per architecture (metrics "
+        "sampler + span tracer on) and write the full registry snapshots, "
+        "the slowest-trace span trees, and this invocation's experiment "
+        "rows to PATH as JSON",
+    )
     args = parser.parse_args(argv)
     cal = preset(args.preset)
 
     names = sorted(ALL_EXPERIMENTS) if args.experiment == "all" else [args.experiment]
     shared_matrix = None
+    results = []
     for name in names:
         started = time.time()
         if name in ("fig1", "fig2", "table1"):
@@ -42,8 +52,21 @@ def main(argv: list[str] | None = None) -> int:
             )
         else:
             result = ALL_EXPERIMENTS[name](cal)
+        results.append(result)
         print(result["text"])
         print(f"\n[{name} completed in {time.time() - started:.1f}s wall clock]\n")
+
+    if args.metrics_out:
+        from repro.bench.observability import metrics_out_payload
+        from repro.obs.export import write_json
+
+        started = time.time()
+        payload = metrics_out_payload(cal, experiment_results=results)
+        write_json(args.metrics_out, payload)
+        print(
+            f"[metrics snapshot written to {args.metrics_out} "
+            f"in {time.time() - started:.1f}s wall clock]"
+        )
     return 0
 
 

@@ -1,0 +1,133 @@
+"""Instrumented paired runs behind the bench CLI's ``--metrics-out``.
+
+Every experiment answers "how fast"; this module answers "what happened
+inside".  It reruns one workload on **both** architectures with the
+metrics sampler and the span tracer switched on, then bundles the full
+registry snapshots (per-node, scheduler, cache, kvstore, replication
+series), a span-count summary, and the rendered tree of the slowest
+trace per variant into one JSON-able payload.  Because both platforms
+publish the same metric families (``node_*``, ``scheduler_*``,
+``kvstore_*``...), the two halves of the payload are directly
+comparable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Any, Optional, Union
+
+from repro.bench.calibration import Calibration, preset
+from repro.bench.harness import (
+    AGGREGATED,
+    VARIANTS,
+    WORKLOAD_METHOD,
+    build_platform,
+    load_dataset,
+)
+from repro.sim import Simulation
+from repro.workload.clients import ClosedLoopDriver
+from repro.workload.retwis_load import RetwisWorkload
+
+#: sampling cadence used for ``--metrics-out`` runs (simulated ms)
+DEFAULT_SAMPLE_INTERVAL_MS = 50.0
+
+CalibrationLike = Union[str, Calibration, None]
+
+
+def _calibration(cal: CalibrationLike) -> Calibration:
+    if cal is None:
+        return preset("quick")
+    if isinstance(cal, str):
+        return preset(cal)
+    return cal
+
+
+def instrumented_run(
+    variant: str,
+    workload_name: str,
+    cal: Calibration,
+    sample_interval_ms: float = DEFAULT_SAMPLE_INTERVAL_MS,
+) -> dict[str, Any]:
+    """One fully-instrumented measurement on one architecture.
+
+    Same shape as :func:`repro.bench.harness.run_retwis`, but the
+    platform is built with the series sampler enabled and tracing is
+    attached *before* the load starts, so every request gets a trace.
+    """
+    if variant == AGGREGATED:
+        # Surface the cache_* family too; the baseline has no consistent
+        # cache (by design), so only the LambdaStore half reports it.
+        cal = replace(cal, enable_cache=True)
+    sim = Simulation(seed=cal.seed)
+    platform = build_platform(
+        variant, sim, cal, metrics_sample_interval_ms=sample_interval_ms
+    )
+    tracer = platform.enable_tracing()
+    dataset = load_dataset(platform, cal)
+    workload = RetwisWorkload(dataset, workload_name)
+    driver = ClosedLoopDriver(
+        sim,
+        platform,
+        workload,
+        num_clients=cal.num_clients,
+        duration_ms=cal.duration_ms,
+        warmup_ms=cal.warmup_ms,
+    )
+    result = driver.run()
+    report = result.reports.get(WORKLOAD_METHOD[workload_name])
+
+    slowest = tracer.slowest_trace()
+    return {
+        "variant": variant,
+        "workload": workload_name,
+        "report": report.to_row() if report is not None else None,
+        "metrics": platform.metrics.snapshot()["metrics"],
+        "spans": {
+            "recorded": len(tracer),
+            "dropped_oldest": tracer.dropped_oldest,
+            "traces": len(tracer.trace_ids()),
+            "slowest_trace_id": slowest,
+            "slowest_trace_tree": tracer.render(slowest) if slowest else "",
+        },
+    }
+
+
+def collect_observability(
+    cal: CalibrationLike = None,
+    workload_name: str = RetwisWorkload.POST,
+    sample_interval_ms: float = DEFAULT_SAMPLE_INTERVAL_MS,
+) -> dict[str, Any]:
+    """The ``--metrics-out`` payload: one instrumented run per variant."""
+    cal = _calibration(cal)
+    return {
+        "kind": "observability",
+        "workload": workload_name,
+        "sample_interval_ms": sample_interval_ms,
+        "seed": cal.seed,
+        "variants": {
+            variant: instrumented_run(variant, workload_name, cal, sample_interval_ms)
+            for variant in VARIANTS
+        },
+    }
+
+
+def metrics_out_payload(
+    cal: CalibrationLike,
+    experiment_results: Optional[list[dict[str, Any]]] = None,
+    workload_name: str = RetwisWorkload.POST,
+) -> dict[str, Any]:
+    """What the bench CLI writes to ``--metrics-out``.
+
+    The observability bundle, plus the rows of any experiments that ran
+    in the same invocation (chaos-soak rows already carry per-node
+    stats, so CI gets its fault-injection snapshot from the same file).
+    """
+    payload = collect_observability(cal, workload_name=workload_name)
+    if experiment_results:
+        payload["experiments"] = {
+            result.get("name", result.get("experiment", f"exp{i}")): result.get(
+                "rows", []
+            )
+            for i, result in enumerate(experiment_results)
+        }
+    return payload

@@ -12,6 +12,8 @@ from repro.cluster.store_node import ExecutionCapture, StoreNode
 from repro.core.ids import ObjectId
 from repro.core.object_type import ObjectType
 from repro.errors import ClusterError
+from repro.obs.registry import MetricsRegistry
+from repro.obs.spans import SpanTracer
 from repro.sim.core import Simulation
 from repro.sim.network import LogNormalLatency, Network
 from repro.wasm.host_api import OpCosts
@@ -55,6 +57,9 @@ class ClusterConfig:
     completed_cap: int = 4096
     #: retransmission budget for RemoteCharge delivery to nested-call owners
     charge_max_attempts: int = 5
+    #: when > 0, a background process samples every registry instrument's
+    #: time series at this simulated-ms interval (0 disables the sampler)
+    metrics_sample_interval_ms: float = 0.0
     seed: int = 0
 
 
@@ -80,6 +85,10 @@ class Cluster:
         )
         self._id_rng = sim.rng("cluster.ids")
         self.costs = OpCosts()
+        #: unified observability: one registry (and optionally one tracer)
+        #: for the whole deployment; nodes register labelled instruments
+        self.metrics = MetricsRegistry(clock=lambda: sim.now)
+        self.tracer: Optional[SpanTracer] = None
 
         storage_names = [f"store-{i}" for i in range(self.config.num_storage_nodes)]
         coordinator_names = [f"coord-{i}" for i in range(self.config.num_coordinators)]
@@ -97,7 +106,11 @@ class Cluster:
                 from repro.core.storage import KVBackend
                 from repro.kvstore import DB
 
-                db = DB.open(os.path.join(self.config.durable_dir, name))
+                db = DB.open(
+                    os.path.join(self.config.durable_dir, name),
+                    registry=self.metrics,
+                    labels={"node": name},
+                )
                 self._dbs.append(db)
                 storage = KVBackend(db)
             node = StoreNode(
@@ -118,6 +131,7 @@ class Cluster:
             )
             node.install_config(self.bootstrap_epoch, self.bootstrap_shard_map.copy())
             self.nodes[name] = node
+            self._register_storage_gauges(name, node.runtime.storage)
 
         self.coordinators: dict[str, CoordinatorNode] = {}
         for name in coordinator_names:
@@ -129,6 +143,7 @@ class Cluster:
                 storage_nodes=storage_names,
                 heartbeat_timeout_ms=self.config.heartbeat_timeout_ms,
                 auto_failure_detection=self.config.auto_failure_detection,
+                registry=self.metrics,
             )
             coordinator.state.epoch = self.bootstrap_epoch
             coordinator.state.shard_map = self.bootstrap_shard_map.copy()
@@ -141,6 +156,22 @@ class Cluster:
         self.capture: Optional[ExecutionCapture] = None
         self._clients: list[ClusterClient] = []
         self._started = False
+
+    def _register_storage_gauges(self, name: str, storage: Any) -> None:
+        """Expose an in-memory backend's plain op counters as callback
+        gauges (a ``DB``-backed node registers its own counters instead)."""
+        labels = {"node": name}
+        for op in ("gets", "puts", "deletes", "applies"):
+            if hasattr(storage, op):
+                self.metrics.gauge(
+                    f"kvstore_{op}",
+                    labels,
+                    fn=lambda backend=storage, attr=op: getattr(backend, attr),
+                )
+        if hasattr(storage, "size_bytes"):
+            self.metrics.gauge(
+                "kvstore_size_bytes", labels, fn=storage.size_bytes
+            )
 
     def _build_shard_map(self, storage_names: list[str]) -> ShardMap:
         groups: list[list[str]] = [[] for _ in range(self.config.num_shards)]
@@ -160,10 +191,35 @@ class Cluster:
         if self._started:
             return
         self._started = True
+        if self.config.metrics_sample_interval_ms > 0:
+            self.sim.process(
+                self.metrics.sampler_process(
+                    self.sim, self.config.metrics_sample_interval_ms
+                ),
+                name="cluster.metrics-sampler",
+            )
         for coordinator in self.coordinators.values():
             coordinator.start()
         for node in self.nodes.values():
             node.start()
+
+    def enable_tracing(self, max_spans: int = 100_000) -> SpanTracer:
+        """Attach one cluster-wide span tracer (idempotent).
+
+        Every node's runtime (and durable DB, if any) shares the tracer,
+        so a cross-node nested dispatch lands in the caller's trace with
+        the callee's node name on the span.
+        """
+        if self.tracer is None:
+            self.tracer = SpanTracer(
+                clock=lambda: self.sim.now, max_spans=max_spans
+            )
+            for node in self.nodes.values():
+                node.runtime.tracer = self.tracer
+                db = getattr(node.runtime.storage, "db", None)
+                if db is not None:
+                    db.tracer = self.tracer
+        return self.tracer
 
     # -- lookup ------------------------------------------------------------
 
@@ -321,9 +377,11 @@ class Cluster:
 
     # -- metrics -----------------------------------------------------------
 
-    def total_node_stats(self) -> dict[str, int]:
-        totals: dict[str, int] = {}
+    def total_node_stats(self) -> dict[str, float]:
+        """Summed per-node counters.  Values are floats: most counters are
+        integral, but ``busy_ms`` is simulated milliseconds."""
+        totals: dict[str, float] = {}
         for node in self.nodes.values():
-            for key, value in vars(node.stats).items():
+            for key, value in node.stats.as_dict().items():
                 totals[key] = totals.get(key, 0) + value
         return totals

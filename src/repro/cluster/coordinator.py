@@ -27,6 +27,7 @@ from repro.cluster.messages import (
 )
 from repro.cluster.paxos import PaxosNode
 from repro.cluster.shard import ShardMap
+from repro.obs.registry import MetricsRegistry, StatsView
 from repro.sim.core import Simulation
 from repro.sim.network import Network
 
@@ -83,6 +84,21 @@ class CoordinatorState:
                 replica_set.backups.remove(node)
 
 
+class CoordinatorStats(StatsView):
+    """Coordination-service counters (off the request path, so these
+    series mostly stay flat — spikes mark reconfiguration storms)."""
+
+    PREFIX = "coordinator"
+    COUNTERS = {
+        "commands_applied": 0,
+        "reconfigurations": 0,
+        "failures_reported": 0,
+        "config_queries": 0,
+        "config_broadcasts": 0,
+        "heartbeats_seen": 0,
+    }
+
+
 class CoordinatorNode:
     """One replica of the coordination service."""
 
@@ -96,6 +112,7 @@ class CoordinatorNode:
         heartbeat_timeout_ms: float = 50.0,
         monitor_interval_ms: float = 10.0,
         auto_failure_detection: bool = True,
+        registry: "MetricsRegistry | None" = None,
     ) -> None:
         self.sim = sim
         self.net = net
@@ -114,6 +131,7 @@ class CoordinatorNode:
         #: commands this node is currently proposing
         self._proposing: set[str] = set()
         self._command_counter = 0
+        self.stats = CoordinatorStats(registry, {"node": name})
         self.crashed = False
 
     # -- lifecycle ---------------------------------------------------------
@@ -153,10 +171,12 @@ class CoordinatorNode:
             if isinstance(message, CoordCommand):
                 self._on_command(message)
             elif isinstance(message, ConfigQuery):
+                self.stats.config_queries += 1
                 reply = ConfigReply(message.query_id, self.state.epoch, self.state.shard_map.copy())
                 sender = message.query_id.rsplit("#", 1)[0]
                 self.net.send(self.name, sender, reply, size_bytes=reply.size())
             elif isinstance(message, Heartbeat):
+                self.stats.heartbeats_seen += 1
                 self._last_heartbeat[message.sender] = self.sim.now
 
     def _on_command(self, command: CoordCommand) -> None:
@@ -191,6 +211,9 @@ class CoordinatorNode:
     def _on_decide(self, _slot: int, command: CoordCommand) -> None:
         old_epoch = self.state.epoch
         result = self.state.apply(command)
+        self.stats.commands_applied += 1
+        if self.state.epoch != old_epoch:
+            self.stats.reconfigurations += 1
         sender = self._pending_replies.pop(command.command_id, None)
         if sender is not None:
             reply = CoordReply(command.command_id, True, result=result)
@@ -199,6 +222,7 @@ class CoordinatorNode:
             self._broadcast_config()
 
     def _broadcast_config(self) -> None:
+        self.stats.config_broadcasts += 1
         message = NewConfig(self.state.epoch, self.state.shard_map.copy())
         for node in self._storage_nodes:
             self.net.send(self.name, node, message, size_bytes=message.size())
@@ -220,6 +244,7 @@ class CoordinatorNode:
                     if self.state.shard_map.shard_of_node(node) is None:
                         continue
                     self._command_counter += 1
+                    self.stats.failures_reported += 1
                     command = CoordCommand(
                         command_id=f"{self.name}#fail-{node}-{self._command_counter}",
                         kind="report_failure",

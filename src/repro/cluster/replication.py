@@ -10,20 +10,22 @@ the reply sees the write: that is what makes replica reads consistent.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Callable
+from typing import Callable, Optional
 
 from repro.kvstore.batch import WriteBatch
+from repro.obs.registry import MetricsRegistry, StatsView
 
 
-@dataclass
-class ReplicationStats:
+class ReplicationStats(StatsView):
     """Replication counters, per log/applier."""
 
-    shipped: int = 0
-    acked: int = 0
-    applied: int = 0
-    buffered_out_of_order: int = 0
+    PREFIX = "replication"
+    COUNTERS = {
+        "shipped": 0,
+        "acked": 0,
+        "applied": 0,
+        "buffered_out_of_order": 0,
+    }
 
 
 class PrimaryReplicationLog:
@@ -36,7 +38,12 @@ class PrimaryReplicationLog:
     growing for the node's lifetime.
     """
 
-    def __init__(self, shard_id: int) -> None:
+    def __init__(
+        self,
+        shard_id: int,
+        registry: Optional[MetricsRegistry] = None,
+        labels: Optional[dict] = None,
+    ) -> None:
         self.shard_id = shard_id
         self._next_sequence = 1
         #: sequence -> set of backups that acked
@@ -48,7 +55,11 @@ class PrimaryReplicationLog:
         self._complete: set[int] = set()
         #: every sequence <= this has finished replicating and been pruned
         self.completed_through = 0
-        self.stats = ReplicationStats()
+        self.stats = ReplicationStats(registry, labels)
+        if registry is not None:
+            registry.gauge(
+                "replication_inflight_rounds", labels, fn=lambda: len(self.history)
+            )
 
     def next_sequence(self, batches: list[bytes]) -> int:
         """Assign the next shard sequence number to a committed write."""
@@ -103,13 +114,22 @@ class BackupApplier:
     """Backup-side in-order application with out-of-order buffering."""
 
     def __init__(
-        self, shard_id: int, apply_fn: Callable[[WriteBatch], None], start_sequence: int = 0
+        self,
+        shard_id: int,
+        apply_fn: Callable[[WriteBatch], None],
+        start_sequence: int = 0,
+        registry: Optional[MetricsRegistry] = None,
+        labels: Optional[dict] = None,
     ) -> None:
         self.shard_id = shard_id
         self._apply = apply_fn
         self.applied_through = start_sequence
         self._pending: dict[int, list[bytes]] = {}
-        self.stats = ReplicationStats()
+        self.stats = ReplicationStats(registry, labels)
+        if registry is not None:
+            registry.gauge(
+                "replication_pending_buffer", labels, fn=lambda: len(self._pending)
+            )
 
     def receive(self, sequence: int, batches: list[bytes]) -> list[tuple[int, list[bytes]]]:
         """Accept a replicated write; returns ``(sequence, batches)`` pairs

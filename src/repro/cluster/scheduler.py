@@ -14,30 +14,42 @@ application developer "determine the granularity of locks".
 from __future__ import annotations
 
 from collections import deque
-from dataclasses import dataclass
+from typing import Optional
 
 from repro.errors import SimulationError
+from repro.obs.registry import MetricsRegistry, StatsView
 from repro.sim.core import Simulation
 from repro.sim.events import Event
 
 
-@dataclass
-class SchedulerStats:
+class SchedulerStats(StatsView):
     """Lock-table counters (contention visibility)."""
 
-    acquisitions: int = 0
-    contentions: int = 0  # acquisitions that had to wait
-    max_queue_length: int = 0
+    PREFIX = "scheduler"
+    COUNTERS = {"acquisitions": 0, "contentions": 0}  # contentions had to wait
+    GAUGES = {"max_queue_length": 0}
 
 
 class ObjectLockTable:
     """FIFO mutual exclusion per object id."""
 
-    def __init__(self, sim: Simulation) -> None:
+    def __init__(
+        self,
+        sim: Simulation,
+        registry: Optional[MetricsRegistry] = None,
+        labels: Optional[dict] = None,
+    ) -> None:
         self._sim = sim
         self._held: set[str] = set()
         self._waiting: dict[str, deque[Event]] = {}
-        self.stats = SchedulerStats()
+        self.stats = SchedulerStats(registry, labels)
+        if registry is not None:
+            registry.gauge("scheduler_locks_held", labels, fn=lambda: len(self._held))
+            registry.gauge(
+                "scheduler_waiters",
+                labels,
+                fn=lambda: sum(len(q) for q in self._waiting.values()),
+            )
 
     def acquire(self, object_id: str) -> Event:
         """Event that succeeds when this caller holds the object's lock."""

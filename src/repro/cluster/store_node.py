@@ -41,6 +41,7 @@ from repro.cluster.replication import BackupApplier, PrimaryReplicationLog
 from repro.cluster.scheduler import ObjectLockTable
 from repro.errors import InvocationError, UnknownObjectError
 from repro.kvstore.batch import WriteBatch
+from repro.obs.registry import StatsView
 from repro.sim.core import Simulation
 from repro.sim.network import Network
 from repro.sim.resources import Resource
@@ -56,6 +57,8 @@ class RemoteCharge:
     fuel: float
     batches: list[bytes]
     sender: str
+    #: originating request id, so the owner's settle span joins the trace
+    trace_id: str = ""
 
     def size(self) -> int:
         return 32 + sum(len(b) for b in self.batches)
@@ -106,28 +109,33 @@ class UnfreezeObject:
         return 33
 
 
-@dataclass
-class NodeStats:
-    """Per-node request/replication counters."""
+class NodeStats(StatsView):
+    """Per-node request/replication counters.
 
-    requests: int = 0
-    readonly_requests: int = 0
-    mutating_requests: int = 0
-    rejected_wrong_epoch: int = 0
-    #: requests carrying an epoch *newer* than this node's (node behind
-    #: after a reconfiguration it has not yet learned about)
-    rejected_node_behind: int = 0
-    rejected_not_primary: int = 0
-    #: laggard duplicates of requests the client already moved past,
-    #: fenced by the at-most-once watermark instead of re-executed
-    dropped_stale_duplicates: int = 0
-    failed_invocations: int = 0
-    replication_rounds: int = 0
-    remote_charges: int = 0
-    remote_charge_retries: int = 0
-    remote_charge_timeouts: int = 0
-    config_refreshes: int = 0
-    busy_ms: float = 0.0
+    ``rejected_node_behind`` counts requests carrying an epoch *newer*
+    than this node's (node behind after a reconfiguration it has not yet
+    learned about); ``dropped_stale_duplicates`` counts laggard duplicates
+    of requests the client already moved past, fenced by the at-most-once
+    watermark instead of re-executed.
+    """
+
+    PREFIX = "node"
+    COUNTERS = {
+        "requests": 0,
+        "readonly_requests": 0,
+        "mutating_requests": 0,
+        "rejected_wrong_epoch": 0,
+        "rejected_node_behind": 0,
+        "rejected_not_primary": 0,
+        "dropped_stale_duplicates": 0,
+        "failed_invocations": 0,
+        "replication_rounds": 0,
+        "remote_charges": 0,
+        "remote_charge_retries": 0,
+        "remote_charge_timeouts": 0,
+        "config_refreshes": 0,
+        "busy_ms": 0.0,
+    }
 
 
 class ClusterNodeRuntime(LocalRuntime):
@@ -137,7 +145,7 @@ class ClusterNodeRuntime(LocalRuntime):
         super().__init__(**kwargs)
         self.node = node
 
-    def _commit(self, ctx):
+    def _commit(self, ctx, reason: str = "final"):
         # Replica-state safety net: only an object's primary may commit
         # writes through the execution path.  This catches e.g. a
         # read-only invocation served at a backup whose guest code
@@ -152,7 +160,7 @@ class ClusterNodeRuntime(LocalRuntime):
                     f"at {self.node.name}, which is not its primary "
                     f"({replica_set.primary}); route writes to the primary"
                 )
-        return super()._commit(ctx)
+        return super()._commit(ctx, reason=reason)
 
     def nested_invoke(self, parent_ctx, object_id, method, args):
         owner = self.node.owner_node_for(object_id)
@@ -175,7 +183,7 @@ class ClusterNodeRuntime(LocalRuntime):
                     f"read-only invocation cannot dispatch mutating method "
                     f"{method!r} on {object_id.short}"
                 )
-        self._commit(parent_ctx)
+        self._commit(parent_ctx, reason="pre-nested")
         capture = self.node.cluster.capture
         result = owner.runtime.invoke_detailed(
             object_id, method, *args, _depth=parent_ctx.depth + 1, _internal=True
@@ -225,7 +233,9 @@ class StoreNode:
         self.name = name
         self.host = net.add_host(name)
         self.cpu = Resource(sim, cores)
-        self.locks = ObjectLockTable(sim)
+        registry = getattr(cluster, "metrics", None)
+        labels = {"node": name}
+        self.locks = ObjectLockTable(sim, registry, labels)
         self.ms_per_fuel = ms_per_fuel
         self.fanout_parallelism = max(1, fanout_parallelism)
         self._ack_timeout = ack_timeout_ms
@@ -237,7 +247,22 @@ class StoreNode:
             enable_cache=enable_cache,
             costs=costs,
             seed=cluster.seed if hasattr(cluster, "seed") else 0,
+            registry=registry,
+            metrics_labels=labels,
+            trace_node=name,
         )
+        self._registry = registry
+        self._metric_labels = labels
+        self._request_hist = None
+        if registry is not None:
+            self._request_hist = {
+                kind: registry.histogram(
+                    "node_request_ms",
+                    {**labels, "kind": kind},
+                    help="client-request service time at this node",
+                )
+                for kind in ("readonly", "mutating")
+            }
         self.runtime.commit_hook = self._on_commit
         self.epoch = 0
         self.shard_map = None
@@ -263,13 +288,18 @@ class StoreNode:
         #: protocol extensions (e.g. the transaction participant); each is
         #: offered unrecognised messages via ``handle(message) -> bool``
         self.extensions: list[Any] = []
-        self.stats = NodeStats()
+        self.stats = NodeStats(registry, labels)
         self.crashed = False
         self._hb_generation = 0
         self._config_query_counter = 0
         self._last_config_query = float("-inf")
 
     # -- wiring -------------------------------------------------------------
+
+    @property
+    def tracer(self):
+        """The cluster-wide span tracer, or None when tracing is off."""
+        return getattr(self.cluster, "tracer", None)
 
     def start(self) -> None:
         self.sim.process(self._serve(), name=f"{self.name}.serve")
@@ -402,7 +432,14 @@ class StoreNode:
             # A different primary means a fresh sequence space (failover
             # promotes a backup, which restarts numbering at 1).
             applier = BackupApplier(
-                message.shard_id, lambda batch: self.runtime.storage.apply(batch)
+                message.shard_id,
+                lambda batch: self.runtime.storage.apply(batch),
+                registry=self._registry,
+                labels={
+                    **self._metric_labels,
+                    "role": "backup",
+                    "shard": str(message.shard_id),
+                },
             )
             applier.primary = message.primary
             self.backup_appliers[message.shard_id] = applier
@@ -435,11 +472,48 @@ class StoreNode:
             if not needed and not event.triggered:
                 event.succeed()
 
-    def _replicate(self, shard_id: int, batches: list[bytes]):
+    def _invoke_traced(self, root, request: ClientRequest):
+        """Run the guest with the request's root span active, so invoke /
+        cache / commit / nested-call spans nest under it (guest execution
+        is synchronous: no other process interleaves)."""
+        tracer = self.tracer
+        if tracer is not None and root is not None:
+            with tracer.activate(root):
+                return self.runtime.invoke_detailed(
+                    request.object_id, request.method, *request.args
+                )
+        return self.runtime.invoke_detailed(
+            request.object_id, request.method, *request.args
+        )
+
+    def _replicate(self, shard_id: int, batches: list[bytes], parent=None):
         """Ship committed batches to backups; wait for all live acks."""
+        tracer = self.tracer
+        if tracer is None:
+            return (yield from self._replicate_inner(shard_id, batches))
+        span = tracer.start(
+            "replicate",
+            parent=parent,
+            node=self.name,
+            shard=shard_id,
+            batches=len(batches),
+        )
+        try:
+            return (yield from self._replicate_inner(shard_id, batches))
+        finally:
+            tracer.end(span)
+
+    def _replicate_inner(self, shard_id: int, batches: list[bytes]):
         replica_set = self.shard_map.replica_set(shard_id)
         backups = [b for b in replica_set.backups]
-        log = self.primary_logs.setdefault(shard_id, PrimaryReplicationLog(shard_id))
+        log = self.primary_logs.get(shard_id)
+        if log is None:
+            log = PrimaryReplicationLog(
+                shard_id,
+                self._registry,
+                {**self._metric_labels, "role": "primary", "shard": str(shard_id)},
+            )
+            self.primary_logs[shard_id] = log
         sequence = log.next_sequence(batches)
         if not backups:
             log.mark_complete(sequence)
@@ -482,6 +556,23 @@ class StoreNode:
         self.net.send(self.name, request.client, reply, size_bytes=reply.size())
 
     def _handle_request(self, request: ClientRequest):
+        tracer = self.tracer
+        root = None
+        if tracer is not None:
+            root = tracer.start(
+                "request",
+                trace_id=request.request_id,
+                node=self.name,
+                object=request.object_id.short,
+                method=request.method,
+            )
+        try:
+            yield from self._handle_request_inner(request, root)
+        finally:
+            if root is not None and not root.finished:
+                tracer.end(root)
+
+    def _handle_request_inner(self, request: ClientRequest, root=None):
         self.stats.requests += 1
         previous = self._completed.lookup(request.request_id)
         if previous is not None:
@@ -560,7 +651,7 @@ class StoreNode:
             return
 
         if readonly:
-            yield from self._execute_readonly(request)
+            yield from self._execute_readonly(request, root)
         else:
             if self.name != replica_set.primary:
                 self.stats.rejected_not_primary += 1
@@ -577,7 +668,7 @@ class StoreNode:
             completion = self.sim.event()
             self._inflight[request.request_id] = completion
             try:
-                yield from self._execute_mutating(request, replica_set.shard_id)
+                yield from self._execute_mutating(request, replica_set.shard_id, root)
             finally:
                 self._inflight.pop(request.request_id, None)
                 if not completion.triggered:
@@ -603,16 +694,15 @@ class StoreNode:
         key = str(request.object_id)
         self.object_load[key] = self.object_load.get(key, 0) + 1
 
-    def _execute_readonly(self, request: ClientRequest):
+    def _execute_readonly(self, request: ClientRequest, root=None):
         self.stats.readonly_requests += 1
         self._note_load(request)
+        arrived = self.sim.now
         yield self.cpu.request()
         started = self.sim.now
         try:
             try:
-                result = self.runtime.invoke_detailed(
-                    request.object_id, request.method, *request.args
-                )
+                result = self._invoke_traced(root, request)
             except (InvocationError, UnknownObjectError) as error:
                 self.stats.failed_invocations += 1
                 self._reply(request, ClientReply(request.request_id, False, error=str(error)))
@@ -623,21 +713,28 @@ class StoreNode:
         finally:
             self.stats.busy_ms += self.sim.now - started
             self.cpu.release()
+            if self._request_hist is not None:
+                self._request_hist["readonly"].observe(self.sim.now - arrived)
 
-    def _execute_mutating(self, request: ClientRequest, shard_id: int):
+    def _execute_mutating(self, request: ClientRequest, shard_id: int, root=None):
         self.stats.mutating_requests += 1
         self._note_load(request)
+        tracer = self.tracer
+        arrived = self.sim.now
         object_key = str(request.object_id)
-        yield self.locks.acquire(object_key)
+        if tracer is not None and root is not None:
+            lock_span = tracer.start("lock.wait", parent=root, object=request.object_id.short)
+            yield self.locks.acquire(object_key)
+            tracer.end(lock_span)
+        else:
+            yield self.locks.acquire(object_key)
         try:
             yield self.cpu.request()
             started = self.sim.now
             try:
                 capture = self.cluster.begin_capture()
                 try:
-                    result = self.runtime.invoke_detailed(
-                        request.object_id, request.method, *request.args
-                    )
+                    result = self._invoke_traced(root, request)
                 except (InvocationError, UnknownObjectError) as error:
                     self.stats.failed_invocations += 1
                     reply = ClientReply(request.request_id, False, error=str(error))
@@ -670,7 +767,7 @@ class StoreNode:
             # Replication of this node's own writes.
             own_batches = capture.batches.get(self.name, [])
             if own_batches:
-                yield from self._replicate(shard_id, own_batches)
+                yield from self._replicate(shard_id, own_batches, parent=root)
 
             # Bill remote nested dispatches to their owners.
             for index, (owner_name, sub_result) in enumerate(capture.remote_dispatches):
@@ -679,16 +776,19 @@ class StoreNode:
                     fuel=sub_result.total_fuel(),
                     batches=capture.batches.get(owner_name, []),
                     sender=self.name,
+                    trace_id=request.request_id,
                 )
-                yield from self._send_charge(charge, owner_name)
+                yield from self._send_charge(charge, owner_name, parent=root)
 
             reply = ClientReply(request.request_id, True, value=result.value)
             self._completed.record(request.request_id, reply)
             self._reply(request, reply)
         finally:
             self.locks.release(object_key)
+            if self._request_hist is not None:
+                self._request_hist["mutating"].observe(self.sim.now - arrived)
 
-    def _send_charge(self, charge: RemoteCharge, owner_name: str):
+    def _send_charge(self, charge: RemoteCharge, owner_name: str, parent=None):
         """Deliver a RemoteCharge with bounded retransmission + backoff.
 
         The charge carries the owner's write batches for replication to
@@ -697,6 +797,12 @@ class StoreNode:
         budget runs out (the owner is then presumed dead and its shard's
         reconfiguration takes over); dedupe at the owner keeps
         retransmissions at-most-once."""
+        tracer = self.tracer
+        span = None
+        if tracer is not None:
+            span = tracer.start(
+                "remote_charge", parent=parent, node=self.name, owner=owner_name
+            )
         event = self.sim.event()
         self._charge_waiters[charge.charge_id] = event
         timeout_ms = self._ack_timeout * 2
@@ -710,9 +816,13 @@ class StoreNode:
                     return True
                 timeout_ms *= 2
             self.stats.remote_charge_timeouts += 1
+            if span is not None:
+                span.status = "timeout"
             return False
         finally:
             self._charge_waiters.pop(charge.charge_id, None)
+            if span is not None:
+                tracer.end(span, status=span.status)
 
     def _charge_cpu(self, fuel: float):
         """Occupy one core for ``fuel`` worth of simulated time."""
@@ -727,21 +837,38 @@ class StoreNode:
     def _handle_remote_charge(self, message: RemoteCharge):
         """Charge CPU + replication for a nested invocation executed here."""
         self.stats.remote_charges += 1
-        yield self.cpu.request()
-        started = self.sim.now
+        tracer = self.tracer
+        span = None
+        if tracer is not None and message.trace_id:
+            # Joins the originating request's trace as a second root on
+            # this node (the cross-node correlation key is the request id).
+            span = tracer.start(
+                "remote_charge.settle",
+                trace_id=message.trace_id,
+                node=self.name,
+                sender=message.sender,
+            )
         try:
-            yield self.sim.timeout(message.fuel * self.ms_per_fuel)
+            yield self.cpu.request()
+            started = self.sim.now
+            try:
+                yield self.sim.timeout(message.fuel * self.ms_per_fuel)
+            finally:
+                self.stats.busy_ms += self.sim.now - started
+                self.cpu.release()
+            if message.batches and self.shard_map is not None:
+                own_shard = self.shard_map.shard_of_node(self.name)
+                if own_shard is not None and own_shard.primary == self.name:
+                    yield from self._replicate(
+                        own_shard.shard_id, message.batches, parent=span
+                    )
+            if message.charge_id in self._charges_seen:
+                self._charges_seen[message.charge_id] = True
+            ack = RemoteChargeAck(message.charge_id)
+            self.net.send(self.name, message.sender, ack, size_bytes=ack.size())
         finally:
-            self.stats.busy_ms += self.sim.now - started
-            self.cpu.release()
-        if message.batches and self.shard_map is not None:
-            own_shard = self.shard_map.shard_of_node(self.name)
-            if own_shard is not None and own_shard.primary == self.name:
-                yield from self._replicate(own_shard.shard_id, message.batches)
-        if message.charge_id in self._charges_seen:
-            self._charges_seen[message.charge_id] = True
-        ack = RemoteChargeAck(message.charge_id)
-        self.net.send(self.name, message.sender, ack, size_bytes=ack.size())
+            if span is not None:
+                tracer.end(span)
 
     # -- migration ---------------------------------------------------------
 

@@ -44,12 +44,15 @@ class MessageTracer:
         self._max = max_entries
         self.entries: list[TraceEntry] = []
         self.dropped_oldest = 0
+        self._detached = False
         self._previous_tap = net.tap
         net.tap = self._on_message
 
     def _on_message(self, message: Message) -> None:
         if self._previous_tap is not None:
             self._previous_tap(message)
+        if self._detached:
+            return
         if len(self.entries) >= self._max:
             # Drop the oldest half so tracing stays O(1) amortised.
             keep = self._max // 2
@@ -67,8 +70,36 @@ class MessageTracer:
         )
 
     def detach(self) -> None:
-        """Stop tracing (restores any previous tap)."""
-        self._net.tap = self._previous_tap
+        """Stop tracing, restoring any previous tap (idempotent).
+
+        Tracers stack (nemesis + user tracing both tap the same network):
+        if this tracer is the current tap it unlinks itself; if another
+        tracer attached on top it stays in the chain as a pass-through so
+        the outer tracer keeps seeing every message.
+        """
+        if self._detached:
+            return
+        self._detached = True
+        if self._net.tap == self._on_message:
+            self._net.tap = self._effective_previous()
+
+    def _effective_previous(self):
+        """The nearest tap below this one that is still live (skipping
+        tracers detached out of order, which linger as pass-throughs)."""
+        previous = self._previous_tap
+        while previous is not None:
+            owner = getattr(previous, "__self__", None)
+            if isinstance(owner, MessageTracer) and owner._detached:
+                previous = owner._previous_tap
+            else:
+                break
+        return previous
+
+    def __enter__(self) -> "MessageTracer":
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.detach()
 
     # -- queries ---------------------------------------------------------
 

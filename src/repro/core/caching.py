@@ -25,6 +25,7 @@ from dataclasses import dataclass
 from typing import Any, Callable, Optional
 
 from repro.core.fields import encode_value, value_digest
+from repro.obs.registry import MetricsRegistry, StatsView
 
 _ABSENT_DIGEST = b"\x00" * 8
 
@@ -42,37 +43,37 @@ class CacheEntry:
     read_set: dict[bytes, bytes]
 
 
-@dataclass
-class CacheStats:
-    """Result-cache counters."""
+class CacheStats(StatsView):
+    """Result-cache counters (registry-backed labelled series)."""
 
-    hits: int = 0
-    misses: int = 0
-    invalidations: int = 0
-    validation_failures: int = 0
-    stores: int = 0
-
-    def snapshot(self) -> dict[str, int]:
-        return {
-            "hits": self.hits,
-            "misses": self.misses,
-            "invalidations": self.invalidations,
-            "validation_failures": self.validation_failures,
-            "stores": self.stores,
-        }
+    PREFIX = "cache"
+    COUNTERS = {
+        "hits": 0,
+        "misses": 0,
+        "invalidations": 0,
+        "validation_failures": 0,
+        "stores": 0,
+    }
 
 
 class ResultCache:
     """LRU cache of (object, method, args) -> result with read-set validity."""
 
-    def __init__(self, max_entries: int = 4096) -> None:
+    def __init__(
+        self,
+        max_entries: int = 4096,
+        registry: Optional[MetricsRegistry] = None,
+        labels: Optional[dict] = None,
+    ) -> None:
         if max_entries <= 0:
             raise ValueError(f"max_entries must be > 0, got {max_entries}")
         self._max_entries = max_entries
         self._entries: "OrderedDict[tuple, CacheEntry]" = OrderedDict()
         #: inverted index: storage key -> cache keys whose read set uses it
         self._by_read_key: dict[bytes, set[tuple]] = {}
-        self.stats = CacheStats()
+        self.stats = CacheStats(registry, labels)
+        if registry is not None:
+            registry.gauge("cache_entries", labels, fn=lambda: len(self._entries))
 
     def __len__(self) -> int:
         return len(self._entries)

@@ -6,6 +6,7 @@ from dataclasses import dataclass, field
 from typing import Any
 
 from repro.core.ids import ObjectId
+from repro.obs.registry import StatsView
 
 
 @dataclass
@@ -42,26 +43,21 @@ class InvocationResult:
         return self.fuel_used + sum(sub.total_fuel() for sub in self.sub_results)
 
 
-@dataclass
-class InvocationStats:
-    """Aggregate counters a runtime keeps across invocations."""
+class InvocationStats(StatsView):
+    """Aggregate counters a runtime keeps across invocations.
 
-    invocations: int = 0
-    nested_invocations: int = 0
-    commits: int = 0
-    aborts: int = 0
-    cache_hits: int = 0
-    cache_misses: int = 0
-    fuel_used: float = 0.0
+    Registry-backed (see :class:`repro.obs.StatsView`): attribute access
+    is unchanged, but each field is a labelled series in the owning
+    platform's metrics registry.
+    """
 
-    def snapshot(self) -> dict[str, float]:
-        """A plain-dict copy for reports."""
-        return {
-            "invocations": self.invocations,
-            "nested_invocations": self.nested_invocations,
-            "commits": self.commits,
-            "aborts": self.aborts,
-            "cache_hits": self.cache_hits,
-            "cache_misses": self.cache_misses,
-            "fuel_used": self.fuel_used,
-        }
+    PREFIX = "runtime"
+    COUNTERS = {
+        "invocations": 0,
+        "nested_invocations": 0,
+        "commits": 0,
+        "aborts": 0,
+        "cache_hits": 0,
+        "cache_misses": 0,
+        "fuel_used": 0.0,
+    }

@@ -11,6 +11,7 @@ storage node; the serverless baseline reuses it with remote storage.
 from __future__ import annotations
 
 import random
+from contextlib import nullcontext
 from typing import Any, Callable, Iterable, Optional
 
 from repro.errors import (
@@ -30,6 +31,8 @@ from repro.core.invocation import InvocationResult, InvocationStats
 from repro.core.object_type import ObjectType
 from repro.core.storage import MemoryBackend, StorageBackend
 from repro.core.writeset import WriteSet
+from repro.obs.registry import MetricsRegistry
+from repro.obs.spans import SpanTracer
 from repro.kvstore.batch import WriteBatch
 from repro.wasm.fuel import FuelMeter
 from repro.wasm.host_api import OpCosts
@@ -63,6 +66,10 @@ class LocalRuntime:
         fuel_budget: Optional[float] = None,
         costs: Optional[OpCosts] = None,
         memory_limit_bytes: int = DEFAULT_MEMORY_LIMIT,
+        registry: Optional[MetricsRegistry] = None,
+        metrics_labels: Optional[dict] = None,
+        tracer: Optional[SpanTracer] = None,
+        trace_node: str = "",
     ) -> None:
         self.storage: StorageBackend = storage if storage is not None else MemoryBackend()
         self._types: dict[str, ObjectType] = {}
@@ -71,12 +78,16 @@ class LocalRuntime:
         self.guest_rng = random.Random(seed + 1)
         self.clock = clock or _LogicalClock()
         self.cache: Optional[ResultCache] = (
-            ResultCache(cache_entries) if enable_cache else None
+            ResultCache(cache_entries, registry, metrics_labels) if enable_cache else None
         )
         self._fuel_budget = fuel_budget
         self.costs = costs or OpCosts()
         self._memory_limit = memory_limit_bytes
-        self.stats = InvocationStats()
+        self.stats = InvocationStats(registry, metrics_labels)
+        #: span tracer for invocation-lifecycle tracing (platforms share one
+        #: tracer across nodes; ``trace_node`` names this runtime's host)
+        self.tracer = tracer
+        self.trace_node = trace_node
         #: optional hook called with each top-level InvocationResult
         self.on_invocation: Optional[Callable[[InvocationResult], None]] = None
         #: optional hook called with each committed WriteBatch (the
@@ -188,94 +199,100 @@ class LocalRuntime:
                 f"call depth exceeded {MAX_CALL_DEPTH} (cycle of nested invocations?)"
             )
         object_id = ObjectId(object_id)
-        object_type = self.type_of(object_id)
-        method_def = object_type.method_def(method)
-        if not method_def.public and not _internal:
-            raise PrivateMethodError(
-                f"{object_type.name}.{method} is not public; only other "
-                "function invocations may call it"
+        with self._span("invoke", object=object_id.short, method=method, depth=_depth):
+            object_type = self.type_of(object_id)
+            method_def = object_type.method_def(method)
+            if not method_def.public and not _internal:
+                raise PrivateMethodError(
+                    f"{object_type.name}.{method} is not public; only other "
+                    "function invocations may call it"
+                )
+
+            digest = None
+            if method_def.readonly and self.cache is not None:
+                try:
+                    digest = args_digest(args)
+                except Exception:
+                    digest = None  # unhashable args: skip caching
+                if digest is not None:
+                    with self._span("cache.lookup") as lookup_span:
+                        hit, value = self.cache.lookup(
+                            object_id, method, digest, self.storage.get
+                        )
+                        if lookup_span is not None:
+                            lookup_span.attrs["hit"] = hit
+                    if hit:
+                        self.stats.cache_hits += 1
+                        self.stats.invocations += 1
+                        return InvocationResult(
+                            object_id=object_id,
+                            method=method,
+                            value=value,
+                            fuel_used=self.costs.utility,  # a cache probe is ~free
+                            read_set={},
+                            written_keys=[],
+                            commit_sequence=self.storage.last_sequence,
+                            parts=0,
+                            cache_hit=True,
+                        )
+                    self.stats.cache_misses += 1
+
+            fuel = FuelMeter(self._fuel_budget if self._fuel_budget else FuelMeter.UNLIMITED)
+            writeset = WriteSet(self.storage.get)
+            ctx = InvocationContext(
+                runtime=self,
+                object_id=object_id,
+                object_type=object_type,
+                writeset=writeset,
+                fuel=fuel,
+                costs=self.costs,
+                readonly=method_def.readonly,
+                depth=_depth,
+            )
+            instance = Instance(
+                object_type.module, ctx, fuel=fuel, memory_limit_bytes=self._memory_limit
+            )
+            ctx.bind_instance(instance)
+            fuel.consume(self.costs.call_base)
+
+            try:
+                value = instance.call(method, *args)
+            except Trap as trap:
+                self.stats.aborts += 1
+                # Buffered writes of the *current segment* are discarded; commits
+                # made before nested calls stand (they were separate invocations).
+                raise InvocationError(str(trap)) from trap
+
+            read_set = writeset.read_set()
+            commit_sequence = self._commit(ctx, reason="final")
+
+            result = InvocationResult(
+                object_id=object_id,
+                method=method,
+                value=value,
+                fuel_used=fuel.used,
+                read_set=read_set,
+                written_keys=ctx.all_written_keys,
+                commit_sequence=commit_sequence,
+                parts=max(ctx.parts, 1),
+                sub_results=ctx.sub_results,
+                logs=ctx.logs,
             )
 
-        digest = None
-        if method_def.readonly and self.cache is not None:
-            try:
-                digest = args_digest(args)
-            except Exception:
-                digest = None  # unhashable args: skip caching
-            if digest is not None:
-                hit, value = self.cache.lookup(object_id, method, digest, self.storage.get)
-                if hit:
-                    self.stats.cache_hits += 1
-                    self.stats.invocations += 1
-                    return InvocationResult(
-                        object_id=object_id,
-                        method=method,
-                        value=value,
-                        fuel_used=self.costs.utility,  # a cache probe is ~free
-                        read_set={},
-                        written_keys=[],
-                        commit_sequence=self.storage.last_sequence,
-                        parts=0,
-                        cache_hit=True,
-                    )
-                self.stats.cache_misses += 1
+            if (
+                method_def.readonly
+                and self.cache is not None
+                and digest is not None
+                and ctx.deterministic
+                and not ctx.dispatched_nested
+            ):
+                self.cache.store(object_id, method, digest, value, result.read_set)
 
-        fuel = FuelMeter(self._fuel_budget if self._fuel_budget else FuelMeter.UNLIMITED)
-        writeset = WriteSet(self.storage.get)
-        ctx = InvocationContext(
-            runtime=self,
-            object_id=object_id,
-            object_type=object_type,
-            writeset=writeset,
-            fuel=fuel,
-            costs=self.costs,
-            readonly=method_def.readonly,
-            depth=_depth,
-        )
-        instance = Instance(
-            object_type.module, ctx, fuel=fuel, memory_limit_bytes=self._memory_limit
-        )
-        ctx.bind_instance(instance)
-        fuel.consume(self.costs.call_base)
-
-        try:
-            value = instance.call(method, *args)
-        except Trap as trap:
-            self.stats.aborts += 1
-            # Buffered writes of the *current segment* are discarded; commits
-            # made before nested calls stand (they were separate invocations).
-            raise InvocationError(str(trap)) from trap
-
-        read_set = writeset.read_set()
-        commit_sequence = self._commit(ctx)
-
-        result = InvocationResult(
-            object_id=object_id,
-            method=method,
-            value=value,
-            fuel_used=fuel.used,
-            read_set=read_set,
-            written_keys=ctx.all_written_keys,
-            commit_sequence=commit_sequence,
-            parts=max(ctx.parts, 1),
-            sub_results=ctx.sub_results,
-            logs=ctx.logs,
-        )
-
-        if (
-            method_def.readonly
-            and self.cache is not None
-            and digest is not None
-            and ctx.deterministic
-            and not ctx.dispatched_nested
-        ):
-            self.cache.store(object_id, method, digest, value, result.read_set)
-
-        self.stats.invocations += 1
-        self.stats.fuel_used += fuel.used
-        if _depth == 0 and self.on_invocation is not None:
-            self.on_invocation(result)
-        return result
+            self.stats.invocations += 1
+            self.stats.fuel_used += fuel.used
+            if _depth == 0 and self.on_invocation is not None:
+                self.on_invocation(result)
+            return result
 
     # -- nested calls (invoked by the context) ------------------------------
 
@@ -284,7 +301,7 @@ class LocalRuntime:
     ) -> Any:
         """Dispatch a nested invocation, committing the parent first (§3.1)."""
         self._check_nested_readonly(parent_ctx, object_id, method)
-        self._commit(parent_ctx)
+        self._commit(parent_ctx, reason="pre-nested")
         self.stats.nested_invocations += 1
         result = self.invoke_detailed(
             object_id, method, *args, _depth=parent_ctx.depth + 1, _internal=True
@@ -311,20 +328,32 @@ class LocalRuntime:
                 f"{method!r} on {object_id.short}"
             )
 
-    def _commit(self, ctx: InvocationContext) -> int:
-        """Commit a context's buffered writes as one atomic batch."""
+    def _commit(self, ctx: InvocationContext, reason: str = "final") -> int:
+        """Commit a context's buffered writes as one atomic batch.
+
+        ``reason`` is trace metadata: ``"pre-nested"`` marks the §3.1
+        caller-commit split (the caller's buffered writes commit as their
+        own invocation segment before a nested call dispatches).
+        """
         writeset = ctx.writeset
         if not writeset.has_writes:
             return self.storage.last_sequence
-        written = writeset.written_keys()
-        batch = writeset.to_batch()
-        sequence = self.storage.apply(batch)
-        if self.commit_hook is not None:
-            self.commit_hook(batch)
-        if self.cache is not None:
-            self.cache.invalidate_keys(written)
-        ctx.all_written_keys.extend(written)
-        ctx.parts += 1
-        self.stats.commits += 1
-        writeset.clear()
-        return sequence
+        with self._span("commit", reason=reason, keys=len(writeset.written_keys())):
+            written = writeset.written_keys()
+            batch = writeset.to_batch()
+            sequence = self.storage.apply(batch)
+            if self.commit_hook is not None:
+                self.commit_hook(batch)
+            if self.cache is not None:
+                self.cache.invalidate_keys(written)
+            ctx.all_written_keys.extend(written)
+            ctx.parts += 1
+            self.stats.commits += 1
+            writeset.clear()
+            return sequence
+
+    def _span(self, name: str, **attrs):
+        """A tracer span on the current stack, or a no-op without a tracer."""
+        if self.tracer is None:
+            return nullcontext()
+        return self.tracer.span(name, node=self.trace_node, **attrs)

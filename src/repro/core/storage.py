@@ -51,17 +51,27 @@ class MemoryBackend:
         self._data: dict[bytes, bytes] = {}
         self._keys: list[bytes] = []
         self._sequence = 0
+        # Plain ints, not registry instruments: `get` is the hottest call in
+        # the simulator, so platforms expose these via callback gauges.
+        self.gets = 0
+        self.puts = 0
+        self.deletes = 0
+        self.applies = 0
 
     def get(self, key: bytes) -> Optional[bytes]:
+        self.gets += 1
         return self._data.get(key)
 
     def apply(self, batch: WriteBatch) -> int:
+        self.applies += 1
         for kind, key, value in batch.items():
             if kind == ValueType.VALUE:
+                self.puts += 1
                 if key not in self._data:
                     bisect.insort(self._keys, key)
                 self._data[key] = value
             else:
+                self.deletes += 1
                 if key in self._data:
                     del self._data[key]
                     index = bisect.bisect_left(self._keys, key)

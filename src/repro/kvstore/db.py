@@ -24,6 +24,7 @@ from repro.kvstore.iterator import merge_records, visible_items
 from repro.kvstore.memtable import MemTable
 from repro.kvstore.record import MAX_SEQUENCE, ValueType
 from repro.kvstore.sstable import SSTableReader, SSTableWriter
+from repro.obs.registry import MetricsRegistry, StatsView
 from repro.kvstore.version import (
     FileMetadata,
     VersionEdit,
@@ -68,23 +69,31 @@ class Snapshot:
         self.release()
 
 
-@dataclass
-class DBStats:
+class DBStats(StatsView):
     """Operational counters, reset at open."""
 
-    puts: int = 0
-    deletes: int = 0
-    gets: int = 0
-    flushes: int = 0
-    compactions: int = 0
-    bytes_flushed: int = 0
-    bytes_compacted: int = 0
+    PREFIX = "kvstore"
+    COUNTERS = {
+        "puts": 0,
+        "deletes": 0,
+        "gets": 0,
+        "flushes": 0,
+        "compactions": 0,
+        "bytes_flushed": 0,
+        "bytes_compacted": 0,
+    }
 
 
 class DB:
     """An embedded ordered key-value store (see package docstring)."""
 
-    def __init__(self, directory: str, options: Optional[DBOptions] = None) -> None:
+    def __init__(
+        self,
+        directory: str,
+        options: Optional[DBOptions] = None,
+        registry: Optional[MetricsRegistry] = None,
+        labels: Optional[dict] = None,
+    ) -> None:
         """Use :meth:`DB.open` instead of constructing directly."""
         self._dir = directory
         self.options = options or DBOptions()
@@ -95,15 +104,33 @@ class DB:
         self._tables: dict[int, SSTableReader] = {}
         self._snapshots: dict[int, int] = {}  # sequence -> refcount
         self._closed = False
-        self.stats = DBStats()
+        self.stats = DBStats(registry, labels)
+        #: optional span tracer: flush/compaction become child spans of
+        #: whatever invocation is active when they happen
+        self.tracer = None
+        if registry is not None:
+            registry.gauge(
+                "kvstore_memtable_bytes", labels, fn=lambda: self._mem.approximate_size
+            )
+            registry.gauge(
+                "kvstore_live_tables",
+                labels,
+                fn=lambda: sum(len(level) for level in self._versions.levels),
+            )
 
     # -- lifecycle ---------------------------------------------------------
 
     @classmethod
-    def open(cls, directory: str, options: Optional[DBOptions] = None) -> "DB":
+    def open(
+        cls,
+        directory: str,
+        options: Optional[DBOptions] = None,
+        registry: Optional[MetricsRegistry] = None,
+        labels: Optional[dict] = None,
+    ) -> "DB":
         """Open (creating or recovering) a database at ``directory``."""
         os.makedirs(directory, exist_ok=True)
-        db = cls(directory, options)
+        db = cls(directory, options, registry, labels)
         if os.path.exists(os.path.join(directory, "CURRENT")):
             db._recover()
         else:
@@ -291,6 +318,13 @@ class DB:
             self._maybe_compact()
 
     def _flush_memtable(self) -> None:
+        if self.tracer is not None:
+            with self.tracer.span("kvstore.flush", bytes=self._mem.approximate_size):
+                self._flush_memtable_inner()
+        else:
+            self._flush_memtable_inner()
+
+    def _flush_memtable_inner(self) -> None:
         number = self._versions.new_file_number()
         path = os.path.join(self._dir, table_file_name(number))
         writer = SSTableWriter(path, bits_per_key=self.options.bloom_bits_per_key)
@@ -345,6 +379,17 @@ class DB:
         self._run_compaction(Compaction(level, upper, lower))
 
     def _run_compaction(self, compaction: Compaction) -> None:
+        if self.tracer is not None:
+            with self.tracer.span(
+                "kvstore.compaction",
+                level=compaction.level,
+                inputs=len(compaction.all_inputs()),
+            ):
+                self._run_compaction_inner(compaction)
+        else:
+            self._run_compaction_inner(compaction)
+
+    def _run_compaction_inner(self, compaction: Compaction) -> None:
         inputs = compaction.all_inputs()
         smallest = min(f.smallest for f in inputs)
         largest = max(f.largest for f in inputs)

@@ -1,0 +1,92 @@
+"""Exporters: JSON snapshots and Prometheus-style text.
+
+Two formats from the same registry:
+
+- :func:`to_json` / :func:`write_json` — the machine-readable snapshot
+  (instrument values *and* their sampled time series), what the bench
+  CLI's ``--metrics-out`` writes and CI uploads as an artifact;
+- :func:`to_prometheus` — the plain-text exposition format, for eyeballs
+  and for anything that already parses Prometheus.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from typing import Any
+
+from repro.obs.registry import Histogram, MetricsRegistry
+
+
+def _fmt_value(value: float) -> str:
+    if isinstance(value, float) and math.isinf(value):
+        return "+Inf" if value > 0 else "-Inf"
+    if isinstance(value, float) and value == int(value):
+        return str(int(value))
+    return repr(value)
+
+
+def _fmt_labels(labels: dict[str, str], extra: dict[str, Any] | None = None) -> str:
+    merged = dict(labels)
+    if extra:
+        merged.update({k: str(v) for k, v in extra.items()})
+    if not merged:
+        return ""
+    inner = ",".join(f'{k}="{v}"' for k, v in sorted(merged.items()))
+    return "{" + inner + "}"
+
+
+def to_prometheus(registry: MetricsRegistry) -> str:
+    """Render every instrument in the Prometheus text exposition format."""
+    lines: list[str] = []
+    for name, family in sorted(registry.families().items()):
+        kind = family[0].kind
+        help_text = next((m.help for m in family if m.help), "")
+        if help_text:
+            lines.append(f"# HELP {name} {help_text}")
+        lines.append(f"# TYPE {name} {kind}")
+        for metric in family:
+            if isinstance(metric, Histogram):
+                cumulative = 0
+                for bound, count in zip(metric.bounds, metric.bucket_counts):
+                    cumulative = count  # buckets are already cumulative
+                    lines.append(
+                        f"{name}_bucket"
+                        f"{_fmt_labels(metric.label_dict, {'le': _fmt_value(bound)})}"
+                        f" {cumulative}"
+                    )
+                lines.append(
+                    f"{name}_bucket"
+                    f"{_fmt_labels(metric.label_dict, {'le': '+Inf'})} {metric.count}"
+                )
+                lines.append(
+                    f"{name}_sum{_fmt_labels(metric.label_dict)} {_fmt_value(metric.sum)}"
+                )
+                lines.append(
+                    f"{name}_count{_fmt_labels(metric.label_dict)} {metric.count}"
+                )
+            else:
+                lines.append(
+                    f"{name}{_fmt_labels(metric.label_dict)} {_fmt_value(metric.value)}"
+                )
+    return "\n".join(lines) + "\n"
+
+
+def to_json(registry: MetricsRegistry, indent: int | None = None) -> str:
+    """The registry snapshot as a JSON document."""
+    return json.dumps(registry.snapshot(), indent=indent)
+
+
+def write_json(path: str, payload: dict[str, Any], indent: int = 2) -> None:
+    """Write an arbitrary snapshot payload (e.g. per-experiment bundles)."""
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=indent, default=_jsonable)
+        handle.write("\n")
+
+
+def _jsonable(value: Any) -> Any:
+    """Fallback serializer: snapshot-able objects, then strings."""
+    snapshot = getattr(value, "snapshot", None)
+    if callable(snapshot):
+        return snapshot()
+    return str(value)

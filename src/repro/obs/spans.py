@@ -1,0 +1,239 @@
+"""Span-based distributed tracing for invocations.
+
+One **trace** per client request (``trace_id`` = the request id, the same
+correlation key :func:`repro.cluster.tracing._correlation_of` uses at the
+message level); one **span** per phase of the invocation lifecycle —
+lock waits, guest execution, nested object calls (including remote
+dispatches to other storage nodes), commits (the §3.1 caller-commit
+split), cache lookups, kvstore flushes, and replication rounds.  Each
+span records the node it ran on, so a cross-node trace reconstructs the
+caller → callee path of e.g. a ``bank.transfer`` whose payee lives in a
+different microshard.
+
+Two attachment styles, matching the simulator's two execution regimes:
+
+- **synchronous** — guest execution happens at one simulated instant with
+  no yields, so the tracer keeps a *current-span stack*; instrumentation
+  deep in the runtime (cache lookup, commit, kvstore flush, nested
+  invoke) parents itself on :meth:`SpanTracer.current` automatically.
+- **asynchronous** — phases that cross simulation yields (lock waits,
+  replication rounds, remote charges) pass their parent span explicitly
+  via :meth:`SpanTracer.start` / :meth:`SpanTracer.end`, because other
+  processes interleave while they wait.
+
+:meth:`SpanTracer.render` pretty-prints one trace as an indented tree
+with durations — the tool for explaining a single slow request.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional
+
+
+@dataclass
+class Span:
+    """One timed phase of one invocation."""
+
+    trace_id: str
+    span_id: int
+    parent_id: Optional[int]
+    name: str
+    node: str
+    start_ms: float
+    end_ms: Optional[float] = None
+    status: str = "ok"
+    attrs: dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def duration_ms(self) -> float:
+        if self.end_ms is None:
+            return 0.0
+        return self.end_ms - self.start_ms
+
+    @property
+    def finished(self) -> bool:
+        return self.end_ms is not None
+
+    def snapshot(self) -> dict[str, Any]:
+        return {
+            "trace_id": self.trace_id,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "name": self.name,
+            "node": self.node,
+            "start_ms": self.start_ms,
+            "end_ms": self.end_ms,
+            "duration_ms": self.duration_ms,
+            "status": self.status,
+            "attrs": dict(self.attrs),
+        }
+
+
+class SpanTracer:
+    """Records spans (bounded), indexes them by trace, renders trees."""
+
+    def __init__(
+        self, clock: Optional[Callable[[], float]] = None, max_spans: int = 100_000
+    ) -> None:
+        self._clock = clock or (lambda: 0.0)
+        self._max = max_spans
+        self._next_id = 1
+        self._auto_trace = 0
+        self.spans: list[Span] = []
+        self.dropped_oldest = 0
+        self._by_trace: dict[str, list[Span]] = {}
+        self._stack: list[Span] = []
+
+    # -- recording ---------------------------------------------------------
+
+    def start(
+        self,
+        name: str,
+        trace_id: Optional[str] = None,
+        parent: Optional[Span] = None,
+        node: str = "",
+        **attrs: Any,
+    ) -> Span:
+        """Open a span.  ``trace_id``/``parent`` default to the current
+        stack top; with neither, a fresh local trace id is minted."""
+        if parent is None and self._stack:
+            parent = self._stack[-1]
+        if trace_id is None:
+            if parent is not None:
+                trace_id = parent.trace_id
+            else:
+                self._auto_trace += 1
+                trace_id = f"local-{self._auto_trace}"
+        span = Span(
+            trace_id=trace_id,
+            span_id=self._next_id,
+            parent_id=parent.span_id if parent is not None else None,
+            name=name,
+            node=node or (parent.node if parent is not None else ""),
+            start_ms=self._clock(),
+            attrs=attrs,
+        )
+        self._next_id += 1
+        if len(self.spans) >= self._max:
+            keep = self._max // 2
+            self.dropped_oldest += len(self.spans) - keep
+            self.spans = self.spans[-keep:]
+            self._by_trace = {}
+            for kept in self.spans:
+                self._by_trace.setdefault(kept.trace_id, []).append(kept)
+        self.spans.append(span)
+        self._by_trace.setdefault(trace_id, []).append(span)
+        return span
+
+    def end(self, span: Span, status: str = "ok") -> Span:
+        """Close a span at the current clock."""
+        if span.end_ms is None:
+            span.end_ms = self._clock()
+            span.status = status
+        return span
+
+    @contextmanager
+    def span(
+        self,
+        name: str,
+        trace_id: Optional[str] = None,
+        parent: Optional[Span] = None,
+        node: str = "",
+        **attrs: Any,
+    ):
+        """Context manager for *synchronous* phases: opens a span, pushes
+        it as the current parent, closes (with error status) on exit."""
+        opened = self.start(name, trace_id=trace_id, parent=parent, node=node, **attrs)
+        self._stack.append(opened)
+        try:
+            yield opened
+        except BaseException:
+            self._stack.pop()
+            self.end(opened, status="error")
+            raise
+        self._stack.pop()
+        self.end(opened)
+
+    @contextmanager
+    def activate(self, span: Span):
+        """Make an externally-managed span the current parent for the
+        duration of a synchronous block (it is *not* closed on exit)."""
+        self._stack.append(span)
+        try:
+            yield span
+        finally:
+            self._stack.pop()
+
+    def current(self) -> Optional[Span]:
+        return self._stack[-1] if self._stack else None
+
+    # -- queries -----------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.spans)
+
+    def trace(self, trace_id: str) -> list[Span]:
+        """Every span of one trace, in start order."""
+        return list(self._by_trace.get(trace_id, ()))
+
+    def trace_ids(self) -> list[str]:
+        return list(self._by_trace)
+
+    def roots(self, trace_id: str) -> list[Span]:
+        spans = self.trace(trace_id)
+        present = {span.span_id for span in spans}
+        return [s for s in spans if s.parent_id is None or s.parent_id not in present]
+
+    def children(self, span: Span) -> list[Span]:
+        return [s for s in self.trace(span.trace_id) if s.parent_id == span.span_id]
+
+    def slowest_trace(self) -> Optional[str]:
+        """The trace id whose root span took longest (debugging entry point)."""
+        worst: tuple[float, Optional[str]] = (-1.0, None)
+        for trace_id in self._by_trace:
+            for root in self.roots(trace_id):
+                if root.finished and root.duration_ms > worst[0]:
+                    worst = (root.duration_ms, trace_id)
+        return worst[1]
+
+    # -- rendering ---------------------------------------------------------
+
+    def render(self, trace_id: str) -> str:
+        """Pretty-print one trace as an indented span tree.
+
+        ::
+
+            trace c0#7
+            └─ request @store-0 12.412ms method=transfer
+               ├─ lock.wait @store-0 0.000ms
+               ├─ execute @store-0 ...
+        """
+        spans = self.trace(trace_id)
+        if not spans:
+            return f"trace {trace_id}: no spans"
+        lines = [f"trace {trace_id}"]
+
+        def walk(span: Span, prefix: str, is_last: bool) -> None:
+            connector = "└─" if is_last else "├─"
+            duration = f"{span.duration_ms:.3f}ms" if span.finished else "(open)"
+            attrs = " ".join(f"{k}={v}" for k, v in span.attrs.items())
+            status = "" if span.status == "ok" else f" [{span.status}]"
+            lines.append(
+                f"{prefix}{connector} {span.name} @{span.node or '-'} "
+                f"{duration}{status}{(' ' + attrs) if attrs else ''}"
+            )
+            child_prefix = prefix + ("   " if is_last else "│  ")
+            kids = self.children(span)
+            for index, child in enumerate(kids):
+                walk(child, child_prefix, index == len(kids) - 1)
+
+        top = self.roots(trace_id)
+        for index, root in enumerate(top):
+            walk(root, "", index == len(top) - 1)
+        return "\n".join(lines)
+
+    def snapshot(self, trace_id: Optional[str] = None) -> dict[str, Any]:
+        spans = self.trace(trace_id) if trace_id is not None else self.spans
+        return {"spans": [span.snapshot() for span in spans]}

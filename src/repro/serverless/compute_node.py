@@ -10,11 +10,10 @@ evaluation, which has no load balancer) but pay a per-dispatch overhead.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-
 from repro.core.runtime import LocalRuntime
 from repro.cluster.messages import ClientReply, ClientRequest
 from repro.errors import InvocationError, UnknownObjectError
+from repro.obs.registry import StatsView
 from repro.serverless.container import ContainerPool
 from repro.serverless.storage_client import RecordingStorage, StorageOp
 from repro.sim.core import Simulation
@@ -22,14 +21,21 @@ from repro.sim.network import Network
 from repro.sim.resources import Resource
 
 
-@dataclass
-class ComputeStats:
-    """Per-compute-node counters."""
+class ComputeStats(StatsView):
+    """Per-compute-node counters.
 
-    requests: int = 0
-    failed: int = 0
-    storage_round_trips: int = 0
-    busy_ms: float = 0.0
+    ``PREFIX = "node"``: compute nodes are the baseline's request-serving
+    nodes, so ``node_requests``/``node_busy_ms`` compare directly against
+    the LambdaStore storage nodes' series of the same names.
+    """
+
+    PREFIX = "node"
+    COUNTERS = {
+        "requests": 0,
+        "failed": 0,
+        "storage_round_trips": 0,
+        "busy_ms": 0.0,
+    }
 
 
 class BaselineStorageNode:
@@ -87,13 +93,30 @@ class ComputeNode:
         self.storage = RecordingStorage(
             [node.backend for node in storage_nodes], costs=platform.costs
         )
+        registry = getattr(platform, "metrics", None)
+        labels = {"node": name}
         self.runtime = LocalRuntime(
             storage=self.storage,
             clock=lambda: sim.now,
             enable_cache=False,  # conventional serverless: no consistent cache
             costs=platform.costs,
+            registry=registry,
+            metrics_labels=labels,
+            trace_node=name,
         )
-        self.stats = ComputeStats()
+        self.stats = ComputeStats(registry, labels)
+        self._request_hist = None
+        if registry is not None:
+            self._request_hist = registry.histogram(
+                "node_request_ms",
+                {**labels, "kind": "request"},
+                help="client-request service time at this node",
+            )
+
+    @property
+    def tracer(self):
+        """The platform-wide span tracer, or None when tracing is off."""
+        return getattr(self.platform, "tracer", None)
 
     def start(self) -> None:
         self.sim.process(self._serve(), name=f"{self.name}.serve")
@@ -105,15 +128,45 @@ class ComputeNode:
                 self.sim.process(self._handle(message), name=f"{self.name}.req")
 
     def _handle(self, request: ClientRequest):
+        tracer = self.tracer
+        root = None
+        if tracer is not None:
+            root = tracer.start(
+                "request",
+                trace_id=request.request_id,
+                node=self.name,
+                object=request.object_id.short,
+                method=request.method,
+            )
+        try:
+            yield from self._handle_inner(request, root)
+        finally:
+            if root is not None and not root.finished:
+                tracer.end(root)
+
+    def _handle_inner(self, request: ClientRequest, root=None):
+        tracer = self.tracer
+        arrived = self.sim.now
         self.stats.requests += 1
-        yield from self.pool.acquire()
+        if tracer is not None and root is not None:
+            acquire_span = tracer.start("container.acquire", parent=root)
+            yield from self.pool.acquire()
+            tracer.end(acquire_span)
+        else:
+            yield from self.pool.acquire()
         try:
             # Execute the function; its storage accesses are recorded.
             trace = self.storage.begin_trace()
             try:
-                result = self.runtime.invoke_detailed(
-                    request.object_id, request.method, *request.args
-                )
+                if tracer is not None and root is not None:
+                    with tracer.activate(root):
+                        result = self.runtime.invoke_detailed(
+                            request.object_id, request.method, *request.args
+                        )
+                else:
+                    result = self.runtime.invoke_detailed(
+                        request.object_id, request.method, *request.args
+                    )
             except (InvocationError, UnknownObjectError) as error:
                 self.stats.failed += 1
                 reply = ClientReply(request.request_id, False, error=str(error))
@@ -135,14 +188,28 @@ class ComputeNode:
 
             # Replay each storage access as a round trip.
             for op in trace:
-                yield from self._storage_round_trip(op)
+                yield from self._storage_round_trip(op, parent=root)
 
             reply = ClientReply(request.request_id, True, value=result.value)
             self.net.send(self.name, request.client, reply, size_bytes=reply.size())
         finally:
             self.pool.release()
+            if self._request_hist is not None:
+                self._request_hist.observe(self.sim.now - arrived)
 
-    def _storage_round_trip(self, op: StorageOp):
+    def _storage_round_trip(self, op: StorageOp, parent=None):
+        tracer = self.tracer
+        if tracer is None:
+            return (yield from self._storage_round_trip_inner(op))
+        span = tracer.start(
+            "storage.round_trip", parent=parent, node=self.name, op=op.kind
+        )
+        try:
+            return (yield from self._storage_round_trip_inner(op))
+        finally:
+            tracer.end(span)
+
+    def _storage_round_trip_inner(self, op: StorageOp):
         self.stats.storage_round_trips += 1
         if op.replica_ok and self._read_any:
             target = self._rng.choice(self.storage_nodes)

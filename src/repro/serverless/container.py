@@ -9,20 +9,24 @@ keep-alive window, so bursty workloads keep paying cold starts.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from typing import Optional
 
 from repro.errors import NoCapacityError
+from repro.obs.registry import MetricsRegistry, StatsView
 from repro.sim.core import Simulation
 from repro.sim.resources import Resource
 
 
-@dataclass
-class ContainerStats:
-    """Cold/warm start counters."""
+class ContainerStats(StatsView):
+    """Cold/warm start counters.
 
-    cold_starts: int = 0
-    warm_starts: int = 0
-    expirations: int = 0
+    ``PREFIX = "scheduler"``: in the baseline, the container pool *is*
+    the scheduling layer, so its series line up against the LambdaStore
+    lock table's ``scheduler_*`` family.
+    """
+
+    PREFIX = "scheduler"
+    COUNTERS = {"cold_starts": 0, "warm_starts": 0, "expirations": 0}
 
     @property
     def total_starts(self) -> int:
@@ -39,6 +43,8 @@ class ContainerPool:
         cold_start_ms: float = 120.0,
         warm_start_ms: float = 0.3,
         keepalive_ms: float = 60_000.0,
+        registry: Optional[MetricsRegistry] = None,
+        labels: Optional[dict] = None,
     ) -> None:
         if capacity < 1:
             raise NoCapacityError(f"container pool needs capacity >= 1, got {capacity}")
@@ -49,7 +55,14 @@ class ContainerPool:
         self.keepalive_ms = keepalive_ms
         #: expiry deadlines of idle warm containers (oldest first)
         self._warm: list[float] = []
-        self.stats = ContainerStats()
+        self.stats = ContainerStats(registry, labels)
+        if registry is not None:
+            registry.gauge(
+                "scheduler_containers_in_use", labels, fn=lambda: self._slots.in_use
+            )
+            registry.gauge(
+                "scheduler_warm_containers", labels, fn=lambda: len(self._warm)
+            )
 
     @property
     def capacity(self) -> int:

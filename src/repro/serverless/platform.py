@@ -8,6 +8,8 @@ from typing import Any, Iterable, Optional
 from repro.core.ids import ObjectId
 from repro.core.object_type import ObjectType
 from repro.core.runtime import LocalRuntime
+from repro.obs.registry import MetricsRegistry
+from repro.obs.spans import SpanTracer
 from repro.serverless.client import SimpleClient
 from repro.serverless.compute_node import BaselineStorageNode, ComputeNode
 from repro.serverless.container import ContainerPool
@@ -52,6 +54,9 @@ class ServerlessConfig:
     #: avoids; the aggregated variant's equivalent is the (much smaller)
     #: wasm call_base cost.
     dispatch_overhead_fuel: float = 300.0
+    #: when > 0, a background process samples every registry instrument's
+    #: time series at this simulated-ms interval (0 disables the sampler)
+    metrics_sample_interval_ms: float = 0.0
     seed: int = 0
 
 
@@ -72,6 +77,10 @@ class ServerlessPlatform:
         )
         self.costs = OpCosts()
         self._id_rng = sim.rng("serverless.ids")
+        #: same observability surface as the LambdaStore cluster, so the
+        #: two systems' series are directly comparable
+        self.metrics = MetricsRegistry(clock=lambda: sim.now)
+        self.tracer: Optional[SpanTracer] = None
 
         self.storage_nodes = [
             BaselineStorageNode(
@@ -82,6 +91,8 @@ class ServerlessPlatform:
             )
             for i in range(self.config.num_storage_nodes)
         ]
+        for node in self.storage_nodes:
+            self._register_storage_gauges(node)
 
         self.compute_nodes: list[ComputeNode] = []
         for i in range(self.config.num_compute_nodes):
@@ -91,6 +102,8 @@ class ServerlessPlatform:
                 cold_start_ms=self.config.cold_start_ms,
                 warm_start_ms=self.config.warm_start_ms,
                 keepalive_ms=self.config.keepalive_ms,
+                registry=self.metrics,
+                labels={"node": f"compute-{i}"},
             )
             if self.config.prewarm:
                 pool.prewarm(self.config.container_pool_size)
@@ -108,6 +121,38 @@ class ServerlessPlatform:
                     dispatch_overhead_fuel=self.config.dispatch_overhead_fuel,
                 )
             )
+
+        # Families the baseline architecture structurally lacks: no
+        # consistent result cache (compute is stateless, §2.1) and no
+        # replication protocol (the storage client writes every replica
+        # synchronously).  Register them anyway, permanently zero, so both
+        # systems export the same metric families and cross-system
+        # dashboards diff series instead of chasing missing names.
+        for node in self.compute_nodes:
+            for counter in (
+                "cache_hits",
+                "cache_misses",
+                "cache_invalidations",
+                "cache_validation_failures",
+                "cache_stores",
+            ):
+                self.metrics.counter(
+                    counter,
+                    {"node": node.name},
+                    help="always 0 in the baseline (no consistent cache)",
+                )
+        for node in self.storage_nodes:
+            for counter in (
+                "replication_shipped",
+                "replication_acked",
+                "replication_applied",
+                "replication_buffered_out_of_order",
+            ):
+                self.metrics.counter(
+                    counter,
+                    {"node": node.name, "role": "none", "shard": "-"},
+                    help="always 0 in the baseline (no replication protocol)",
+                )
 
         self.gateway: Optional[Gateway] = None
         if self.config.use_gateway:
@@ -132,16 +177,48 @@ class ServerlessPlatform:
         self._next_compute = 0
         self._started = False
 
+    def _register_storage_gauges(self, node: Any) -> None:
+        """Expose a baseline storage node's backend counters + busy time."""
+        labels = {"node": node.name}
+        backend = node.backend
+        for op in ("gets", "puts", "deletes", "applies"):
+            if hasattr(backend, op):
+                self.metrics.gauge(
+                    f"kvstore_{op}",
+                    labels,
+                    fn=lambda b=backend, attr=op: getattr(b, attr),
+                )
+        if hasattr(backend, "size_bytes"):
+            self.metrics.gauge("kvstore_size_bytes", labels, fn=backend.size_bytes)
+        self.metrics.gauge("node_busy_ms", labels, fn=lambda n=node: n.busy_ms)
+
     # -- lifecycle ---------------------------------------------------------
 
     def start(self) -> None:
         if self._started:
             return
         self._started = True
+        if self.config.metrics_sample_interval_ms > 0:
+            self.sim.process(
+                self.metrics.sampler_process(
+                    self.sim, self.config.metrics_sample_interval_ms
+                ),
+                name="serverless.metrics-sampler",
+            )
         for node in self.compute_nodes:
             node.start()
         if self.gateway is not None:
             self.gateway.start()
+
+    def enable_tracing(self, max_spans: int = 100_000) -> SpanTracer:
+        """Attach one platform-wide span tracer (idempotent)."""
+        if self.tracer is None:
+            self.tracer = SpanTracer(
+                clock=lambda: self.sim.now, max_spans=max_spans
+            )
+            for node in self.compute_nodes:
+                node.runtime.tracer = self.tracer
+        return self.tracer
 
     def entry_point(self) -> str:
         """Where clients send requests: the gateway, or a compute node

@@ -2,18 +2,24 @@
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 from typing import Optional
 
 
 def percentile(sorted_values: list[float], fraction: float) -> float:
-    """Nearest-rank percentile of an already-sorted list."""
+    """Nearest-rank percentile of an already-sorted list.
+
+    Uses the standard nearest-rank definition ``ceil(fraction * n) - 1``;
+    Python's ``round()`` half-to-even would understate high percentiles on
+    small samples (index ties round to the *even*, i.e. lower, rank).
+    """
     if not sorted_values:
         raise ValueError("percentile of empty data")
     if not 0.0 <= fraction <= 1.0:
         raise ValueError(f"fraction must be in [0, 1], got {fraction}")
-    index = min(len(sorted_values) - 1, max(0, round(fraction * (len(sorted_values) - 1))))
-    return sorted_values[index]
+    index = math.ceil(fraction * len(sorted_values)) - 1
+    return sorted_values[min(len(sorted_values) - 1, max(0, index))]
 
 
 @dataclass
@@ -32,6 +38,10 @@ class WorkloadReport:
         return self.completed / (self.duration_ms / 1000.0)
 
     def latency(self, fraction: float) -> float:
+        """Nearest-rank latency percentile; NaN when nothing completed
+        (a zero-completion operation must render as a row, not raise)."""
+        if not self.latencies_ms:
+            return float("nan")
         return percentile(sorted(self.latencies_ms), fraction)
 
     @property
@@ -44,6 +54,8 @@ class WorkloadReport:
 
     @property
     def mean_ms(self) -> float:
+        if not self.latencies_ms:
+            return 0.0
         return sum(self.latencies_ms) / len(self.latencies_ms)
 
     def to_row(self) -> dict[str, float]:

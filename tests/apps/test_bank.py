@@ -80,6 +80,23 @@ def test_transfer_compensates_when_credit_fails(rt):
     assert kinds == ["credit", "debit"]  # compensation after the debit
 
 
+def test_pending_transfer_marker_cleared_on_success(rt):
+    a = rt.create_object("Account", initial={"balance": 100})
+    b = rt.create_object("Account", initial={"balance": 0})
+    rt.invoke(a, "transfer", b, 40)
+    assert rt.invoke(a, "get_pending_transfer") is None
+
+
+def test_pending_transfer_marker_cleared_on_compensation(rt):
+    a = rt.create_object("Account", initial={"balance": 100})
+    from repro.core import ObjectId
+
+    ghost = ObjectId.from_name("no-such-account")
+    with pytest.raises(InvocationError):
+        rt.invoke(a, "transfer", ghost, 40)
+    assert rt.invoke(a, "get_pending_transfer") is None
+
+
 def test_interest_applies_once(rt):
     account = rt.create_object("Account", initial={"balance": 1000})
     assert rt.invoke(account, "credit_interest", 5) == 50

@@ -84,3 +84,55 @@ def test_detach_stops_recording():
     tracer.detach()
     cluster.run_invoke(client, oid, "increment", 1)
     assert len(tracer) == before
+
+
+def test_detach_restores_previous_tap():
+    sim, cluster, first = traced_cluster(seed=98)
+    second = MessageTracer(cluster.net)
+    oid = cluster.create_object("Counter")
+    client = cluster.client("c0")
+    cluster.run_invoke(client, oid, "increment", 1)
+    # Both stacked tracers see traffic; detaching the top restores the first.
+    assert len(first) > 0 and len(second) > 0
+    second.detach()
+    assert cluster.net.tap == first._on_message
+    before_first, before_second = len(first), len(second)
+    cluster.run_invoke(client, oid, "increment", 1)
+    assert len(second) == before_second
+    assert len(first) > before_first
+
+
+def test_detach_out_of_order_keeps_outer_tracer_live():
+    # Nemesis-style stacking: detach the *bottom* tracer while another is
+    # still attached on top.  The detached one must stop recording, the
+    # outer one must keep seeing every message.
+    sim, cluster, inner = traced_cluster(seed=99)
+    outer = MessageTracer(cluster.net)
+    oid = cluster.create_object("Counter")
+    client = cluster.client("c0")
+    inner.detach()
+    cluster.run_invoke(client, oid, "increment", 1)
+    assert len(inner) == 0
+    assert len(outer) > 0
+    outer.detach()
+    assert cluster.net.tap is None
+
+
+def test_tracer_is_a_context_manager():
+    sim, cluster = build_cluster(seed=100)
+    oid = cluster.create_object("Counter")
+    client = cluster.client("c0")
+    with MessageTracer(cluster.net) as tracer:
+        cluster.run_invoke(client, oid, "increment", 1)
+        assert len(tracer) > 0
+    before = len(tracer)
+    cluster.run_invoke(client, oid, "increment", 1)
+    assert len(tracer) == before
+    assert cluster.net.tap is None
+
+
+def test_detach_is_idempotent():
+    sim, cluster, tracer = traced_cluster(seed=101)
+    tracer.detach()
+    tracer.detach()
+    assert cluster.net.tap is None

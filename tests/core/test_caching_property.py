@@ -1,0 +1,116 @@
+"""Generative test: the ResultCache inverted index never drifts.
+
+PR 1 fixed a stale-cache bug found by one nemesis reproduction; the bug
+class — ``_by_read_key`` disagreeing with ``_entries`` after some
+interleaving of store/lookup/invalidate/evict — deserves a generative
+test.  A hypothesis state machine drives the cache through random
+operation sequences against a tiny capacity (so LRU eviction triggers
+constantly) and checks the bidirectional index invariant after every
+step:
+
+- every entry's read-set keys index back to it (no missed index adds);
+- every indexed cache key exists and really reads that storage key
+  (no leaked index entries after drop/evict/invalidate);
+- the index holds no empty sets and the cache never exceeds capacity.
+"""
+
+from __future__ import annotations
+
+from hypothesis import settings
+from hypothesis import strategies as st
+from hypothesis.stateful import RuleBasedStateMachine, invariant, rule
+
+from repro.core.caching import _ABSENT_DIGEST, ResultCache
+from repro.core.fields import encode_value, value_digest
+
+MAX_ENTRIES = 4
+
+OBJECTS = st.sampled_from(["obj-a", "obj-b"])
+METHODS = st.sampled_from(["m1", "m2"])
+DIGESTS = st.sampled_from([b"d1", b"d2", b"d3"])
+STORAGE_KEYS = st.sampled_from([b"k1", b"k2", b"k3", b"k4", b"k5"])
+
+
+class CacheIndexMachine(RuleBasedStateMachine):
+    def __init__(self) -> None:
+        super().__init__()
+        self.cache = ResultCache(max_entries=MAX_ENTRIES)
+        #: committed state the cache validates against
+        self.storage: dict[bytes, bytes] = {}
+
+    def _current_get(self, key: bytes):
+        return self.storage.get(key)
+
+    def _read_set(self, keys: set[bytes]) -> dict[bytes, bytes]:
+        """A read set consistent with current storage (as the runtime records)."""
+        return {
+            key: value_digest(self.storage[key])
+            if key in self.storage
+            else _ABSENT_DIGEST
+            for key in keys
+        }
+
+    @rule(
+        object_id=OBJECTS,
+        method=METHODS,
+        digest=DIGESTS,
+        value=st.integers(0, 100),
+        keys=st.sets(STORAGE_KEYS, min_size=0, max_size=3),
+    )
+    def store(self, object_id, method, digest, value, keys):
+        self.cache.store(object_id, method, digest, value, self._read_set(keys))
+
+    @rule(object_id=OBJECTS, method=METHODS, digest=DIGESTS)
+    def lookup(self, object_id, method, digest):
+        self.cache.lookup(object_id, method, digest, self._current_get)
+
+    @rule(key=STORAGE_KEYS, value=st.integers(0, 100))
+    def commit_write(self, key, value):
+        """A commit: mutate storage, then eagerly invalidate readers."""
+        self.storage[key] = encode_value(value)
+        self.cache.invalidate_keys([key])
+
+    @rule(key=STORAGE_KEYS)
+    def commit_delete(self, key):
+        self.storage.pop(key, None)
+        self.cache.invalidate_keys([key])
+
+    @rule(key=STORAGE_KEYS, value=st.integers(0, 100))
+    def write_without_invalidation(self, key, value):
+        """A write the cache is *not* told about: later lookups must catch
+        it via read-set validation and drop through that path too."""
+        self.storage[key] = encode_value(value)
+
+    @rule(keys=st.sets(STORAGE_KEYS, min_size=0, max_size=5))
+    def invalidate_many(self, keys):
+        self.cache.invalidate_keys(list(keys))
+
+    @rule()
+    def clear(self):
+        self.cache.clear()
+
+    @invariant()
+    def index_matches_entries_exactly(self):
+        cache = self.cache
+        assert len(cache._entries) <= MAX_ENTRIES
+        # forward: every entry is indexed under each of its read-set keys
+        for cache_key, entry in cache._entries.items():
+            for storage_key in entry.read_set:
+                assert cache_key in cache._by_read_key.get(storage_key, set()), (
+                    f"{cache_key} reads {storage_key!r} but is not indexed there"
+                )
+        # backward: every index entry points at a live entry that reads it
+        for storage_key, readers in cache._by_read_key.items():
+            assert readers, f"empty index set leaked for {storage_key!r}"
+            for cache_key in readers:
+                entry = cache._entries.get(cache_key)
+                assert entry is not None, (
+                    f"index for {storage_key!r} references dropped {cache_key}"
+                )
+                assert storage_key in entry.read_set
+
+
+CacheIndexMachine.TestCase.settings = settings(
+    max_examples=60, stateful_step_count=40, deadline=None
+)
+TestCacheIndex = CacheIndexMachine.TestCase

@@ -1,0 +1,133 @@
+"""Unit tests for the span tracer."""
+
+import pytest
+
+from repro.obs import SpanTracer
+
+
+def make_tracer():
+    now = {"t": 0.0}
+    tracer = SpanTracer(clock=lambda: now["t"])
+    return tracer, now
+
+
+def test_explicit_start_end_records_duration():
+    tracer, now = make_tracer()
+    span = tracer.start("replicate", trace_id="req-1", node="store-0")
+    now["t"] = 4.0
+    tracer.end(span)
+    assert span.finished
+    assert span.duration_ms == pytest.approx(4.0)
+    assert tracer.trace("req-1") == [span]
+
+
+def test_context_manager_nests_on_stack():
+    tracer, now = make_tracer()
+    with tracer.span("request", trace_id="req-2", node="store-0") as root:
+        with tracer.span("execute") as child:
+            assert tracer.current() is child
+            with tracer.span("cache.lookup", hit=True) as grandchild:
+                pass
+    assert tracer.current() is None
+    assert child.parent_id == root.span_id
+    assert grandchild.parent_id == child.span_id
+    # trace id and node inherit down the stack
+    assert grandchild.trace_id == "req-2"
+    assert grandchild.node == "store-0"
+    assert grandchild.attrs == {"hit": True}
+
+
+def test_error_status_on_exception():
+    tracer, _now = make_tracer()
+    with pytest.raises(RuntimeError):
+        with tracer.span("execute", trace_id="req-3"):
+            raise RuntimeError("boom")
+    (span,) = tracer.trace("req-3")
+    assert span.status == "error"
+    assert span.finished
+
+
+def test_activate_parents_without_closing():
+    tracer, now = make_tracer()
+    root = tracer.start("request", trace_id="req-4", node="store-0")
+    with tracer.activate(root):
+        with tracer.span("execute"):
+            pass
+    assert not root.finished  # activate() never closes
+    (child,) = tracer.children(root)
+    assert child.name == "execute"
+
+
+def test_auto_trace_id_when_unanchored():
+    tracer, _now = make_tracer()
+    a = tracer.start("invoke")
+    b = tracer.start("invoke")
+    assert a.trace_id != b.trace_id
+    assert a.trace_id.startswith("local-")
+
+
+def test_roots_and_children():
+    tracer, _now = make_tracer()
+    root = tracer.start("request", trace_id="t")
+    child = tracer.start("execute", parent=root)
+    assert tracer.roots("t") == [root]
+    assert tracer.children(root) == [child]
+
+
+def test_slowest_trace():
+    tracer, now = make_tracer()
+    fast = tracer.start("request", trace_id="fast")
+    now["t"] = 1.0
+    tracer.end(fast)
+    slow = tracer.start("request", trace_id="slow")
+    now["t"] = 50.0
+    tracer.end(slow)
+    assert tracer.slowest_trace() == "slow"
+
+
+def test_render_tree_shape():
+    tracer, now = make_tracer()
+    with tracer.span("request", trace_id="req-5", node="store-0", method="transfer"):
+        with tracer.span("execute"):
+            with tracer.span("commit", reason="pre-nested"):
+                pass
+            with tracer.span("execute", node="store-1"):
+                pass
+        span = tracer.start("replicate")
+        now["t"] = 2.0
+        tracer.end(span)
+    text = tracer.render("req-5")
+    assert "trace req-5" in text
+    assert "request @store-0" in text
+    assert "method=transfer" in text
+    assert "@store-1" in text
+    assert "replicate" in text
+    # children indent under their parent
+    lines = text.splitlines()
+    request_line = next(i for i, l in enumerate(lines) if "request" in l)
+    execute_line = next(i for i, l in enumerate(lines) if "execute" in l)
+    assert execute_line > request_line
+    assert tracer.render("missing") == "trace missing: no spans"
+
+
+def test_span_ring_buffer_bounds_memory():
+    tracer = SpanTracer(max_spans=10)
+    for index in range(25):
+        span = tracer.start("s", trace_id=f"t{index}")
+        tracer.end(span)
+    assert len(tracer) <= 10
+    assert tracer.dropped_oldest > 0
+    # index stays consistent with the retained spans
+    retained = {span.trace_id for span in tracer.spans}
+    assert set(tracer.trace_ids()) == retained
+
+
+def test_snapshot_serializable():
+    import json
+
+    tracer, _now = make_tracer()
+    with tracer.span("request", trace_id="req-6", method="get"):
+        pass
+    payload = json.loads(json.dumps(tracer.snapshot("req-6")))
+    assert payload["spans"][0]["name"] == "request"
+    assert payload["spans"][0]["attrs"] == {"method": "get"}

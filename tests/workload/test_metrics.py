@@ -1,5 +1,7 @@
 """Unit tests for latency recording and report math."""
 
+import math
+
 import pytest
 
 from repro.workload.metrics import LatencyRecorder, WorkloadReport, percentile
@@ -10,6 +12,50 @@ def test_percentile_basic():
     assert percentile(data, 0.0) == 1.0
     assert percentile(data, 0.5) == 3.0
     assert percentile(data, 1.0) == 5.0
+
+
+def test_percentile_nearest_rank_single_sample():
+    # n=1: every percentile is the one sample.
+    for fraction in (0.0, 0.5, 0.99, 1.0):
+        assert percentile([7.0], fraction) == 7.0
+
+
+def test_percentile_nearest_rank_two_samples():
+    # n=2, nearest rank: ceil(f*2)-1 — p50 is the *first* sample, anything
+    # above 0.5 is the second.  The old round()-based index understated
+    # these (banker's rounding sent p99 of tiny samples to the low value).
+    assert percentile([1.0, 2.0], 0.5) == 1.0
+    assert percentile([1.0, 2.0], 0.51) == 2.0
+    assert percentile([1.0, 2.0], 0.99) == 2.0
+    assert percentile([1.0, 2.0], 1.0) == 2.0
+
+
+def test_percentile_does_not_understate_p99_on_ties():
+    # Regression: with 50 samples, round(0.99 * 49) = round(48.51) = 49 is
+    # fine, but round-half-to-even at exact .5 ties picks the *even* index.
+    # E.g. n=201: round(0.99 * 200) = round(198.0) = 198, while the
+    # nearest-rank definition gives ceil(0.99 * 201) - 1 = 198 too — the
+    # observable divergence is at small n: n=2 above, and n=4 here, where
+    # round(0.5 * 3) = round(1.5) = 2 (banker's) vs nearest-rank index 1.
+    data = [1.0, 2.0, 3.0, 4.0]
+    assert percentile(data, 0.5) == 2.0  # nearest rank: ceil(2) - 1 = 1
+    assert percentile(data, 0.75) == 3.0
+    assert percentile(data, 1.0) == 4.0
+
+
+def test_zero_completion_report_renders_as_row():
+    # Regression: an operation that never completed (e.g. under nemesis
+    # faults) must render as a row, not raise ZeroDivisionError/ValueError.
+    report = WorkloadReport("op", completed=0, duration_ms=1000.0, latencies_ms=[])
+    assert report.mean_ms == 0.0
+    assert math.isnan(report.median_ms)
+    assert math.isnan(report.p99_ms)
+    assert math.isnan(report.latency(0.5))
+    row = report.to_row()
+    assert row["completed"] == 0
+    assert row["mean_ms"] == 0.0
+    assert math.isnan(row["median_ms"])
+    assert math.isnan(row["p99_ms"])
 
 
 def test_percentile_errors():
