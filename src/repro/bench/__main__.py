@@ -5,9 +5,21 @@ from __future__ import annotations
 import argparse
 import sys
 import time
+from concurrent.futures import ProcessPoolExecutor
 
 from repro.bench.calibration import preset
-from repro.bench.experiments import ALL_EXPERIMENTS, fig1, fig2, run_matrix, table1
+from repro.bench.experiments import (
+    ALL_EXPERIMENTS,
+    _experiment_worker,
+    fig1,
+    fig2,
+    run_matrix,
+    table1,
+)
+
+#: fig1/fig2/table1 share one (workload x variant) matrix and stay in the
+#: parent process (their results reference the live platforms).
+_MATRIX_EXPERIMENTS = ("fig1", "fig2", "table1")
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -27,6 +39,25 @@ def main(argv: list[str] | None = None) -> int:
         help="quick: laptop-scale (default); full: the paper's §5 parameters",
     )
     parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="run independent simulations in N worker processes: the "
+        "(workload x variant) matrix cells behind fig1/fig2/table1, and "
+        "whole ablations when regenerating 'all'.  Every cell is an "
+        "independent fixed-seed simulation, so the output rows are "
+        "identical to --jobs 1; only the wall clock changes",
+    )
+    parser.add_argument(
+        "--simperf-baseline",
+        metavar="PATH",
+        default=None,
+        help="after running the simperf experiment, compare its headline "
+        "events/sec against the baseline JSON at PATH and exit non-zero "
+        "on a >30%% regression (skippable via SIMPERF_GUARD_SKIP=1)",
+    )
+    parser.add_argument(
         "--metrics-out",
         metavar="PATH",
         default=None,
@@ -37,24 +68,48 @@ def main(argv: list[str] | None = None) -> int:
     )
     args = parser.parse_args(argv)
     cal = preset(args.preset)
+    jobs = max(1, args.jobs)
 
     names = sorted(ALL_EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+
+    # With --jobs N, dispatch the independent experiments to worker
+    # processes up front; the shared matrix (itself cell-parallel) and the
+    # result printing stay in the parent, in deterministic name order.
+    prerun: dict[str, tuple[dict, float]] = {}
+    workers = [n for n in names if n not in _MATRIX_EXPERIMENTS]
+    if jobs > 1 and len(workers) > 1:
+        with ProcessPoolExecutor(max_workers=min(jobs, len(workers))) as pool:
+            futures = {n: pool.submit(_experiment_worker, n, cal) for n in workers}
+            prerun = {n: futures[n].result() for n in workers}
+
+    exit_code = 0
     shared_matrix = None
     results = []
     for name in names:
         started = time.time()
-        if name in ("fig1", "fig2", "table1"):
+        if name in _MATRIX_EXPERIMENTS:
             # These three share the same (workload x variant) runs.
             if shared_matrix is None:
-                shared_matrix = run_matrix(cal)
+                shared_matrix = run_matrix(cal, jobs=jobs)
             result = {"fig1": fig1, "fig2": fig2, "table1": table1}[name](
                 cal, matrix=shared_matrix
             )
+            elapsed = time.time() - started
+        elif name in prerun:
+            result, elapsed = prerun[name]
         else:
             result = ALL_EXPERIMENTS[name](cal)
+            elapsed = time.time() - started
         results.append(result)
         print(result["text"])
-        print(f"\n[{name} completed in {time.time() - started:.1f}s wall clock]\n")
+        print(f"\n[{name} completed in {elapsed:.1f}s wall clock]\n")
+        if name == "simperf" and args.simperf_baseline:
+            from repro.bench.simperf import check_guard
+
+            ok, message = check_guard(result, args.simperf_baseline)
+            print(message)
+            if not ok:
+                exit_code = 1
 
     if args.metrics_out:
         from repro.bench.observability import metrics_out_payload
@@ -67,7 +122,7 @@ def main(argv: list[str] | None = None) -> int:
             f"[metrics snapshot written to {args.metrics_out} "
             f"in {time.time() - started:.1f}s wall clock]"
         )
-    return 0
+    return exit_code
 
 
 if __name__ == "__main__":

@@ -8,6 +8,8 @@ records live in EXPERIMENTS.md.
 
 from __future__ import annotations
 
+import time
+from concurrent.futures import ProcessPoolExecutor
 from dataclasses import replace
 from typing import Union
 
@@ -30,6 +32,7 @@ from repro.bench.harness import (
     run_retwis,
 )
 from repro.bench.report import format_bars, format_comparison, format_table
+from repro.bench.simperf import simperf
 from repro.core import ObjectType, ValueField, method, readonly_method
 from repro.sim import Simulation
 from repro.workload.retwis_load import RetwisWorkload
@@ -45,13 +48,50 @@ def _calibration(cal: CalibrationLike) -> Calibration:
     return cal
 
 
-def run_matrix(cal: Calibration) -> dict[tuple[str, str], RunResult]:
-    """Run every (workload, variant) cell of the §5 evaluation."""
-    results: dict[tuple[str, str], RunResult] = {}
-    for workload in RetwisWorkload.WORKLOADS:
-        for variant in VARIANTS:
-            results[(workload, variant)] = run_retwis(variant, workload, cal)
-    return results
+def _matrix_cell(workload: str, variant: str, cal: Calibration) -> RunResult:
+    """One (workload, variant) cell, run in a worker process.
+
+    Platforms hold a live simulation (generators, bound callbacks) and do
+    not pickle; matrix consumers only read the reports, so the worker
+    returns the result with ``platform`` dropped.
+    """
+    result = run_retwis(variant, workload, cal)
+    return RunResult(result.variant, result.workload, result.report, result.driver, None)
+
+
+def run_matrix(cal: Calibration, jobs: int = 1) -> dict[tuple[str, str], RunResult]:
+    """Run every (workload, variant) cell of the §5 evaluation.
+
+    With ``jobs > 1`` the cells run in worker processes.  Each cell is an
+    independent fixed-seed simulation, so the assembled rows are identical
+    to a sequential run — only the wall clock changes.  Results are
+    collected in the fixed cell order regardless of completion order.
+    """
+    cells = [(w, v) for w in RetwisWorkload.WORKLOADS for v in VARIANTS]
+    if jobs <= 1:
+        return {(w, v): run_retwis(v, w, cal) for w, v in cells}
+    # Submit the slow cells first: aggregated runs simulate the whole
+    # cluster (replication, locks, coordination) and take several times
+    # longer than the disaggregated ones, so longest-first submission
+    # tightens the packing when jobs < number of cells.  Submission order
+    # never affects results — assembly below is in fixed cell order.
+    submit_order = sorted(cells, key=lambda cell: cell[1] != AGGREGATED)
+    with ProcessPoolExecutor(max_workers=min(jobs, len(cells))) as pool:
+        futures = {cell: pool.submit(_matrix_cell, *cell, cal) for cell in submit_order}
+        return {cell: futures[cell].result() for cell in cells}
+
+
+def _experiment_worker(name: str, cal: Calibration) -> tuple[dict, float]:
+    """Run one whole experiment in a worker process (``--jobs`` on ``all``).
+
+    The experiment function builds its platforms *inside* the worker, so
+    experiments that inspect platform state (``abl_cache``,
+    ``abl_contention``) work unchanged; only the plain rows/text dict
+    crosses the process boundary.  Returns ``(result, wall_seconds)``.
+    """
+    started = time.time()
+    result = ALL_EXPERIMENTS[name](cal)
+    return result, time.time() - started
 
 
 # ---------------------------------------------------------------------------
@@ -627,4 +667,5 @@ ALL_EXPERIMENTS = {
     "abl_migration": abl_migration,
     "abl_failover": abl_failover,
     "chaos_soak": chaos_soak,
+    "simperf": simperf,
 }

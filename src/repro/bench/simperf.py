@@ -1,0 +1,272 @@
+"""Simulator throughput microbenchmark (the repo's perf trajectory).
+
+Every other experiment in :mod:`repro.bench` measures the *modelled*
+systems; ``simperf`` measures the *simulator itself* — how many scheduler
+events, network messages, and end-to-end invocations one wall-clock
+second buys.  The rows are fixed-seed and fixed-size, so the JSON
+artifact (``BENCH_simperf.json``) is comparable across commits and the
+CI guard can flag throughput regressions.
+
+Four rows, from micro to macro:
+
+- ``event_lane`` — processes ping-ponging through :class:`Store` mailboxes
+  at one simulated instant: the zero-delay scheduling path (event trigger,
+  callback dispatch, process resume) with no heap traffic.
+- ``timers`` — concurrent ``timeout`` chains: the time-ordered heap path.
+- ``network`` — host pairs streaming messages: ``Network.send`` plus
+  delivery scheduling and mailbox handoff.
+- ``retwis_invoke`` — one quick aggregated GetTimeline run end to end:
+  the whole stack (cluster, locks, cache, replication) as the workloads
+  exercise it.  Its events/sec is the headline number.
+
+Wall-clock numbers are machine-dependent; the guard therefore compares
+against a committed same-machine baseline with a generous (30%) margin
+and can be skipped via ``SIMPERF_GUARD_SKIP=1`` on incomparable hardware.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from dataclasses import replace
+from typing import Optional
+
+from repro.bench.calibration import Calibration, preset
+from repro.bench.report import format_comparison
+from repro.sim import Network, Simulation
+from repro.sim.resources import Store
+from repro.workload.retwis_load import RetwisWorkload
+
+#: default artifact path (repo-root relative; CI uploads it)
+DEFAULT_OUT = "BENCH_simperf.json"
+
+#: fraction of baseline headline events/sec below which the guard fails
+GUARD_TOLERANCE = 0.30
+
+#: environment variable that disables the guard (incomparable hardware)
+GUARD_SKIP_ENV = "SIMPERF_GUARD_SKIP"
+
+
+# ---------------------------------------------------------------------------
+# micro rows
+# ---------------------------------------------------------------------------
+
+
+def _bench_event_lane(iterations: int) -> dict:
+    """Ping-pong items through Store mailboxes at one simulated instant."""
+    sim = Simulation(seed=7)
+    left: Store = Store(sim)
+    right: Store = Store(sim)
+
+    def pinger():
+        for _ in range(iterations):
+            left.put("ping")
+            yield right.get()
+
+    def ponger():
+        for _ in range(iterations):
+            yield left.get()
+            right.put("pong")
+
+    sim.process(pinger())
+    done = sim.process(ponger())
+    started = time.perf_counter()
+    sim.run_until_triggered(done, limit=1.0)
+    wall = time.perf_counter() - started
+    return _row("event_lane", events=sim.events_scheduled, wall_s=wall)
+
+
+def _bench_timers(chains: int, steps: int) -> dict:
+    """Many interleaved timeout chains: exercises the time-ordered heap."""
+    sim = Simulation(seed=7)
+
+    def chain(offset: float):
+        for _ in range(steps):
+            yield sim.timeout(0.5 + offset)
+
+    processes = [sim.process(chain(i * 1e-4)) for i in range(chains)]
+    gate = sim.all_of(processes)
+    started = time.perf_counter()
+    sim.run_until_triggered(gate, limit=float("inf"))
+    wall = time.perf_counter() - started
+    return _row("timers", events=sim.events_scheduled, wall_s=wall)
+
+
+def _bench_network(pairs: int, messages: int) -> dict:
+    """Host pairs streaming messages through the network layer."""
+    sim = Simulation(seed=7)
+    net = Network(sim)
+    for index in range(pairs):
+        net.add_host(f"tx-{index}")
+        net.add_host(f"rx-{index}")
+
+    def receiver(name: str):
+        host = net.host(name)
+        for _ in range(messages):
+            yield host.recv()
+
+    def sender(index: int):
+        for _ in range(messages):
+            net.send(f"tx-{index}", f"rx-{index}", "payload", size_bytes=128)
+            yield sim.timeout(0.01)
+
+    receivers = [sim.process(receiver(f"rx-{i}")) for i in range(pairs)]
+    for index in range(pairs):
+        sim.process(sender(index))
+    gate = sim.all_of(receivers)
+    started = time.perf_counter()
+    sim.run_until_triggered(gate, limit=float("inf"))
+    wall = time.perf_counter() - started
+    row = _row("network", events=sim.events_scheduled, wall_s=wall)
+    sent = net.stats.messages_sent
+    row["messages"] = sent
+    row["messages_per_sec"] = round(sent / wall, 1) if wall > 0 else 0.0
+    return row
+
+
+def _bench_retwis(cal: Calibration) -> dict:
+    """One aggregated GetTimeline run end to end — the headline row."""
+    from repro.bench.harness import (
+        AGGREGATED,
+        WORKLOAD_METHOD,
+        build_platform,
+        load_dataset,
+    )
+    from repro.workload.clients import ClosedLoopDriver
+
+    sim = Simulation(seed=cal.seed)
+    platform = build_platform(AGGREGATED, sim, cal)
+    dataset = load_dataset(platform, cal)
+    workload = RetwisWorkload(dataset, RetwisWorkload.GET_TIMELINE)
+    driver = ClosedLoopDriver(
+        sim,
+        platform,
+        workload,
+        num_clients=cal.num_clients,
+        duration_ms=cal.duration_ms,
+        warmup_ms=cal.warmup_ms,
+    )
+    started = time.perf_counter()
+    result = driver.run()
+    wall = time.perf_counter() - started
+    report = result.reports[WORKLOAD_METHOD[RetwisWorkload.GET_TIMELINE]]
+    row = _row("retwis_invoke", events=sim.events_scheduled, wall_s=wall)
+    row["invocations"] = report.completed
+    row["invocations_per_sec"] = round(report.completed / wall, 1) if wall > 0 else 0.0
+    sent = platform.net.stats.messages_sent
+    row["messages"] = sent
+    row["messages_per_sec"] = round(sent / wall, 1) if wall > 0 else 0.0
+    return row
+
+
+def _row(bench: str, events: int, wall_s: float) -> dict:
+    return {
+        "bench": bench,
+        "events": events,
+        "wall_s": round(wall_s, 4),
+        "events_per_sec": round(events / wall_s, 1) if wall_s > 0 else 0.0,
+    }
+
+
+# ---------------------------------------------------------------------------
+# the experiment
+# ---------------------------------------------------------------------------
+
+#: micro-row sizes per preset (fixed, so artifacts are comparable)
+_SIZES = {
+    "quick": {"ping_iters": 30_000, "chains": 200, "steps": 150, "pairs": 8, "messages": 2_500},
+    "full": {"ping_iters": 150_000, "chains": 500, "steps": 400, "pairs": 16, "messages": 10_000},
+}
+
+
+def _sizes_for(cal: Calibration) -> dict:
+    # The quick preset trims duration_ms; treat anything at or below the
+    # quick scale as "quick" so micro rows stay fast under pytest.
+    return _SIZES["quick"] if cal.duration_ms <= preset("quick").duration_ms else _SIZES["full"]
+
+
+def simperf(cal=None, out_path: Optional[str] = DEFAULT_OUT) -> dict:
+    """Run the simulator microbenchmark; write ``BENCH_simperf.json``.
+
+    Returns the usual experiment dict (``rows`` + ``text``) plus a
+    ``headline`` dict with the retwis row's throughput numbers.
+    """
+    if cal is None:
+        cal = preset("quick")
+    elif isinstance(cal, str):
+        cal = preset(cal)
+    sizes = _sizes_for(cal)
+    # The retwis row stays quick-sized even under --preset full: simperf
+    # tracks simulator speed, which does not need the paper-scale dataset.
+    retwis_cal = replace(
+        preset("quick"),
+        seed=cal.seed,
+    )
+
+    rows = [
+        _bench_event_lane(sizes["ping_iters"]),
+        _bench_timers(sizes["chains"], sizes["steps"]),
+        _bench_network(sizes["pairs"], sizes["messages"]),
+        _bench_retwis(retwis_cal),
+    ]
+    headline_row = rows[-1]
+    headline = {
+        "events_per_sec": headline_row["events_per_sec"],
+        "invocations_per_sec": headline_row["invocations_per_sec"],
+        "messages_per_sec": headline_row["messages_per_sec"],
+    }
+    payload = {
+        "schema": 1,
+        "seed": cal.seed,
+        "sizes": sizes,
+        "rows": rows,
+        "headline": headline,
+    }
+    if out_path:
+        with open(out_path, "w", encoding="utf-8") as fh:
+            json.dump(payload, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+    text = format_comparison("Simperf: simulator throughput (fixed-seed)", rows)
+    text += (
+        f"\n  headline (retwis_invoke): {headline['events_per_sec']:,.0f} events/s, "
+        f"{headline['messages_per_sec']:,.0f} messages/s, "
+        f"{headline['invocations_per_sec']:,.0f} invocations/s"
+    )
+    if out_path:
+        text += f"\n  artifact written to {out_path}"
+    return {"name": "simperf", "rows": rows, "headline": headline, "text": text}
+
+
+# ---------------------------------------------------------------------------
+# regression guard
+# ---------------------------------------------------------------------------
+
+
+def check_guard(result: dict, baseline_path: str) -> tuple[bool, str]:
+    """Compare a simperf result against a committed baseline.
+
+    Returns ``(ok, message)``.  Fails when the headline events/sec fell
+    more than :data:`GUARD_TOLERANCE` below the baseline.  Skipped (ok)
+    when ``SIMPERF_GUARD_SKIP`` is set or the baseline file is missing
+    (first run on a new machine).
+    """
+    if os.environ.get(GUARD_SKIP_ENV):
+        return True, f"simperf guard skipped ({GUARD_SKIP_ENV} set)"
+    try:
+        with open(baseline_path, "r", encoding="utf-8") as fh:
+            baseline = json.load(fh)
+    except FileNotFoundError:
+        return True, f"simperf guard skipped (no baseline at {baseline_path})"
+    reference = float(baseline["headline"]["events_per_sec"])
+    measured = float(result["headline"]["events_per_sec"])
+    floor = reference * (1.0 - GUARD_TOLERANCE)
+    if measured < floor:
+        return False, (
+            f"simperf guard FAILED: headline {measured:,.0f} events/s is below "
+            f"{floor:,.0f} (baseline {reference:,.0f} - {GUARD_TOLERANCE:.0%})"
+        )
+    return True, (
+        f"simperf guard ok: {measured:,.0f} events/s vs baseline "
+        f"{reference:,.0f} (floor {floor:,.0f})"
+    )

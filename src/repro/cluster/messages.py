@@ -14,20 +14,48 @@ from repro.core.ids import ObjectId
 
 
 def estimate_size(value: Any) -> int:
-    """Rough wire size of a payload, for the bandwidth model."""
-    if value is None:
-        return 8
-    if isinstance(value, (bytes, bytearray)):
-        return len(value)
-    if isinstance(value, str):
-        return len(value)
-    if isinstance(value, (int, float, bool)):
-        return 8
-    if isinstance(value, dict):
-        return sum(estimate_size(k) + estimate_size(v) for k, v in value.items()) + 16
-    if isinstance(value, (list, tuple, set)):
-        return sum(estimate_size(v) for v in value) + 16
-    return 64
+    """Rough wire size of a payload, for the bandwidth model.
+
+    Iterative (explicit stack) rather than recursive: this runs for every
+    message the cluster sends, and payloads are often deeply nested.  All
+    contributions are ints, so traversal order does not affect the sum.
+    """
+    total = 0
+    stack = [value]
+    pop = stack.pop
+    extend = stack.extend
+    while stack:
+        item = pop()
+        # Exact-type checks first (the overwhelmingly common case), with an
+        # isinstance fallback so subclasses size the same as before.
+        cls = item.__class__
+        if cls is str:
+            total += len(item)
+        elif cls is int or cls is float:
+            total += 8
+        elif cls is dict:
+            total += 16
+            extend(item.keys())
+            extend(item.values())
+        elif cls is list or cls is tuple:
+            total += 16
+            extend(item)
+        elif item is None or cls is bool:
+            total += 8
+        elif isinstance(item, (str, bytes, bytearray)):
+            total += len(item)
+        elif isinstance(item, (int, float)):
+            total += 8
+        elif isinstance(item, dict):
+            total += 16
+            extend(item.keys())
+            extend(item.values())
+        elif isinstance(item, (list, tuple, set)):
+            total += 16
+            extend(item)
+        else:
+            total += 64
+    return total
 
 
 # -- client <-> storage node ---------------------------------------------------
@@ -46,7 +74,8 @@ class ClientRequest:
     readonly_hint: bool = False
 
     def size(self) -> int:
-        return 64 + estimate_size(list(self.args))
+        # Tuples and lists size identically, so no need to copy the args.
+        return 64 + estimate_size(self.args)
 
 
 @dataclass

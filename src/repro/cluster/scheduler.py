@@ -43,6 +43,11 @@ class ObjectLockTable:
         self._held: set[str] = set()
         self._waiting: dict[str, deque[Event]] = {}
         self.stats = SchedulerStats(registry, labels)
+        # acquire() runs once per mutating invocation; preresolved handles
+        # keep the increments off the StatsView attribute protocol.
+        self._c_acquisitions = self.stats.handle("acquisitions")
+        self._c_contentions = self.stats.handle("contentions")
+        self._g_max_queue_length = self.stats.handle("max_queue_length")
         if registry is not None:
             registry.gauge("scheduler_locks_held", labels, fn=lambda: len(self._held))
             registry.gauge(
@@ -54,15 +59,16 @@ class ObjectLockTable:
     def acquire(self, object_id: str) -> Event:
         """Event that succeeds when this caller holds the object's lock."""
         event = self._sim.event(name=f"lock:{object_id[:8]}")
-        self.stats.acquisitions += 1
+        self._c_acquisitions.inc()
         if object_id not in self._held:
             self._held.add(object_id)
             event.succeed()
         else:
             queue = self._waiting.setdefault(object_id, deque())
             queue.append(event)
-            self.stats.contentions += 1
-            self.stats.max_queue_length = max(self.stats.max_queue_length, len(queue))
+            self._c_contentions.inc()
+            if len(queue) > self._g_max_queue_length.value:
+                self._g_max_queue_length.set(len(queue))
         return event
 
     def try_acquire(self, object_id: str) -> bool:
@@ -73,7 +79,7 @@ class ObjectLockTable:
         if object_id in self._held:
             return False
         self._held.add(object_id)
-        self.stats.acquisitions += 1
+        self._c_acquisitions.inc()
         return True
 
     def release(self, object_id: str) -> None:

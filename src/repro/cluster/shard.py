@@ -41,6 +41,11 @@ class ShardMap:
     replica_sets: list[ReplicaSet] = field(default_factory=list)
     #: objects explicitly placed off their hash-default replica set
     overrides: dict[str, int] = field(default_factory=dict)
+    #: memoised rendezvous hashes plus the shard-id layout they were
+    #: computed under; invalidated when replica sets are added or removed
+    #: (membership changes within a set do not move hash-default objects)
+    _hash_cache: dict = field(default_factory=dict, init=False, repr=False, compare=False)
+    _hash_cache_ids: tuple = field(default=(), init=False, repr=False, compare=False)
 
     def copy(self) -> "ShardMap":
         return ShardMap(
@@ -64,17 +69,25 @@ class ShardMap:
         return self.replica_set(self.default_shard_id(object_id))
 
     def default_shard_id(self, object_id: ObjectId) -> int:
-        """Rendezvous hash of the object over all replica sets."""
-        best_shard = -1
-        best_weight = b""
-        for replica_set in self.replica_sets:
-            weight = hashlib.blake2b(
-                f"{object_id}:{replica_set.shard_id}".encode(), digest_size=8
-            ).digest()
-            if weight > best_weight:
-                best_weight = weight
-                best_shard = replica_set.shard_id
-        return best_shard
+        """Rendezvous hash of the object over all replica sets (memoised)."""
+        ids = tuple(rs.shard_id for rs in self.replica_sets)
+        if ids != self._hash_cache_ids:
+            self._hash_cache = {}
+            self._hash_cache_ids = ids
+        shard = self._hash_cache.get(object_id)
+        if shard is None:
+            best_shard = -1
+            best_weight = b""
+            for replica_set in self.replica_sets:
+                weight = hashlib.blake2b(
+                    f"{object_id}:{replica_set.shard_id}".encode(), digest_size=8
+                ).digest()
+                if weight > best_weight:
+                    best_weight = weight
+                    best_shard = replica_set.shard_id
+            shard = best_shard
+            self._hash_cache[object_id] = shard
+        return shard
 
     def primary_for(self, object_id: ObjectId) -> str:
         return self.shard_for(object_id).primary

@@ -289,6 +289,14 @@ class StoreNode:
         #: offered unrecognised messages via ``handle(message) -> bool``
         self.extensions: list[Any] = []
         self.stats = NodeStats(registry, labels)
+        # Preresolved counter handles for the per-request hot path (see
+        # StatsView.handle): one attribute bump instead of dict lookups.
+        self._c_requests = self.stats.handle("requests")
+        self._c_readonly_requests = self.stats.handle("readonly_requests")
+        self._c_mutating_requests = self.stats.handle("mutating_requests")
+        self._c_failed_invocations = self.stats.handle("failed_invocations")
+        self._c_replication_rounds = self.stats.handle("replication_rounds")
+        self._c_busy_ms = self.stats.handle("busy_ms")
         self.crashed = False
         self._hb_generation = 0
         self._config_query_counter = 0
@@ -524,7 +532,7 @@ class StoreNode:
         needed = set(backups)
         event = self.sim.event()
         self._ack_waiters[(shard_id, sequence)] = (needed, event)
-        self.stats.replication_rounds += 1
+        self._c_replication_rounds.inc()
         try:
             while needed:
                 timeout = self.sim.timeout(self._ack_timeout)
@@ -573,7 +581,7 @@ class StoreNode:
                 tracer.end(root)
 
     def _handle_request_inner(self, request: ClientRequest, root=None):
-        self.stats.requests += 1
+        self._c_requests.inc()
         previous = self._completed.lookup(request.request_id)
         if previous is not None:
             self._reply(request, previous)
@@ -695,7 +703,7 @@ class StoreNode:
         self.object_load[key] = self.object_load.get(key, 0) + 1
 
     def _execute_readonly(self, request: ClientRequest, root=None):
-        self.stats.readonly_requests += 1
+        self._c_readonly_requests.inc()
         self._note_load(request)
         arrived = self.sim.now
         yield self.cpu.request()
@@ -704,20 +712,20 @@ class StoreNode:
             try:
                 result = self._invoke_traced(root, request)
             except (InvocationError, UnknownObjectError) as error:
-                self.stats.failed_invocations += 1
+                self._c_failed_invocations.inc()
                 self._reply(request, ClientReply(request.request_id, False, error=str(error)))
                 return
             yield self.sim.timeout(result.fuel_used * self.ms_per_fuel)
             reply = ClientReply(request.request_id, True, value=result.value)
             self._reply(request, reply)
         finally:
-            self.stats.busy_ms += self.sim.now - started
+            self._c_busy_ms.inc(self.sim.now - started)
             self.cpu.release()
             if self._request_hist is not None:
                 self._request_hist["readonly"].observe(self.sim.now - arrived)
 
     def _execute_mutating(self, request: ClientRequest, shard_id: int, root=None):
-        self.stats.mutating_requests += 1
+        self._c_mutating_requests.inc()
         self._note_load(request)
         tracer = self.tracer
         arrived = self.sim.now
@@ -736,7 +744,7 @@ class StoreNode:
                 try:
                     result = self._invoke_traced(root, request)
                 except (InvocationError, UnknownObjectError) as error:
-                    self.stats.failed_invocations += 1
+                    self._c_failed_invocations.inc()
                     reply = ClientReply(request.request_id, False, error=str(error))
                     self._completed.record(request.request_id, reply)
                     self._reply(request, reply)
@@ -746,7 +754,7 @@ class StoreNode:
                 # Charge the top-level function's own CPU on the held core.
                 yield self.sim.timeout(result.fuel_used * self.ms_per_fuel)
             finally:
-                self.stats.busy_ms += self.sim.now - started
+                self._c_busy_ms.inc(self.sim.now - started)
                 self.cpu.release()
 
             # Locally executed nested invocations run in parallel across
@@ -831,7 +839,7 @@ class StoreNode:
         try:
             yield self.sim.timeout(fuel * self.ms_per_fuel)
         finally:
-            self.stats.busy_ms += self.sim.now - started
+            self._c_busy_ms.inc(self.sim.now - started)
             self.cpu.release()
 
     def _handle_remote_charge(self, message: RemoteCharge):
@@ -854,7 +862,7 @@ class StoreNode:
             try:
                 yield self.sim.timeout(message.fuel * self.ms_per_fuel)
             finally:
-                self.stats.busy_ms += self.sim.now - started
+                self._c_busy_ms.inc(self.sim.now - started)
                 self.cpu.release()
             if message.batches and self.shard_map is not None:
                 own_shard = self.shard_map.shard_of_node(self.name)

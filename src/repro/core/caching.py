@@ -72,6 +72,14 @@ class ResultCache:
         #: inverted index: storage key -> cache keys whose read set uses it
         self._by_read_key: dict[bytes, set[tuple]] = {}
         self.stats = CacheStats(registry, labels)
+        # Preresolved counter handles: lookup() runs on every read-only
+        # invocation, so increments must not pay the StatsView attribute
+        # protocol (see StatsView.handle).
+        self._c_hits = self.stats.handle("hits")
+        self._c_misses = self.stats.handle("misses")
+        self._c_validation_failures = self.stats.handle("validation_failures")
+        self._c_invalidations = self.stats.handle("invalidations")
+        self._c_stores = self.stats.handle("stores")
         if registry is not None:
             registry.gauge("cache_entries", labels, fn=lambda: len(self._entries))
 
@@ -95,18 +103,18 @@ class ResultCache:
         cache_key = self._key(object_id, method, digest)
         entry = self._entries.get(cache_key)
         if entry is None:
-            self.stats.misses += 1
+            self._c_misses.inc()
             return False, None
         for storage_key, expected_digest in entry.read_set.items():
             current = current_get(storage_key)
             current_digest = value_digest(current) if current is not None else _ABSENT_DIGEST
             if current_digest != expected_digest:
-                self.stats.validation_failures += 1
-                self.stats.misses += 1
+                self._c_validation_failures.inc()
+                self._c_misses.inc()
                 self._drop(cache_key)
                 return False, None
         self._entries.move_to_end(cache_key)
-        self.stats.hits += 1
+        self._c_hits.inc()
         return True, entry.value
 
     # -- stores ------------------------------------------------------------
@@ -123,7 +131,7 @@ class ResultCache:
         self._entries[cache_key] = CacheEntry(value, dict(read_set))
         for storage_key in read_set:
             self._by_read_key.setdefault(storage_key, set()).add(cache_key)
-        self.stats.stores += 1
+        self._c_stores.inc()
 
     # -- invalidation -------------------------------------------------------
 
@@ -134,7 +142,7 @@ class ResultCache:
             doomed |= self._by_read_key.get(storage_key, set())
         for cache_key in doomed:
             self._drop(cache_key)
-            self.stats.invalidations += 1
+            self._c_invalidations.inc()
         return len(doomed)
 
     def clear(self) -> None:

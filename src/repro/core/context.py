@@ -183,22 +183,38 @@ class InvocationContext(HostAPI):
         version_key = keyspace.counter_key(self._object_id, field)
         self._writeset.note_read(version_key, self._runtime.storage.get(version_key))
 
-        merged: dict[bytes, Optional[bytes]] = {}
-        for storage_key, data in self._runtime.storage.iterate(prefix, end):
-            merged[storage_key] = data
-            self._writeset.note_read(storage_key, data)
-        merged.update(self._writeset.buffered_under(prefix))
+        note_read = self._writeset.note_read
+        buffered = self._writeset.buffered_under(prefix)
+        if buffered:
+            merged: dict[bytes, Optional[bytes]] = {}
+            for storage_key, data in self._runtime.storage.iterate(prefix, end):
+                merged[storage_key] = data
+                note_read(storage_key, data)
+            merged.update(buffered)
+            entries = [(key, merged[key]) for key in sorted(merged, reverse=reverse)]
+        else:
+            # Committed iteration is already key-ordered; skip the
+            # merge-and-sort (the common case: scans of collections this
+            # invocation has not written).
+            entries = list(self._runtime.storage.iterate(prefix, end))
+            for storage_key, data in entries:
+                note_read(storage_key, data)
+            if reverse:
+                entries.reverse()
 
-        keys = sorted(merged, reverse=reverse)
         count = 0
-        for storage_key in keys:
-            data = merged[storage_key]
+        consume = self._fuel.consume
+        per_item = self._costs.collection_scan_per_item
+        payload = self._costs.payload
+        instance = self._instance
+        for storage_key, data in entries:
             if data is None:
                 continue  # buffered deletion
             if limit is not None and count >= limit:
                 return
-            self._charge(self._costs.collection_scan_per_item, len(data))
-            self._charge_memory(len(data))
+            consume(per_item + payload(len(data)))
+            if instance is not None:
+                instance.charge_memory(len(data))
             yield keyspace.entry_key_from_storage_key(storage_key, prefix), decode_value(data)
             count += 1
 

@@ -70,9 +70,19 @@ def encode_value(value: Any) -> bytes:
         raise ModelError(f"value is not JSON-representable: {error}") from None
 
 
+_DECODER = json.JSONDecoder()
+
+
 def decode_value(data: bytes) -> Any:
-    """Inverse of :func:`encode_value`."""
-    return json.loads(data.decode())
+    """Inverse of :func:`encode_value`.
+
+    ``raw_decode`` instead of ``json.loads``: it skips the pure-Python
+    whitespace scan ``loads`` runs before and after every document, which
+    is measurable because decoding happens on every storage read.  Safe
+    because :func:`encode_value` output is compact with no surrounding
+    whitespace.
+    """
+    return _DECODER.raw_decode(data.decode())[0]
 
 
 def value_digest(data: bytes) -> bytes:

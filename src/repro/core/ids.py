@@ -21,7 +21,9 @@ class ObjectId(str):
     """A globally unique object identifier (32 lowercase hex chars)."""
 
     def __new__(cls, value: str) -> "ObjectId":
-        if len(value) != _ID_LENGTH or not set(value) <= _HEX_DIGITS:
+        if type(value) is cls:
+            return value  # already validated; immutable, so reuse is safe
+        if len(value) != _ID_LENGTH or not _HEX_DIGITS.issuperset(value):
             raise ModelError(
                 f"object id must be {_ID_LENGTH} lowercase hex chars, got {value!r}"
             )

@@ -41,6 +41,9 @@ from repro.wasm.instance import DEFAULT_MEMORY_LIMIT, Instance
 #: maximum nested-call depth before the runtime assumes a cycle
 MAX_CALL_DEPTH = 64
 
+#: nullcontext is stateless, so one instance serves every untraced span
+_NULL_SPAN = nullcontext()
+
 
 class _LogicalClock:
     """Fallback clock: strictly increasing, deterministic."""
@@ -84,6 +87,15 @@ class LocalRuntime:
         self.costs = costs or OpCosts()
         self._memory_limit = memory_limit_bytes
         self.stats = InvocationStats(registry, metrics_labels)
+        # Preresolved counter handles for the invoke hot path (see
+        # StatsView.handle): one bound-method call per increment.
+        self._c_invocations = self.stats.handle("invocations")
+        self._c_nested_invocations = self.stats.handle("nested_invocations")
+        self._c_commits = self.stats.handle("commits")
+        self._c_aborts = self.stats.handle("aborts")
+        self._c_cache_hits = self.stats.handle("cache_hits")
+        self._c_cache_misses = self.stats.handle("cache_misses")
+        self._c_fuel_used = self.stats.handle("fuel_used")
         #: span tracer for invocation-lifecycle tracing (platforms share one
         #: tracer across nodes; ``trace_node`` names this runtime's host)
         self.tracer = tracer
@@ -222,8 +234,8 @@ class LocalRuntime:
                         if lookup_span is not None:
                             lookup_span.attrs["hit"] = hit
                     if hit:
-                        self.stats.cache_hits += 1
-                        self.stats.invocations += 1
+                        self._c_cache_hits.inc()
+                        self._c_invocations.inc()
                         return InvocationResult(
                             object_id=object_id,
                             method=method,
@@ -235,10 +247,12 @@ class LocalRuntime:
                             parts=0,
                             cache_hit=True,
                         )
-                    self.stats.cache_misses += 1
+                    self._c_cache_misses.inc()
 
             fuel = FuelMeter(self._fuel_budget if self._fuel_budget else FuelMeter.UNLIMITED)
-            writeset = WriteSet(self.storage.get)
+            # Read tracking exists for the consistent cache; skip the
+            # per-read digesting entirely when the cache is off.
+            writeset = WriteSet(self.storage.get, track_reads=self.cache is not None)
             ctx = InvocationContext(
                 runtime=self,
                 object_id=object_id,
@@ -258,7 +272,7 @@ class LocalRuntime:
             try:
                 value = instance.call(method, *args)
             except Trap as trap:
-                self.stats.aborts += 1
+                self._c_aborts.inc()
                 # Buffered writes of the *current segment* are discarded; commits
                 # made before nested calls stand (they were separate invocations).
                 raise InvocationError(str(trap)) from trap
@@ -288,8 +302,8 @@ class LocalRuntime:
             ):
                 self.cache.store(object_id, method, digest, value, result.read_set)
 
-            self.stats.invocations += 1
-            self.stats.fuel_used += fuel.used
+            self._c_invocations.inc()
+            self._c_fuel_used.inc(fuel.used)
             if _depth == 0 and self.on_invocation is not None:
                 self.on_invocation(result)
             return result
@@ -302,7 +316,7 @@ class LocalRuntime:
         """Dispatch a nested invocation, committing the parent first (§3.1)."""
         self._check_nested_readonly(parent_ctx, object_id, method)
         self._commit(parent_ctx, reason="pre-nested")
-        self.stats.nested_invocations += 1
+        self._c_nested_invocations.inc()
         result = self.invoke_detailed(
             object_id, method, *args, _depth=parent_ctx.depth + 1, _internal=True
         )
@@ -348,12 +362,12 @@ class LocalRuntime:
                 self.cache.invalidate_keys(written)
             ctx.all_written_keys.extend(written)
             ctx.parts += 1
-            self.stats.commits += 1
+            self._c_commits.inc()
             writeset.clear()
             return sequence
 
     def _span(self, name: str, **attrs):
         """A tracer span on the current stack, or a no-op without a tracer."""
         if self.tracer is None:
-            return nullcontext()
+            return _NULL_SPAN
         return self.tracer.span(name, node=self.trace_node, **attrs)

@@ -23,11 +23,18 @@ _ABSENT_DIGEST = b"\x00" * 8
 class WriteSet:
     """Invocation-local buffered writes plus the observed read set."""
 
-    def __init__(self, backing_get: Callable[[bytes], Optional[bytes]]) -> None:
+    def __init__(
+        self,
+        backing_get: Callable[[bytes], Optional[bytes]],
+        track_reads: bool = True,
+    ) -> None:
         self._backing_get = backing_get
         self._writes: dict[bytes, object] = {}
         self._write_order: list[bytes] = []
         self._reads: dict[bytes, bytes] = {}
+        #: read-set digests feed the consistent cache; runtimes with the
+        #: cache disabled turn tracking off to skip the per-read hashing
+        self._track_reads = track_reads
 
     # -- reads ------------------------------------------------------------
 
@@ -39,7 +46,7 @@ class WriteSet:
         value = self._backing_get(key)
         # Record what the committed state looked like, once per key: the
         # *first* observation defines the read set.
-        if key not in self._reads:
+        if self._track_reads and key not in self._reads:
             self._reads[key] = value_digest(value) if value is not None else _ABSENT_DIGEST
         return value
 
@@ -60,7 +67,11 @@ class WriteSet:
     def note_read(self, key: bytes, value: Optional[bytes]) -> None:
         """Record a committed-state observation made outside :meth:`get`
         (e.g. during a collection scan)."""
-        if key not in self._writes and key not in self._reads:
+        if (
+            self._track_reads
+            and key not in self._writes
+            and key not in self._reads
+        ):
             self._reads[key] = value_digest(value) if value is not None else _ABSENT_DIGEST
 
     def buffered_under(self, prefix: bytes) -> dict[bytes, Optional[bytes]]:

@@ -54,6 +54,8 @@ def _freeze_labels(labels: Optional[dict[str, str]]) -> LabelSet:
 class Instrument:
     """Shared plumbing: identity, labels, and the bounded time series."""
 
+    __slots__ = ("name", "labels", "help", "series", "dropped_points")
+
     kind = "instrument"
 
     def __init__(self, name: str, labels: LabelSet, help: str = "") -> None:
@@ -99,6 +101,8 @@ class Counter(Instrument):
     """A numeric total.  ``set()`` exists so :class:`StatsView` attribute
     assignment (``stats.x += 1`` desugars to a read + a set) works."""
 
+    __slots__ = ("_value",)
+
     kind = "counter"
 
     def __init__(self, name: str, labels: LabelSet, help: str = "") -> None:
@@ -118,6 +122,8 @@ class Counter(Instrument):
 
 class Gauge(Instrument):
     """A settable level; optionally backed by a pull callback."""
+
+    __slots__ = ("_value", "_fn")
 
     kind = "gauge"
 
@@ -153,6 +159,8 @@ class Gauge(Instrument):
 class Histogram(Instrument):
     """Cumulative-bucket histogram (Prometheus semantics: each bucket
     counts observations ``<= upper_bound``; ``+Inf`` is ``count``)."""
+
+    __slots__ = ("bounds", "bucket_counts", "count", "sum")
 
     kind = "histogram"
 
@@ -324,6 +332,8 @@ class StatsView:
     registry plus identity labels (``{"node": "store-0"}``).
     """
 
+    __slots__ = ("_metrics",)
+
     PREFIX = ""
     COUNTERS: dict[str, float] = {}
     GAUGES: dict[str, float] = {}
@@ -367,6 +377,21 @@ class StatsView:
     def __setattr__(self, name: str, value: float) -> None:
         try:
             self._metrics[name].set(value)
+        except KeyError:
+            raise AttributeError(
+                f"{type(self).__name__} has no stat {name!r}"
+            ) from None
+
+    def handle(self, name: str) -> Instrument:
+        """The underlying instrument for ``name``.
+
+        Hot paths preresolve handles once (``self._c_requests =
+        stats.handle("requests")``) so each increment is a single
+        ``Counter.inc`` instead of two dict lookups through the
+        attribute protocol.  Sampling/export see the same instrument.
+        """
+        try:
+            return self._metrics[name]
         except KeyError:
             raise AttributeError(
                 f"{type(self).__name__} has no stat {name!r}"

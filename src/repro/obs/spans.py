@@ -32,7 +32,7 @@ from dataclasses import dataclass, field
 from typing import Any, Callable, Optional
 
 
-@dataclass
+@dataclass(slots=True)
 class Span:
     """One timed phase of one invocation."""
 

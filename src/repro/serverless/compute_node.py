@@ -105,6 +105,12 @@ class ComputeNode:
             trace_node=name,
         )
         self.stats = ComputeStats(registry, labels)
+        # Preresolved counter handles for the per-request hot path (see
+        # StatsView.handle).
+        self._c_requests = self.stats.handle("requests")
+        self._c_failed = self.stats.handle("failed")
+        self._c_storage_round_trips = self.stats.handle("storage_round_trips")
+        self._c_busy_ms = self.stats.handle("busy_ms")
         self._request_hist = None
         if registry is not None:
             self._request_hist = registry.histogram(
@@ -147,7 +153,7 @@ class ComputeNode:
     def _handle_inner(self, request: ClientRequest, root=None):
         tracer = self.tracer
         arrived = self.sim.now
-        self.stats.requests += 1
+        self._c_requests.inc()
         if tracer is not None and root is not None:
             acquire_span = tracer.start("container.acquire", parent=root)
             yield from self.pool.acquire()
@@ -168,7 +174,7 @@ class ComputeNode:
                         request.object_id, request.method, *request.args
                     )
             except (InvocationError, UnknownObjectError) as error:
-                self.stats.failed += 1
+                self._c_failed.inc()
                 reply = ClientReply(request.request_id, False, error=str(error))
                 self.net.send(self.name, request.client, reply, size_bytes=reply.size())
                 return
@@ -183,7 +189,7 @@ class ComputeNode:
             try:
                 yield self.sim.timeout(total_fuel * self.ms_per_fuel)
             finally:
-                self.stats.busy_ms += self.sim.now - started
+                self._c_busy_ms.inc(self.sim.now - started)
                 self.cpu.release()
 
             # Replay each storage access as a round trip.
@@ -210,7 +216,7 @@ class ComputeNode:
             tracer.end(span)
 
     def _storage_round_trip_inner(self, op: StorageOp):
-        self.stats.storage_round_trips += 1
+        self._c_storage_round_trips.inc()
         if op.replica_ok and self._read_any:
             target = self._rng.choice(self.storage_nodes)
         else:

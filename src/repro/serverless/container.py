@@ -56,6 +56,11 @@ class ContainerPool:
         #: expiry deadlines of idle warm containers (oldest first)
         self._warm: list[float] = []
         self.stats = ContainerStats(registry, labels)
+        # acquire() runs once per invocation; preresolved handles keep the
+        # counters off the StatsView attribute protocol.
+        self._c_cold_starts = self.stats.handle("cold_starts")
+        self._c_warm_starts = self.stats.handle("warm_starts")
+        self._c_expirations = self.stats.handle("expirations")
         if registry is not None:
             registry.gauge(
                 "scheduler_containers_in_use", labels, fn=lambda: self._slots.in_use
@@ -81,7 +86,7 @@ class ContainerPool:
         now = self.sim.now
         while self._warm and self._warm[0] <= now:
             self._warm.pop(0)
-            self.stats.expirations += 1
+            self._c_expirations.inc()
 
     def acquire(self):
         """Simulation process: obtain a started container.
@@ -93,10 +98,10 @@ class ContainerPool:
         self._expire()
         if self._warm:
             self._warm.pop()
-            self.stats.warm_starts += 1
+            self._c_warm_starts.inc()
             yield self.sim.timeout(self.warm_start_ms)
         else:
-            self.stats.cold_starts += 1
+            self._c_cold_starts.inc()
             yield self.sim.timeout(self.cold_start_ms)
 
     def release(self) -> None:

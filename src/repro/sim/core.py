@@ -4,6 +4,7 @@ from __future__ import annotations
 
 import heapq
 import random
+from collections import deque
 from typing import Any, Callable, Generator, Iterable, Optional
 
 from repro.errors import SimulationError
@@ -12,16 +13,45 @@ from repro.sim.process import Process
 from repro.sim.rand import RandomStreams
 
 
+class _Timeout(Event):
+    """An event that succeeds after a fixed delay (``Simulation.timeout``).
+
+    A dedicated subclass so the scheduler can hold a bound method instead
+    of a fresh closure per timeout — timeouts are the single most common
+    scheduled callback.
+    """
+
+    __slots__ = ("_timeout_value",)
+
+    def __init__(self, sim: "Simulation", value: Any) -> None:
+        super().__init__(sim, name="timeout")
+        self._timeout_value = value
+
+    def _fire(self) -> None:
+        self.succeed(self._timeout_value)
+
+
 class Simulation:
     """A deterministic discrete-event simulation.
 
     Time is a float in **milliseconds** by convention throughout this
     repository (network latencies and CPU costs are all expressed in ms).
+
+    Scheduling uses two structures sharing one (time, seq) order: a heap
+    for future work and a FIFO "now lane" (a deque) for zero-delay work.
+    Most dispatches are zero-delay — every event trigger routes through
+    :meth:`_schedule_now` — so the common case is an O(1) append/popleft
+    instead of a heap push/pop.  Both lanes store ``(when, seq, fn)``
+    entries and the run loops always execute the globally smallest
+    (when, seq), so observable ordering is identical to a single heap.
     """
 
     def __init__(self, seed: int = 0) -> None:
         self._now = 0.0
         self._queue: list[tuple[float, int, Callable[[], None]]] = []
+        #: zero-delay entries; appended in seq order at non-decreasing
+        #: times, so the deque is itself sorted by (when, seq)
+        self._now_lane: deque[tuple[float, int, Callable[[], None]]] = deque()
         self._seq = 0
         self._streams = RandomStreams(seed)
         self._running = False
@@ -32,6 +62,15 @@ class Simulation:
     def now(self) -> float:
         """Current simulated time in milliseconds."""
         return self._now
+
+    @property
+    def events_scheduled(self) -> int:
+        """Total callbacks scheduled so far (the ``simperf`` event count).
+
+        After a run drains the queue this equals the number of callbacks
+        *executed*; reading it costs nothing on the hot path.
+        """
+        return self._seq
 
     def rng(self, name: str) -> random.Random:
         """The named deterministic PRNG stream for a component."""
@@ -46,7 +85,8 @@ class Simulation:
         heapq.heappush(self._queue, (self._now + delay, self._seq, fn))
 
     def _schedule_now(self, fn: Callable[[], None]) -> None:
-        self._schedule(0.0, fn)
+        self._seq += 1
+        self._now_lane.append((self._now, self._seq, fn))
 
     # -- event factories -----------------------------------------------------
 
@@ -56,8 +96,8 @@ class Simulation:
 
     def timeout(self, delay: float, value: Any = None) -> Event:
         """An event that succeeds ``delay`` ms from now with ``value``."""
-        event = Event(self, name=f"timeout({delay})")
-        self._schedule(delay, lambda: event.succeed(value))
+        event = _Timeout(self, value)
+        self._schedule(delay, event._fire)
         return event
 
     def process(self, generator: Generator[Event, Any, Any], name: str = "") -> Process:
@@ -84,14 +124,27 @@ class Simulation:
         if self._running:
             raise SimulationError("simulation is already running (re-entrant run())")
         self._running = True
+        lane = self._now_lane
+        queue = self._queue
         try:
-            while self._queue:
-                when, _seq, fn = self._queue[0]
+            while lane or queue:
+                # (when, seq) tuple order; seqs are unique so the compare
+                # never reaches the callables.
+                if lane and not (queue and queue[0] < lane[0]):
+                    entry = lane[0]
+                    from_lane = True
+                else:
+                    entry = queue[0]
+                    from_lane = False
+                when = entry[0]
                 if until is not None and when > until:
                     break
-                heapq.heappop(self._queue)
+                if from_lane:
+                    lane.popleft()
+                else:
+                    heapq.heappop(queue)
                 self._now = when
-                fn()
+                entry[2]()
             if until is not None and until > self._now:
                 self._now = until
         finally:
@@ -102,22 +155,37 @@ class Simulation:
         """Run until ``event`` triggers; return its value (raising failures).
 
         ``limit`` bounds simulated time to guard against livelock; exceeding
-        it raises :class:`SimulationError`.
+        it raises :class:`SimulationError`.  The limit check peeks before
+        popping: the over-limit entry stays queued and the clock does not
+        advance, so a caller may catch the error and keep running without
+        losing an event.
         """
         if self._running:
             raise SimulationError("simulation is already running (re-entrant run())")
         self._running = True
+        lane = self._now_lane
+        queue = self._queue
         try:
             while not event.triggered:
-                if not self._queue:
+                if lane and not (queue and queue[0] < lane[0]):
+                    entry = lane[0]
+                    from_lane = True
+                elif queue:
+                    entry = queue[0]
+                    from_lane = False
+                else:
                     raise SimulationError(
                         "deadlock: event queue drained before target event triggered"
                     )
-                when, _seq, fn = heapq.heappop(self._queue)
+                when = entry[0]
                 if when > limit:
                     raise SimulationError(f"simulated time limit {limit} ms exceeded")
+                if from_lane:
+                    lane.popleft()
+                else:
+                    heapq.heappop(queue)
                 self._now = when
-                fn()
+                entry[2]()
         finally:
             self._running = False
         if event.ok:

@@ -8,6 +8,7 @@ combine events.
 
 from __future__ import annotations
 
+from functools import partial
 from typing import Any, Callable, Iterable, Optional
 
 from repro.errors import SimulationError
@@ -17,6 +18,8 @@ _PENDING = object()
 
 class Event:
     """A one-shot event owned by a :class:`~repro.sim.core.Simulation`."""
+
+    __slots__ = ("_sim", "_name", "_value", "_ok", "_callbacks", "_defused")
 
     def __init__(self, sim: "Any", name: str = "") -> None:
         self._sim = sim
@@ -64,7 +67,7 @@ class Event:
         return self
 
     def _trigger(self, ok: bool, value: Any) -> None:
-        if self.triggered:
+        if self._value is not _PENDING:
             raise SimulationError(f"event {self!r} triggered twice")
         self._ok = ok
         self._value = value
@@ -85,8 +88,8 @@ class Event:
         If the event already triggered, the callback runs at the current
         instant (still via the scheduler, preserving FIFO ordering).
         """
-        if self.triggered and not self._callbacks:
-            self._sim._schedule_now(lambda: callback(self))
+        if self._value is not _PENDING and not self._callbacks:
+            self._sim._schedule_now(partial(callback, self))
         else:
             self._callbacks.append(callback)
 
@@ -100,6 +103,8 @@ class Event:
 
 class _Condition(Event):
     """Base for events that trigger based on a set of child events."""
+
+    __slots__ = ("_events", "_results")
 
     def __init__(self, sim: Any, events: Iterable[Event]) -> None:
         super().__init__(sim)
@@ -121,14 +126,16 @@ class AllOf(_Condition):
     The success value is a dict mapping each child event to its value.
     """
 
+    __slots__ = ()
+
     def _on_child(self, event: Event) -> None:
-        if self.triggered:
+        if self._value is not _PENDING:
             return
-        if not event.ok:
+        if not event._ok:
             event._defused = True
-            self.fail(event.value)
+            self.fail(event._value)
             return
-        self._results[event] = event.value
+        self._results[event] = event._value
         if len(self._results) == len(self._events):
             self.succeed(dict(self._results))
 
@@ -140,11 +147,13 @@ class AnyOf(_Condition):
     The success value is a dict with the (single) triggering event.
     """
 
+    __slots__ = ()
+
     def _on_child(self, event: Event) -> None:
-        if self.triggered:
+        if self._value is not _PENDING:
             return
-        if not event.ok:
+        if not event._ok:
             event._defused = True
-            self.fail(event.value)
+            self.fail(event._value)
             return
-        self.succeed({event: event.value})
+        self.succeed({event: event._value})

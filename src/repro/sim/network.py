@@ -99,7 +99,7 @@ class LogNormalLatency(LatencyModel):
         return value
 
 
-@dataclass
+@dataclass(slots=True)
 class Message:
     """An in-flight network message."""
 
@@ -112,17 +112,27 @@ class Message:
 
 @dataclass
 class NetworkStats:
-    """Counters the benchmarks read after a run."""
+    """Counters the benchmarks read after a run.
+
+    Per-link accounting is maintained only while fault injection is
+    active (the fault-free fast path skips it): ``per_link`` counts
+    messages that passed the send-time drop decision on each link,
+    ``per_link_dropped`` counts drops — send-time and delivery-time —
+    per link.  A message dropped at delivery appears in both.
+    """
 
     messages_sent: int = 0
     messages_delivered: int = 0
     messages_dropped: int = 0
     bytes_sent: int = 0
     per_link: dict = field(default_factory=dict)
+    per_link_dropped: dict = field(default_factory=dict)
 
 
 class NetworkHost:
     """A named endpoint with an inbox mailbox."""
+
+    __slots__ = ("sim", "name", "inbox", "crashed")
 
     def __init__(self, sim: Simulation, name: str) -> None:
         self.sim = sim
@@ -152,18 +162,50 @@ class Network:
         self._rng = sim.rng(rng_name)
         self._hosts: dict[str, NetworkHost] = {}
         self.stats = NetworkStats()
-        #: probability a message is silently dropped (failure injection)
-        self.drop_probability = 0.0
+        self._drop_probability = 0.0
         #: per-link drop probabilities, overriding nothing — they compose
         #: with the global probability (either may drop)
         self._link_drop: dict[tuple[str, str], float] = {}
-        #: optional predicate: return True to drop a specific message
-        #: (targeted fault scripting, e.g. "drop the first ReplicateWrites")
-        self.drop_filter: Optional[Callable[[Message], bool]] = None
+        self._drop_filter: Optional[Callable[[Message], bool]] = None
         #: pairs (src, dst) that cannot communicate (directional)
         self._partitions: set[tuple[str, str]] = set()
-        #: optional tap invoked for each sent message (tracing)
+        #: optional tap invoked for each sent message (tracing).  The tap
+        #: fires *before* the drop decision, so it sees dropped messages
+        #: too — traces observe attempted sends, not deliveries.
         self.tap: Optional[Callable[[Message], None]] = None
+        #: True while any fault injection is configured; ``send`` skips the
+        #: drop checks entirely when clear.  Every fault setter refreshes it.
+        self._faults_active = False
+
+    def _refresh_faults(self) -> None:
+        self._faults_active = bool(
+            self._drop_probability > 0
+            or self._link_drop
+            or self._drop_filter is not None
+            or self._partitions
+            or any(host.crashed for host in self._hosts.values())
+        )
+
+    @property
+    def drop_probability(self) -> float:
+        """Probability a message is silently dropped (failure injection)."""
+        return self._drop_probability
+
+    @drop_probability.setter
+    def drop_probability(self, probability: float) -> None:
+        self._drop_probability = probability
+        self._refresh_faults()
+
+    @property
+    def drop_filter(self) -> Optional[Callable[[Message], bool]]:
+        """Optional predicate: return True to drop a specific message
+        (targeted fault scripting, e.g. "drop the first ReplicateWrites")."""
+        return self._drop_filter
+
+    @drop_filter.setter
+    def drop_filter(self, fn: Optional[Callable[[Message], bool]]) -> None:
+        self._drop_filter = fn
+        self._refresh_faults()
 
     # -- membership -------------------------------------------------------
 
@@ -202,9 +244,11 @@ class Network:
             self._link_drop.pop((src, dst), None)
         else:
             self._link_drop[(src, dst)] = probability
+        self._refresh_faults()
 
     def clear_link_drops(self) -> None:
         self._link_drop.clear()
+        self._refresh_faults()
 
     def schedule(self, delay_ms: float, fn: Callable[[], None]) -> None:
         """Run ``fn`` after ``delay_ms`` of simulated time — the primitive
@@ -214,10 +258,12 @@ class Network:
     def crash(self, name: str) -> None:
         """Crash a host: its inbox stops receiving and sends are dropped."""
         self.host(name).crashed = True
+        self._refresh_faults()
 
     def recover(self, name: str) -> None:
         """Bring a crashed host back (its inbox resumes receiving)."""
         self.host(name).crashed = False
+        self._refresh_faults()
 
     def partition(self, group_a: list[str], group_b: list[str]) -> None:
         """Cut bidirectional connectivity between two groups of hosts."""
@@ -225,6 +271,7 @@ class Network:
             for b in group_b:
                 self._partitions.add((a, b))
                 self._partitions.add((b, a))
+        self._refresh_faults()
 
     def isolate(self, name: str) -> None:
         """Cut ``name`` off from every other registered host."""
@@ -234,6 +281,7 @@ class Network:
     def heal(self) -> None:
         """Remove all partitions."""
         self._partitions.clear()
+        self._refresh_faults()
 
     def is_partitioned(self, src: str, dst: str) -> bool:
         """Whether messages from ``src`` to ``dst`` are currently cut."""
@@ -248,28 +296,37 @@ class Network:
         serialisation delay for ``size_bytes``; loopback messages are
         delivered after a negligible fixed cost.  Crashed or partitioned
         endpoints silently eat messages, like a real datagram network.
+
+        With no fault injection configured (:attr:`_faults_active` clear)
+        the drop checks and per-link accounting are skipped entirely; the
+        RNG draw order is unchanged because the fault checks draw only
+        when their respective fault is configured.
         """
         src_host = self.host(src)
         dst_host = self.host(dst)
         message = Message(src, dst, payload, size_bytes, sent_at=self.sim.now)
-        self.stats.messages_sent += 1
-        self.stats.bytes_sent += size_bytes
-        link = (src, dst)
-        self.stats.per_link[link] = self.stats.per_link.get(link, 0) + 1
+        stats = self.stats
+        stats.messages_sent += 1
+        stats.bytes_sent += size_bytes
         if self.tap is not None:
+            # Taps see every attempted send, including ones dropped below.
             self.tap(message)
 
-        link_drop = self._link_drop.get((src, dst), 0.0)
-        dropped = (
-            src_host.crashed
-            or self.is_partitioned(src, dst)
-            or (self.drop_probability > 0 and self._rng.random() < self.drop_probability)
-            or (link_drop > 0 and self._rng.random() < link_drop)
-            or (self.drop_filter is not None and self.drop_filter(message))
-        )
-        if dropped:
-            self.stats.messages_dropped += 1
-            return
+        if self._faults_active:
+            link = (src, dst)
+            link_drop = self._link_drop.get(link, 0.0)
+            dropped = (
+                src_host.crashed
+                or self.is_partitioned(src, dst)
+                or (self._drop_probability > 0 and self._rng.random() < self._drop_probability)
+                or (link_drop > 0 and self._rng.random() < link_drop)
+                or (self._drop_filter is not None and self._drop_filter(message))
+            )
+            if dropped:
+                stats.messages_dropped += 1
+                stats.per_link_dropped[link] = stats.per_link_dropped.get(link, 0) + 1
+                return
+            stats.per_link[link] = stats.per_link.get(link, 0) + 1
 
         if src == dst:
             delay = 0.001  # loopback: scheduling cost only
@@ -277,8 +334,11 @@ class Network:
             delay = self.latency.sample(self._rng) + size_bytes / self._bytes_per_ms
 
         def deliver() -> None:
-            if dst_host.crashed or self.is_partitioned(src, dst):
+            # Faults may have activated while the message was in flight.
+            if self._faults_active and (dst_host.crashed or self.is_partitioned(src, dst)):
                 self.stats.messages_dropped += 1
+                link = (src, dst)
+                self.stats.per_link_dropped[link] = self.stats.per_link_dropped.get(link, 0) + 1
                 return
             self.stats.messages_delivered += 1
             dst_host.inbox.put(message)

@@ -18,6 +18,8 @@ from repro.sim.events import Event
 class Process(Event):
     """A running simulated activity; also an event for its completion."""
 
+    __slots__ = ("_generator", "_waiting_on")
+
     def __init__(self, sim: Any, generator: Generator[Event, Any, Any], name: str = "") -> None:
         if not hasattr(generator, "send"):
             raise SimulationError(f"process body must be a generator, got {generator!r}")
@@ -25,7 +27,10 @@ class Process(Event):
         self._generator = generator
         self._waiting_on: Event | None = None
         # Kick off at the current instant.
-        sim._schedule_now(lambda: self._resume(None, None))
+        sim._schedule_now(self._start)
+
+    def _start(self) -> None:
+        self._resume(None, None)
 
     @property
     def is_alive(self) -> bool:
@@ -45,7 +50,7 @@ class Process(Event):
     # -- engine ----------------------------------------------------------
 
     def _resume(self, value: Any, exc: BaseException | None) -> None:
-        if self.triggered:
+        if self._ok is not None:
             return  # interrupted after completion, or double resume
         self._waiting_on = None
         try:
@@ -76,8 +81,8 @@ class Process(Event):
     def _on_event(self, event: Event) -> None:
         if self._waiting_on is not event:
             return  # we were interrupted while waiting; stale wakeup
-        if event.ok:
-            self._resume(event.value, None)
+        if event._ok:
+            self._resume(event._value, None)
         else:
             event._defused = True
-            self._resume(None, event.value)
+            self._resume(None, event._value)

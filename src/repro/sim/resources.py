@@ -18,6 +18,8 @@ from repro.sim.events import Event
 class Resource:
     """A pool of ``capacity`` identical slots with a FIFO wait queue."""
 
+    __slots__ = ("_sim", "capacity", "_in_use", "_waiting")
+
     def __init__(self, sim: Any, capacity: int = 1) -> None:
         if capacity < 1:
             raise SimulationError(f"resource capacity must be >= 1, got {capacity}")
@@ -62,6 +64,8 @@ class Resource:
 
 class Store:
     """An unbounded FIFO queue of items with event-based consumption."""
+
+    __slots__ = ("_sim", "_items", "_getters")
 
     def __init__(self, sim: Any) -> None:
         self._sim = sim

@@ -1,0 +1,50 @@
+"""Determinism golden tests for the (workload x variant) matrix.
+
+Two contracts: same seed => identical rows across runs, and worker-process
+execution (``jobs > 1``) => identical rows to the sequential path.  Both
+are what lets ``--jobs N`` exist without a tolerance band.
+"""
+
+import json
+
+import pytest
+
+from repro.bench.calibration import preset
+from repro.bench.experiments import fig1, fig2, run_matrix
+
+MICRO = preset(
+    "quick", num_accounts=40, num_clients=4, duration_ms=60.0, warmup_ms=10.0, avg_follows=3
+)
+
+
+def _rows(matrix) -> str:
+    return json.dumps(
+        {
+            "fig1": fig1(MICRO, matrix=matrix)["rows"],
+            "fig2": fig2(MICRO, matrix=matrix)["rows"],
+        },
+        sort_keys=True,
+    )
+
+
+@pytest.fixture(scope="module")
+def sequential():
+    return run_matrix(MICRO)
+
+
+def test_same_seed_runs_are_identical(sequential):
+    again = run_matrix(MICRO)
+    assert _rows(sequential) == _rows(again)
+
+
+def test_parallel_matrix_matches_sequential(sequential):
+    parallel = run_matrix(MICRO, jobs=2)
+    assert list(parallel) == list(sequential)  # same cell order
+    assert _rows(sequential) == _rows(parallel)
+
+
+def test_parallel_cells_drop_the_platform(sequential):
+    parallel = run_matrix(MICRO, jobs=2)
+    for cell, result in parallel.items():
+        assert result.platform is None
+        assert result.report.completed == sequential[cell].report.completed

@@ -1,0 +1,102 @@
+"""simperf microbenchmark: row structure, artifact, and the CI guard."""
+
+import json
+
+import pytest
+
+from repro.bench import simperf as sp
+
+
+def test_event_lane_row_counts_events():
+    row = sp._bench_event_lane(200)
+    assert row["bench"] == "event_lane"
+    assert row["events"] > 400  # two puts/gets per iteration, at least
+    assert row["events_per_sec"] > 0
+
+
+def test_timers_row_counts_events():
+    row = sp._bench_timers(chains=5, steps=5)
+    assert row["bench"] == "timers"
+    assert row["events"] >= 25
+
+
+def test_network_row_reports_messages():
+    row = sp._bench_network(pairs=2, messages=20)
+    assert row["bench"] == "network"
+    assert row["messages"] == 40
+    assert row["messages_per_sec"] > 0
+
+
+def test_simperf_writes_artifact(tmp_path, monkeypatch):
+    # Stub the macro row: the full retwis run is seconds of wall clock and
+    # is exercised by the bench CLI; here we pin the payload shape.
+    monkeypatch.setitem(
+        sp._SIZES, "quick", {"ping_iters": 100, "chains": 3, "steps": 3, "pairs": 2, "messages": 5}
+    )
+    monkeypatch.setattr(
+        sp,
+        "_bench_retwis",
+        lambda cal: {
+            "bench": "retwis_invoke",
+            "events": 1000,
+            "wall_s": 0.1,
+            "events_per_sec": 10_000.0,
+            "invocations": 50,
+            "invocations_per_sec": 500.0,
+            "messages": 200,
+            "messages_per_sec": 2_000.0,
+        },
+    )
+    out = tmp_path / "BENCH_simperf.json"
+    result = sp.simperf(out_path=str(out))
+    assert [row["bench"] for row in result["rows"]] == [
+        "event_lane",
+        "timers",
+        "network",
+        "retwis_invoke",
+    ]
+    assert result["headline"]["events_per_sec"] == 10_000.0
+    payload = json.loads(out.read_text())
+    assert payload["schema"] == 1
+    assert payload["headline"] == result["headline"]
+
+
+def _result(events_per_sec: float) -> dict:
+    return {"headline": {"events_per_sec": events_per_sec}}
+
+
+def _baseline(tmp_path, events_per_sec: float) -> str:
+    path = tmp_path / "baseline.json"
+    path.write_text(json.dumps({"headline": {"events_per_sec": events_per_sec}}))
+    return str(path)
+
+
+def test_guard_passes_within_tolerance(tmp_path):
+    ok, message = sp.check_guard(_result(80_000), _baseline(tmp_path, 100_000))
+    assert ok
+    assert "ok" in message
+
+
+def test_guard_fails_below_tolerance(tmp_path):
+    ok, message = sp.check_guard(_result(50_000), _baseline(tmp_path, 100_000))
+    assert not ok
+    assert "FAILED" in message
+
+
+def test_guard_skipped_without_baseline(tmp_path):
+    ok, message = sp.check_guard(_result(1.0), str(tmp_path / "missing.json"))
+    assert ok
+    assert "no baseline" in message
+
+
+def test_guard_skipped_via_env(tmp_path, monkeypatch):
+    monkeypatch.setenv(sp.GUARD_SKIP_ENV, "1")
+    ok, message = sp.check_guard(_result(1.0), _baseline(tmp_path, 100_000))
+    assert ok
+    assert "skipped" in message
+
+
+def test_simperf_registered_as_experiment():
+    from repro.bench.experiments import ALL_EXPERIMENTS
+
+    assert ALL_EXPERIMENTS["simperf"] is sp.simperf

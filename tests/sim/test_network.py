@@ -132,7 +132,56 @@ def test_stats_count_sends_and_bytes():
     sim.run()
     assert net.stats.messages_sent == 2
     assert net.stats.bytes_sent == 150
+    # Per-link accounting only runs while fault injection is active; the
+    # fault-free fast path skips it.
+    assert net.stats.per_link == {}
+
+
+def test_per_link_counts_only_while_faults_active():
+    sim, net = make_net()
+    net.set_drop_probability(1.0)  # drop everything
+    net.send("a", "b", "x")
+    net.set_drop_probability(0.0)
+    net.send("a", "b", "y")  # fault-free again: not tracked per link
+    sim.run()
+    assert net.stats.per_link_dropped[("a", "b")] == 1
+    assert net.stats.per_link == {}
+    assert net.stats.messages_dropped == 1
+    assert net.stats.messages_delivered == 1
+
+
+def test_dropped_messages_do_not_inflate_per_link():
+    sim, net = make_net()
+    net.drop_filter = lambda message: message.payload == "evil"
+    net.send("a", "b", "good")
+    net.send("a", "b", "evil")
+    net.send("a", "b", "good")
+    sim.run()
     assert net.stats.per_link[("a", "b")] == 2
+    assert net.stats.per_link_dropped[("a", "b")] == 1
+    assert net.stats.messages_dropped == 1
+
+
+def test_delivery_time_drop_counted_per_link():
+    sim, net = make_net()
+    net.set_link_drop("b", "a", 0.0001)  # any fault keeps accounting on
+    net.send("a", "b", "doomed")
+    net.crash("b")  # crashes while the message is in flight
+    sim.run()
+    assert net.stats.per_link[("a", "b")] == 1  # passed the send-time check
+    assert net.stats.per_link_dropped[("a", "b")] == 1  # dropped at delivery
+    assert net.stats.messages_delivered == 0
+
+
+def test_tap_sees_dropped_messages():
+    sim, net = make_net()
+    seen = []
+    net.tap = lambda message: seen.append(message.payload)
+    net.drop_filter = lambda message: True
+    net.send("a", "b", "dropped-anyway")
+    sim.run()
+    assert seen == ["dropped-anyway"]
+    assert net.stats.messages_dropped == 1
 
 
 def test_uniform_latency_within_bounds():
