@@ -1,0 +1,40 @@
+"""Ablation: pipelined group-commit replication (§4.2.1 + group commit).
+
+With the pipeline on, committed rounds from concurrent invocations on a
+shard coalesce into range frames settled by cumulative acks, so the
+replication message bill per invocation drops well below the
+one-frame-and-one-ack-per-backup-per-commit baseline, without giving up
+the all-live-backups-acked reply condition.
+"""
+
+from dataclasses import replace
+
+from repro.bench.harness import run_replication_mix
+
+from benchmarks.conftest import run_once
+
+
+def test_group_commit_cuts_messages_per_invocation(benchmark, cal):
+    def regenerate():
+        results = {}
+        for enabled in (False, True):
+            result, platform, _sim = run_replication_mix(
+                replace(cal, group_commit=enabled)
+            )
+            completed = sum(r.completed for r in result.reports.values())
+            results[enabled] = (
+                platform.net.stats.messages_sent / completed,
+                completed,
+            )
+        return results
+
+    results = run_once(benchmark, regenerate)
+    per_invocation_off, completed_off = results[False]
+    per_invocation_on, completed_on = results[True]
+    benchmark.extra_info["messages_per_invocation_off"] = round(per_invocation_off, 2)
+    benchmark.extra_info["messages_per_invocation_on"] = round(per_invocation_on, 2)
+
+    # Both modes complete real work; pipelining must save >=25% of the
+    # per-invocation message bill (the headline claim).
+    assert completed_off > 100 and completed_on > 100
+    assert per_invocation_on <= 0.75 * per_invocation_off

@@ -50,6 +50,15 @@ def main(argv: list[str] | None = None) -> int:
         "identical to --jobs 1; only the wall clock changes",
     )
     parser.add_argument(
+        "--group-commit",
+        choices=["on", "off"],
+        default="on",
+        help="pipelined group-commit replication (coalesced range frames, "
+        "cumulative acks, replies parked on the settlement watermark); "
+        "'off' restores one replication round per mutating invocation — "
+        "see abl_group_commit for the measured delta",
+    )
+    parser.add_argument(
         "--simperf-baseline",
         metavar="PATH",
         default=None,
@@ -67,7 +76,7 @@ def main(argv: list[str] | None = None) -> int:
         "rows to PATH as JSON",
     )
     args = parser.parse_args(argv)
-    cal = preset(args.preset)
+    cal = preset(args.preset, group_commit=(args.group_commit == "on"))
     jobs = max(1, args.jobs)
 
     names = sorted(ALL_EXPERIMENTS) if args.experiment == "all" else [args.experiment]

@@ -46,6 +46,11 @@ class Calibration:
     #: consistent result cache (§4.2.2) is evaluated separately in
     #: ``abl_cache``, so the headline runs keep it off.
     enable_cache: bool = False
+    #: pipelined group-commit replication (cumulative acks, reply parked
+    #: on the settlement watermark); off runs one replication round per
+    #: mutating invocation, exactly the pre-group-commit behavior.  The
+    #: on/off delta is measured in ``abl_group_commit``.
+    group_commit: bool = True
 
 
 #: presets: "quick" keeps pytest-benchmark runs fast; "full" matches §5.

@@ -29,6 +29,7 @@ from repro.bench.harness import (
     build_aggregated,
     build_disaggregated,
     load_dataset,
+    run_replication_mix,
     run_retwis,
 )
 from repro.bench.report import format_bars, format_comparison, format_table
@@ -331,6 +332,52 @@ def abl_replication(cal: CalibrationLike = None) -> dict:
         )
     text = format_comparison("Ablation: replication factor (Follow, aggregated)", rows)
     return {"name": "abl_replication", "rows": rows, "text": text}
+
+
+def abl_group_commit(cal: CalibrationLike = None) -> dict:
+    """§4.2.1 + group commit — pipelined replication on vs off.
+
+    The mutation-heavy mix (REPLICATION_MIX) on the aggregated cluster:
+    with the pipeline on, committed rounds from concurrent invocations
+    coalesce into range frames settled by cumulative acks, so the
+    messages-per-invocation bill drops and mutating latency improves
+    under load; off restores one replication round (and one ack per
+    backup) per mutating invocation.
+    """
+    cal = _calibration(cal)
+    rows = []
+    for label, enabled in (
+        ("off (round per invocation)", False),
+        ("on (pipelined group commit)", True),
+    ):
+        result, platform, _sim = run_replication_mix(
+            replace(cal, group_commit=enabled)
+        )
+        completed = sum(r.completed for r in result.reports.values())
+        messages = platform.net.stats.messages_sent
+        post = result.reports["create_post"]
+        rows.append(
+            {
+                "group_commit": label,
+                "throughput_per_sec": round(
+                    sum(r.throughput_per_sec for r in result.reports.values()), 1
+                ),
+                "post_median_ms": round(post.median_ms, 3),
+                "post_p99_ms": round(post.p99_ms, 3),
+                "messages": messages,
+                "messages_per_invocation": round(messages / completed, 2),
+            }
+        )
+    off_row, on_row = rows
+    reduction = 100.0 * (
+        1.0 - on_row["messages_per_invocation"] / off_row["messages_per_invocation"]
+    )
+    text = format_comparison(
+        "Ablation: pipelined group-commit replication (mixed workload, aggregated)",
+        rows,
+    )
+    text += f"\n  messages/invocation reduction with pipelining: {reduction:.1f}%"
+    return {"name": "abl_group_commit", "rows": rows, "text": text}
 
 
 def abl_coldstart(cal: CalibrationLike = None) -> dict:
@@ -659,6 +706,7 @@ ALL_EXPERIMENTS = {
     "fig2": fig2,
     "table1": table1,
     "abl_cache": abl_cache,
+    "abl_group_commit": abl_group_commit,
     "abl_replication": abl_replication,
     "abl_coldstart": abl_coldstart,
     "abl_contention": abl_contention,

@@ -20,6 +20,20 @@ WORKLOAD_METHOD = {
     RetwisWorkload.FOLLOW: "follow",
 }
 
+#: mutation-heavy mix shared by the group-commit ablation and the simperf
+#: headline row: Posts and Follows dominate replication traffic (where
+#: group commit coalesces rounds) while timeline reads keep the cache and
+#: the primary read-barrier path exercised
+REPLICATION_MIX = {
+    RetwisWorkload.GET_TIMELINE: 0.3,
+    RetwisWorkload.POST: 0.3,
+    RetwisWorkload.FOLLOW: 0.4,
+}
+
+#: replication factor for the mix runs — the top of ``abl_replication``'s
+#: sweep, so backup frames + acks are the dominant message class
+REPLICATION_MIX_NODES = 5
+
 AGGREGATED = "aggregated"
 DISAGGREGATED = "disaggregated"
 VARIANTS = (AGGREGATED, DISAGGREGATED)
@@ -50,7 +64,7 @@ class RunResult:
 
 def build_aggregated(sim: Simulation, cal: Calibration, **config_overrides) -> Cluster:
     """The LambdaStore deployment of §5: one 3-node replica set."""
-    config = ClusterConfig(
+    options = dict(
         num_storage_nodes=cal.num_storage_nodes,
         num_shards=1,
         cores_per_node=cal.cores_per_node,
@@ -59,10 +73,11 @@ def build_aggregated(sim: Simulation, cal: Calibration, **config_overrides) -> C
         net_sigma=cal.net_sigma,
         net_cap_ms=cal.net_cap_ms,
         enable_cache=cal.enable_cache,
+        group_commit=cal.group_commit,
         seed=cal.seed,
-        **config_overrides,
     )
-    return Cluster(sim, config)
+    options.update(config_overrides)
+    return Cluster(sim, ClusterConfig(**options))
 
 
 def build_disaggregated(sim: Simulation, cal: Calibration, **config_overrides) -> ServerlessPlatform:
@@ -133,3 +148,39 @@ def run_retwis(
             f"(failures={result.failures})"
         )
     return RunResult(variant, workload_name, report, result, platform)
+
+
+def run_replication_mix(
+    cal: Calibration, variant: str = AGGREGATED
+) -> tuple[DriverResult, Any, Simulation]:
+    """Run :data:`REPLICATION_MIX` closed-loop; returns (result, platform, sim).
+
+    Used where replication traffic itself is the measurement (the
+    group-commit ablation, the simperf headline row), so the caller gets
+    the platform back to read ``net.stats`` alongside the reports.  Runs
+    at :data:`REPLICATION_MIX_NODES` replicas regardless of the preset.
+    """
+    from dataclasses import replace
+
+    from repro.workload.retwis_load import MixedRetwisWorkload
+
+    cal = replace(cal, num_storage_nodes=REPLICATION_MIX_NODES)
+    sim = Simulation(seed=cal.seed)
+    platform = build_platform(variant, sim, cal)
+    dataset = load_dataset(platform, cal)
+    workload = MixedRetwisWorkload(dataset, dict(REPLICATION_MIX))
+    driver = ClosedLoopDriver(
+        sim,
+        platform,
+        workload,
+        num_clients=cal.num_clients,
+        duration_ms=cal.duration_ms,
+        warmup_ms=cal.warmup_ms,
+    )
+    result = driver.run()
+    if result.total_completed == 0:
+        raise RuntimeError(
+            f"{variant}/replication-mix: no completions recorded "
+            f"(failures={result.failures})"
+        )
+    return result, platform, sim

@@ -15,9 +15,13 @@ Four rows, from micro to macro:
 - ``timers`` — concurrent ``timeout`` chains: the time-ordered heap path.
 - ``network`` — host pairs streaming messages: ``Network.send`` plus
   delivery scheduling and mailbox handoff.
-- ``retwis_invoke`` — one quick aggregated GetTimeline run end to end:
-  the whole stack (cluster, locks, cache, replication) as the workloads
-  exercise it.  Its events/sec is the headline number.
+- ``retwis_invoke`` — one quick aggregated run of the mutation-heavy
+  REPLICATION_MIX end to end: the whole stack (cluster, locks, cache,
+  group-commit replication) as the workloads exercise it.  Its
+  events/sec is the headline number.
+- ``retwis_invoke_nogc`` — the same run with group commit disabled (one
+  replication round per mutating invocation): the reference that shows
+  what pipelining saves in messages per invocation.
 
 Wall-clock numbers are machine-dependent; the guard therefore compares
 against a committed same-machine baseline with a generous (30%) margin
@@ -125,38 +129,26 @@ def _bench_network(pairs: int, messages: int) -> dict:
     return row
 
 
-def _bench_retwis(cal: Calibration) -> dict:
-    """One aggregated GetTimeline run end to end — the headline row."""
-    from repro.bench.harness import (
-        AGGREGATED,
-        WORKLOAD_METHOD,
-        build_platform,
-        load_dataset,
-    )
-    from repro.workload.clients import ClosedLoopDriver
+def _bench_retwis(cal: Calibration, bench: str = "retwis_invoke") -> dict:
+    """One aggregated REPLICATION_MIX run end to end — the headline row.
 
-    sim = Simulation(seed=cal.seed)
-    platform = build_platform(AGGREGATED, sim, cal)
-    dataset = load_dataset(platform, cal)
-    workload = RetwisWorkload(dataset, RetwisWorkload.GET_TIMELINE)
-    driver = ClosedLoopDriver(
-        sim,
-        platform,
-        workload,
-        num_clients=cal.num_clients,
-        duration_ms=cal.duration_ms,
-        warmup_ms=cal.warmup_ms,
-    )
+    ``cal.group_commit`` selects pipelined vs one-round-per-invocation
+    replication; the artifact carries one row of each so the messages
+    per invocation delta is visible in every snapshot.
+    """
+    from repro.bench.harness import run_replication_mix
+
     started = time.perf_counter()
-    result = driver.run()
+    result, platform, sim = run_replication_mix(cal)
     wall = time.perf_counter() - started
-    report = result.reports[WORKLOAD_METHOD[RetwisWorkload.GET_TIMELINE]]
-    row = _row("retwis_invoke", events=sim.events_scheduled, wall_s=wall)
-    row["invocations"] = report.completed
-    row["invocations_per_sec"] = round(report.completed / wall, 1) if wall > 0 else 0.0
+    completed = sum(r.completed for r in result.reports.values())
+    row = _row(bench, events=sim.events_scheduled, wall_s=wall)
+    row["invocations"] = completed
+    row["invocations_per_sec"] = round(completed / wall, 1) if wall > 0 else 0.0
     sent = platform.net.stats.messages_sent
     row["messages"] = sent
     row["messages_per_sec"] = round(sent / wall, 1) if wall > 0 else 0.0
+    row["messages_per_invocation"] = round(sent / completed, 3) if completed else 0.0
     return row
 
 
@@ -197,27 +189,31 @@ def simperf(cal=None, out_path: Optional[str] = DEFAULT_OUT) -> dict:
     elif isinstance(cal, str):
         cal = preset(cal)
     sizes = _sizes_for(cal)
-    # The retwis row stays quick-sized even under --preset full: simperf
+    # The retwis rows stay quick-sized even under --preset full: simperf
     # tracks simulator speed, which does not need the paper-scale dataset.
-    retwis_cal = replace(
-        preset("quick"),
-        seed=cal.seed,
-    )
+    # The headline row always runs with group commit ON; the _nogc row is
+    # the one-round-per-invocation reference.
+    retwis_cal = replace(preset("quick"), seed=cal.seed, group_commit=True)
 
     rows = [
         _bench_event_lane(sizes["ping_iters"]),
         _bench_timers(sizes["chains"], sizes["steps"]),
         _bench_network(sizes["pairs"], sizes["messages"]),
         _bench_retwis(retwis_cal),
+        _bench_retwis(
+            replace(retwis_cal, group_commit=False), bench="retwis_invoke_nogc"
+        ),
     ]
-    headline_row = rows[-1]
+    headline_row = rows[-2]
+    reference_row = rows[-1]
     headline = {
         "events_per_sec": headline_row["events_per_sec"],
         "invocations_per_sec": headline_row["invocations_per_sec"],
         "messages_per_sec": headline_row["messages_per_sec"],
+        "messages_per_invocation": headline_row["messages_per_invocation"],
     }
     payload = {
-        "schema": 1,
+        "schema": 2,
         "seed": cal.seed,
         "sizes": sizes,
         "rows": rows,
@@ -232,6 +228,15 @@ def simperf(cal=None, out_path: Optional[str] = DEFAULT_OUT) -> dict:
         f"\n  headline (retwis_invoke): {headline['events_per_sec']:,.0f} events/s, "
         f"{headline['messages_per_sec']:,.0f} messages/s, "
         f"{headline['invocations_per_sec']:,.0f} invocations/s"
+    )
+    saved = 1.0 - (
+        headline_row["messages_per_invocation"]
+        / reference_row["messages_per_invocation"]
+    )
+    text += (
+        f"\n  group commit: {headline_row['messages_per_invocation']:.2f} "
+        f"messages/invocation vs {reference_row['messages_per_invocation']:.2f} "
+        f"without pipelining ({saved:.1%} fewer)"
     )
     if out_path:
         text += f"\n  artifact written to {out_path}"

@@ -344,4 +344,22 @@ class ConsistencyChecker:
                             f"{log.retained} acked-and-done sequences",
                         )
                     )
+            for shard_id, pipeline in node.pipelines.items():
+                replica_set = next(
+                    (rs for rs in shard_map.replica_sets if rs.shard_id == shard_id),
+                    None,
+                )
+                if replica_set is None or replica_set.primary != name:
+                    continue  # deposed primary's pipeline; not reachable
+                if not pipeline.idle:
+                    report.violations.append(
+                        Violation(
+                            "bookkeeping",
+                            name,
+                            f"replication pipeline for shard {shard_id} not idle: "
+                            f"{len(pipeline._pending)} queued round(s), "
+                            f"{pipeline.in_flight} in flight, "
+                            f"{len(pipeline._waiters)} parked repl(y/ies)",
+                        )
+                    )
         return report

@@ -57,6 +57,17 @@ class ClusterConfig:
     completed_cap: int = 4096
     #: retransmission budget for RemoteCharge delivery to nested-call owners
     charge_max_attempts: int = 5
+    #: pipelined group-commit replication: coalesce concurrent commit
+    #: rounds into range frames with cumulative acks, release the object
+    #: lock at local commit, and park the client reply on the pipeline's
+    #: settlement watermark.  Off restores the one-frame-per-round path.
+    group_commit: bool = True
+    #: flush a frame once it holds this many rounds ...
+    group_commit_max_rounds: int = 32
+    #: ... or this many payload bytes
+    group_commit_max_bytes: int = 64 * 1024
+    #: backstop flush interval (simulated ms) while frames are in flight
+    group_commit_flush_ms: float = 0.25
     #: when > 0, a background process samples every registry instrument's
     #: time series at this simulated-ms interval (0 disables the sampler)
     metrics_sample_interval_ms: float = 0.0
@@ -128,6 +139,10 @@ class Cluster:
                 storage=storage,
                 completed_cap=self.config.completed_cap,
                 charge_max_attempts=self.config.charge_max_attempts,
+                group_commit=self.config.group_commit,
+                group_commit_max_rounds=self.config.group_commit_max_rounds,
+                group_commit_max_bytes=self.config.group_commit_max_bytes,
+                group_commit_flush_ms=self.config.group_commit_flush_ms,
             )
             node.install_config(self.bootstrap_epoch, self.bootstrap_shard_map.copy())
             self.nodes[name] = node
@@ -338,6 +353,16 @@ class Cluster:
         for node in self.live_nodes():
             if node._inflight or node._ack_waiters or node._charge_waiters:
                 return False
+            for shard_id, pipeline in node.pipelines.items():
+                if pipeline.idle:
+                    continue
+                replica_set = next(
+                    (rs for rs in shard_map.replica_sets if rs.shard_id == shard_id), None
+                )
+                # A deposed primary's pipeline may legitimately never
+                # settle (mirrors the stranded-applier rule below).
+                if replica_set is not None and replica_set.primary == node.name:
+                    return False
             for shard_id, applier in node.backup_appliers.items():
                 if applier.pending_count == 0:
                     continue

@@ -224,7 +224,15 @@ class CoordinatorNode:
     def _broadcast_config(self) -> None:
         self.stats.config_broadcasts += 1
         message = NewConfig(self.state.epoch, self.state.shard_map.copy())
-        for node in self._storage_nodes:
+        targets = list(self._storage_nodes)
+        # Nodes that joined a replica set after bootstrap (add_backup)
+        # must hear about reconfigurations too: adopting the config is
+        # what drains/retires their replication pipelines on promote or
+        # demote, and what unblocks epoch-gated requests.
+        for node in self.state.shard_map.nodes():
+            if node not in targets:
+                targets.append(node)
+        for node in targets:
             self.net.send(self.name, node, message, size_bytes=message.size())
 
     # -- failure detection -------------------------------------------------

@@ -112,11 +112,40 @@ class ReplicateWrites:
 
 
 @dataclass
-class ReplicateAck:
-    """Backup -> primary: sequence applied."""
+class ReplicateWritesRange:
+    """Primary -> backup: a group-commit frame carrying a contiguous run
+    of replication rounds, ``first_sequence .. first_sequence+len(rounds)-1``.
+
+    One frame amortizes the per-message cost over many commits; the
+    backup applies the rounds in order and answers with a single
+    cumulative :class:`ReplicateAck`.
+    """
 
     shard_id: int
-    sequence: int
+    epoch: int
+    first_sequence: int
+    #: one entry per replication round: the round's encoded WriteBatches
+    rounds: list[list[bytes]]
+    primary: str
+
+    def size(self) -> int:
+        # Frame header + a small per-round header + the batch payloads.
+        return 48 + 8 * len(self.rounds) + sum(
+            len(b) for round_batches in self.rounds for b in round_batches
+        )
+
+
+@dataclass
+class ReplicateAck:
+    """Backup -> primary: every sequence <= ``applied_through`` applied.
+
+    Cumulative: one ack can settle many rounds.  The legacy single-round
+    path sends one ack per applied sequence, in order, so its acks are
+    cumulative too (a backup applies strictly in order).
+    """
+
+    shard_id: int
+    applied_through: int
     backup: str
 
     def size(self) -> int:

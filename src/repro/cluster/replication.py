@@ -17,7 +17,11 @@ from repro.obs.registry import MetricsRegistry, StatsView
 
 
 class ReplicationStats(StatsView):
-    """Replication counters, per log/applier."""
+    """Replication counters, per log/applier.
+
+    ``retransmitted`` counts retransmission rounds separately from
+    ``shipped`` (which counts first-time sequence assignments only).
+    """
 
     PREFIX = "replication"
     COUNTERS = {
@@ -25,6 +29,7 @@ class ReplicationStats(StatsView):
         "acked": 0,
         "applied": 0,
         "buffered_out_of_order": 0,
+        "retransmitted": 0,
     }
 
 
@@ -48,6 +53,8 @@ class PrimaryReplicationLog:
         self._next_sequence = 1
         #: sequence -> set of backups that acked
         self._acks: dict[int, set[str]] = {}
+        #: backup name -> highest cumulatively-acked sequence
+        self.acked_through: dict[str, int] = {}
         #: sequence -> encoded batches, kept for retransmission while the
         #: replication round is outstanding
         self.history: dict[int, list[bytes]] = {}
@@ -75,9 +82,32 @@ class PrimaryReplicationLog:
         return self._next_sequence - 1
 
     def record_ack(self, sequence: int, backup: str) -> None:
-        if sequence in self._acks:
-            self._acks[sequence].add(backup)
+        acks = self._acks.get(sequence)
+        if acks is not None and backup not in acks:
+            # Count only first-time acks: duplicate re-acks (retransmission
+            # crossings) used to inflate the counter.
+            acks.add(backup)
             self.stats.acked += 1
+        if self.acked_through.get(backup, 0) < sequence:
+            # Backups apply (and therefore ack) strictly in order, so a
+            # per-sequence ack is implicitly cumulative.
+            self.record_cumulative_ack(backup, sequence)
+
+    def record_cumulative_ack(self, backup: str, applied_through: int) -> bool:
+        """Record that ``backup`` has applied every sequence up to and
+        including ``applied_through``.  Returns True when this advanced
+        the backup's watermark (stale/duplicate acks return False)."""
+        previous = self.acked_through.get(backup, 0)
+        if applied_through <= previous:
+            return False
+        self.acked_through[backup] = applied_through
+        for sequence in self._acks:
+            if previous < sequence <= applied_through:
+                acks = self._acks[sequence]
+                if backup not in acks:
+                    acks.add(backup)
+                    self.stats.acked += 1
+        return True
 
     def acked_by(self, sequence: int) -> set[str]:
         return set(self._acks.get(sequence, ()))
@@ -103,6 +133,21 @@ class PrimaryReplicationLog:
             advanced = True
         if advanced:
             self.forget_through(self.completed_through)
+
+    def complete_through(self, sequence: int) -> None:
+        """Cumulative :meth:`mark_complete`: every sequence up to and
+        including ``sequence`` finished replicating.  Used by the
+        group-commit pipeline, whose settlement watermark is inherently
+        contiguous."""
+        if sequence <= self.completed_through:
+            return
+        self.completed_through = sequence
+        # Re-absorb any individually-completed rounds sitting just above
+        # the new watermark (mixed pipeline + legacy use of one log).
+        while self.completed_through + 1 in self._complete:
+            self.completed_through += 1
+        self._complete = {s for s in self._complete if s > self.completed_through}
+        self.forget_through(self.completed_through)
 
     @property
     def retained(self) -> int:
@@ -160,3 +205,346 @@ class BackupApplier:
     @property
     def pending_count(self) -> int:
         return len(self._pending)
+
+
+#: flush-trigger reasons, pre-registered so the counters exist at zero
+FLUSH_REASONS = ("open", "size", "timer", "ack", "drain")
+
+#: group-commit frames carry at most this many rounds by default
+DEFAULT_MAX_ROUNDS = 32
+DEFAULT_MAX_BYTES = 64 * 1024
+#: backstop flush interval (simulated ms) while earlier frames are in flight
+DEFAULT_FLUSH_INTERVAL_MS = 0.25
+
+
+class ReplicationPipeline:
+    """Primary-side group-commit pipeline for one shard (§4.2.1 + group
+    commit).
+
+    Committed write sets from concurrent invocations of *different*
+    objects are coalesced into :class:`ReplicateWritesRange` frames
+    carrying a contiguous sequence run.  Backups answer with cumulative
+    acks; the pipeline's settlement watermark is the minimum
+    ``applied_through`` over the live backups it has shipped to, and each
+    parked client reply is released once the watermark reaches its own
+    sequence — every sequence <= its own is then acked by all live
+    backups, which is exactly the legacy reply condition, so invocation
+    linearizability (§3.1) is preserved.
+
+    Flush triggers: ``open`` (nothing in flight — send immediately, no
+    added latency at low load), ``size`` (round/byte threshold), ``ack``
+    (the pipe drained while commits queued — classic group commit: one
+    frame per replication round trip under load), ``timer`` (backstop so
+    a lost ack cannot strand queued commits), and ``drain``
+    (reconfiguration).  Gaps are repaired by a per-backup watchdog that
+    retransmits exactly the missing range with exponential backoff and
+    jitter, instead of fixed-interval full re-sends.
+    """
+
+    def __init__(
+        self,
+        sim,
+        shard_id: int,
+        log: PrimaryReplicationLog,
+        send_frame: Callable[[list[str], int, list[list[bytes]]], None],
+        backups_fn: Callable[[], list[str]],
+        max_rounds: int = DEFAULT_MAX_ROUNDS,
+        max_bytes: int = DEFAULT_MAX_BYTES,
+        flush_interval_ms: float = DEFAULT_FLUSH_INTERVAL_MS,
+        ack_timeout_ms: float = 5.0,
+        name: str = "",
+        registry: Optional[MetricsRegistry] = None,
+        labels: Optional[dict] = None,
+    ) -> None:
+        self.sim = sim
+        self.shard_id = shard_id
+        self.log = log
+        self._send_frame = send_frame
+        self._backups_fn = backups_fn
+        self._max_rounds = max(1, max_rounds)
+        self._max_bytes = max(1, max_bytes)
+        self._flush_interval = flush_interval_ms
+        self._ack_timeout = ack_timeout_ms
+        self._name = name or f"shard-{shard_id}"
+        #: (sequence, batches) committed but not yet framed
+        self._pending: list[tuple[int, list[bytes]]] = []
+        self._pending_bytes = 0
+        #: sequence -> park event for the client reply (ascending keys)
+        self._waiters: dict[int, object] = {}
+        #: sequence -> read-barrier events parked on the watermark
+        self._barriers: dict[int, list] = {}
+        self.highest_flushed = 0
+        self.settled_through = 0
+        #: backups ever shipped a frame (never-sent members need a state
+        #: transfer, not log replay, so they don't hold the watermark)
+        self._ever_sent: set[str] = set()
+        self._timer_generation = 0
+        self._timer_armed = False
+        self._watchdog_running = False
+        #: set when this node stops being the shard's primary (failover,
+        #: migration): a retired pipeline ships nothing and settles nothing
+        self._retired = False
+        #: jitter stream, created lazily on the first retransmission so
+        #: faultless runs never touch it
+        self._retry_rng = None
+        self._flush_hist = None
+        self._flush_counters = None
+        if registry is not None:
+            self._flush_hist = registry.histogram(
+                "replication_flush_rounds",
+                labels,
+                help="rounds coalesced per group-commit frame",
+                buckets=(1, 2, 4, 8, 16, 32, 64),
+            )
+            self._flush_counters = {
+                reason: registry.counter(
+                    "replication_flush_total", {**(labels or {}), "reason": reason}
+                )
+                for reason in FLUSH_REASONS
+            }
+            registry.gauge(
+                "replication_pipeline_depth", labels, fn=lambda: self.in_flight
+            )
+            registry.gauge(
+                "replication_parked_replies", labels, fn=lambda: len(self._waiters)
+            )
+
+    # -- state ----------------------------------------------------------------
+
+    @property
+    def in_flight(self) -> int:
+        """Rounds flushed but not yet settled by every live backup."""
+        return self.highest_flushed - self.settled_through
+
+    @property
+    def idle(self) -> bool:
+        return (
+            not self._pending
+            and not self._waiters
+            and not self._barriers
+            and self.in_flight == 0
+        )
+
+    @property
+    def retired(self) -> bool:
+        return self._retired
+
+    def retire(self) -> None:
+        """This node stopped being the shard's primary (failover promoted
+        a backup, or the shard left the map).  A retired pipeline ships
+        nothing — no drain flush, no watchdog retransmission of stale
+        frames over the new primary's stream — and settles nothing:
+        releasing a parked reply against the *new* backup set could
+        acknowledge a write only departed stragglers ever applied.  Late
+        acks still land on the log (facts are monotonic), and queued
+        rounds are kept so a later re-promotion resumes the sequence
+        space where it left off."""
+        self._retired = True
+        # Cancel any armed backstop flush.
+        self._timer_generation += 1
+        self._timer_armed = False
+
+    def unretire(self) -> None:
+        """Re-promotion: resume shipping (caller follows up with
+        :meth:`on_config_change` to drain and re-settle)."""
+        self._retired = False
+
+    def barrier(self, sequence: Optional[int] = None):
+        """Event that fires once the settlement watermark covers
+        ``sequence`` (default: every sequence assigned so far).
+
+        Used by primary-side reads: with the object lock released at
+        local commit, a read at the primary can observe writes no backup
+        has acked yet; parking its reply behind the watermark keeps the
+        paper's §3.1 guarantee — no client observes a result derived from
+        state that could still be lost on failover without any reply
+        having been released for it.
+        """
+        if sequence is None:
+            sequence = self.log.last_assigned
+        event = self.sim.event(name=f"repl-barrier:{self._name}:{sequence}")
+        if sequence <= self.settled_through:
+            event.succeed()
+        else:
+            # Keys stay in ascending order (last_assigned is monotonic),
+            # which lets _settle stop scanning at the first unsettled one.
+            self._barriers.setdefault(sequence, []).append(event)
+        return event
+
+    # -- commit path -----------------------------------------------------------
+
+    def submit(self, batches: list[bytes]):
+        """Enqueue a committed round; returns the event that fires once
+        every sequence <= this round's is acked by all live backups."""
+        sequence = self.log.next_sequence(batches)
+        event = self.sim.event(name=f"repl:{self._name}:{sequence}")
+        self._waiters[sequence] = event
+        self._pending.append((sequence, batches))
+        self._pending_bytes += sum(len(b) for b in batches)
+        if self._retired:
+            # Deposed primary: the round is queued (and resumes on a
+            # re-promotion) but nothing ships and no timer arms.
+            return event
+        if (
+            len(self._pending) >= self._max_rounds
+            or self._pending_bytes >= self._max_bytes
+        ):
+            self.flush("size")
+        elif self.in_flight == 0:
+            # Pipe is empty: waiting would only add latency.
+            self.flush("open")
+        elif not self._timer_armed:
+            self._arm_timer()
+        return event
+
+    def flush(self, reason: str) -> None:
+        """Frame and ship every pending round to the current backups."""
+        if self._retired or not self._pending:
+            return
+        first = self._pending[0][0]
+        rounds = [batches for _sequence, batches in self._pending]
+        self._pending.clear()
+        self._pending_bytes = 0
+        self._timer_generation += 1
+        self._timer_armed = False
+        self.highest_flushed = first + len(rounds) - 1
+        if self._flush_hist is not None:
+            self._flush_hist.observe(len(rounds))
+            self._flush_counters[reason].inc()
+        targets = list(self._backups_fn())
+        if targets:
+            behind = [t for t in targets if t in self._ever_sent] or targets
+            # A backup seeing its first frame must not start mid-stream:
+            # extend its frame back to the oldest unsettled sequence.
+            fresh = [t for t in targets if t not in self._ever_sent]
+            self._send_frame(behind, first, rounds)
+            if fresh and behind is not targets:
+                start = self.settled_through + 1
+                full = [self.log.history[s] for s in range(start, self.highest_flushed + 1)]
+                self._send_frame(fresh, start, full)
+            self._ever_sent.update(targets)
+            if not self._watchdog_running:
+                # Flag set here, not inside the generator: two flushes at
+                # one instant must not spawn two watchdogs.
+                self._watchdog_running = True
+                self.sim.process(self._watchdog(), name=f"repl-watchdog:{self._name}")
+        self._settle()
+
+    # -- acks ------------------------------------------------------------------
+
+    def on_ack(self, backup: str, applied_through: int) -> None:
+        advanced = self.log.record_cumulative_ack(backup, applied_through)
+        if self._retired:
+            return
+        if advanced:
+            self._settle()
+        if self._pending and self.in_flight == 0:
+            # The pipe drained while commits queued up — ship them as one
+            # frame (group commit: one frame per replication round trip).
+            self.flush("ack")
+
+    def on_config_change(self) -> None:
+        """Reconfiguration: re-evaluate the watermark against the new
+        backup set (removed stragglers no longer gate replies) and drain
+        any queued rounds so the new membership sees them promptly."""
+        self._settle()
+        if self._pending:
+            self.flush("drain")
+
+    def _settle(self) -> None:
+        if self._retired:
+            return
+        backups = [b for b in self._backups_fn() if b in self._ever_sent]
+        if backups:
+            watermark = min(self.log.acked_through.get(b, 0) for b in backups)
+            watermark = min(watermark, self.highest_flushed)
+        else:
+            # No live backups shipped to: everything flushed is settled.
+            watermark = self.highest_flushed
+        if watermark <= self.settled_through:
+            return
+        self.settled_through = watermark
+        self.log.complete_through(watermark)
+        released = []
+        for sequence in self._waiters:  # ascending insertion order
+            if sequence > watermark:
+                break
+            released.append(sequence)
+        for sequence in released:
+            event = self._waiters.pop(sequence)
+            if not event.triggered:
+                event.succeed()
+        cleared = []
+        for sequence in self._barriers:  # ascending insertion order
+            if sequence > watermark:
+                break
+            cleared.append(sequence)
+        for sequence in cleared:
+            for event in self._barriers.pop(sequence):
+                if not event.triggered:
+                    event.succeed()
+
+    # -- background processes --------------------------------------------------
+
+    def _arm_timer(self) -> None:
+        self._timer_armed = True
+        self.sim.process(
+            self._timer(self._timer_generation), name=f"repl-timer:{self._name}"
+        )
+
+    def _timer(self, generation: int):
+        yield self.sim.timeout(self._flush_interval)
+        if generation != self._timer_generation:
+            return
+        self._timer_armed = False
+        if self._pending:
+            self.flush("timer")
+
+    def _progress_mark(self) -> tuple:
+        return (self.settled_through, tuple(sorted(self.log.acked_through.items())))
+
+    def _watchdog(self):
+        """Targeted gap repair: while rounds are unsettled, retransmit each
+        lagging backup exactly its missing range, with exponential backoff
+        (reset on progress) + jitter, capped at 8x the ack timeout."""
+        try:
+            delay = self._ack_timeout
+            cap = self._ack_timeout * 8
+            last_progress = self._progress_mark()
+            while True:
+                yield self.sim.timeout(delay)
+                if self._retired:
+                    return  # deposed primary: stale frames stay unsent
+                self._settle()
+                if self.in_flight == 0:
+                    return  # settled; restarted on the next flush
+                mark = self._progress_mark()
+                if mark != last_progress:
+                    last_progress = mark
+                    delay = self._ack_timeout
+                    continue  # acks are flowing; no retransmission needed
+                current = set(self._backups_fn())
+                if not (current & self._ever_sent):
+                    # Every shipped-to backup left the replica set.
+                    self._settle()
+                    if self.in_flight == 0:
+                        return
+                for backup in sorted(current & self._ever_sent):
+                    acked = self.log.acked_through.get(backup, 0)
+                    if acked >= self.highest_flushed:
+                        continue
+                    start = max(acked + 1, self.log.completed_through + 1)
+                    rounds = [
+                        self.log.history[s]
+                        for s in range(start, self.highest_flushed + 1)
+                        if s in self.log.history
+                    ]
+                    if rounds:
+                        self._send_frame([backup], start, rounds)
+                        self.log.stats.retransmitted += 1
+                if self._retry_rng is None:
+                    self._retry_rng = self.sim.rng(f"repl-retry:{self._name}")
+                delay = min(delay * 2, cap)
+                delay += self._retry_rng.uniform(0, delay * 0.25)
+        finally:
+            self._watchdog_running = False

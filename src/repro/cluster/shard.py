@@ -54,10 +54,20 @@ class ShardMap:
         )
 
     def replica_set(self, shard_id: int) -> ReplicaSet:
+        replica_set = self.replica_set_or_none(shard_id)
+        if replica_set is None:
+            raise ShardUnavailableError(f"no replica set with shard id {shard_id}")
+        return replica_set
+
+    def replica_set_or_none(self, shard_id: int) -> Optional[ReplicaSet]:
+        """Like :meth:`replica_set`, but None when the shard left the map
+        (reconfiguration callers — e.g. the replication pipeline deciding
+        whether its node still leads a shard — treat that as 'deposed',
+        not as an error)."""
         for replica_set in self.replica_sets:
             if replica_set.shard_id == shard_id:
                 return replica_set
-        raise ShardUnavailableError(f"no replica set with shard id {shard_id}")
+        return None
 
     def shard_for(self, object_id: ObjectId) -> ReplicaSet:
         """The replica set owning ``object_id``."""

@@ -36,8 +36,13 @@ from repro.cluster.messages import (
     NewConfig,
     ReplicateAck,
     ReplicateWrites,
+    ReplicateWritesRange,
 )
-from repro.cluster.replication import BackupApplier, PrimaryReplicationLog
+from repro.cluster.replication import (
+    BackupApplier,
+    PrimaryReplicationLog,
+    ReplicationPipeline,
+)
 from repro.cluster.scheduler import ObjectLockTable
 from repro.errors import InvocationError, UnknownObjectError
 from repro.kvstore.batch import WriteBatch
@@ -226,6 +231,10 @@ class StoreNode:
         storage: Optional[Any] = None,
         completed_cap: int = 4096,
         charge_max_attempts: int = 5,
+        group_commit: bool = False,
+        group_commit_max_rounds: int = 32,
+        group_commit_max_bytes: int = 64 * 1024,
+        group_commit_flush_ms: float = 0.25,
     ) -> None:
         self.sim = sim
         self.net = net
@@ -268,6 +277,16 @@ class StoreNode:
         self.shard_map = None
         self.primary_logs: dict[int, PrimaryReplicationLog] = {}
         self.backup_appliers: dict[int, BackupApplier] = {}
+        #: group-commit replication (§4.2.1 + pipelining); when off, the
+        #: legacy one-frame-per-round path runs unchanged
+        self._group_commit = group_commit
+        self._gc_max_rounds = group_commit_max_rounds
+        self._gc_max_bytes = group_commit_max_bytes
+        self._gc_flush_ms = group_commit_flush_ms
+        self.pipelines: dict[int, ReplicationPipeline] = {}
+        #: jitter stream for legacy-path retransmission backoff, created
+        #: lazily so faultless runs never touch it
+        self._legacy_retry_rng = None
         #: (shard_id, sequence) -> (still-needed backups, event)
         self._ack_waiters: dict[tuple[int, int], tuple[set, Any]] = {}
         self._charge_waiters: dict[str, Any] = {}
@@ -357,11 +376,27 @@ class StoreNode:
             capture.record_batch(self.name, batch)
 
     def install_config(self, epoch: int, shard_map) -> None:
-        """Adopt a configuration (bootstrap or NewConfig)."""
+        """Adopt a configuration (bootstrap or NewConfig).
+
+        Replication pipelines drain on every adoption: for shards this
+        node still leads, queued rounds ship to the new membership
+        immediately and the settlement watermark is re-evaluated so
+        backups that left the replica set (failover, migration) stop
+        gating parked replies.  Pipelines for shards this node no longer
+        leads are retired — a deposed primary must neither retransmit
+        stale frames over the new primary's stream nor release replies
+        against a backup set it no longer commands."""
         if epoch <= self.epoch:
             return
         self.epoch = epoch
         self.shard_map = shard_map
+        for shard_id, pipeline in self.pipelines.items():
+            replica_set = shard_map.replica_set_or_none(shard_id)
+            if replica_set is None or replica_set.primary != self.name:
+                pipeline.retire()
+            else:
+                pipeline.unretire()
+                pipeline.on_config_change()
 
     # -- background processes ----------------------------------------------
 
@@ -387,6 +422,8 @@ class StoreNode:
                 )
             elif isinstance(message, ReplicateWrites):
                 self._on_replicate(message)
+            elif isinstance(message, ReplicateWritesRange):
+                self._on_replicate_range(message)
             elif isinstance(message, ReplicateAck):
                 self._on_replicate_ack(message)
             elif isinstance(message, NewConfig):
@@ -434,51 +471,184 @@ class StoreNode:
 
     # -- replication -----------------------------------------------------------
 
-    def _on_replicate(self, message: ReplicateWrites) -> None:
-        applier = self.backup_appliers.get(message.shard_id)
-        if applier is None or getattr(applier, "primary", None) != message.primary:
+    def _applier_for(self, shard_id: int, primary: str) -> BackupApplier:
+        applier = self.backup_appliers.get(shard_id)
+        if applier is None or getattr(applier, "primary", None) != primary:
             # A different primary means a fresh sequence space (failover
             # promotes a backup, which restarts numbering at 1).
             applier = BackupApplier(
-                message.shard_id,
+                shard_id,
                 lambda batch: self.runtime.storage.apply(batch),
                 registry=self._registry,
                 labels={
                     **self._metric_labels,
                     "role": "backup",
-                    "shard": str(message.shard_id),
+                    "shard": str(shard_id),
                 },
             )
-            applier.primary = message.primary
-            self.backup_appliers[message.shard_id] = applier
+            applier.primary = primary
+            self.backup_appliers[shard_id] = applier
+        return applier
+
+    def _invalidate_applied(self, applied: list[tuple[int, list[bytes]]]) -> None:
+        if self.runtime.cache is None:
+            return
+        # Writes landed on this replica; cached read-only results that
+        # depend on them must not be served stale.  The applier may have
+        # drained buffered out-of-order sequences beyond the triggering
+        # message, so invalidate the keys of *every* applied batch —
+        # decoding each batch exactly once.
+        written_keys: list[bytes] = []
+        for _sequence, applied_batches in applied:
+            for payload in applied_batches:
+                batch = WriteBatch.decode(payload)
+                written_keys.extend(key for _kind, key, _v in batch.items())
+        if written_keys:
+            self.runtime.cache.invalidate_keys(written_keys)
+
+    def _on_replicate(self, message: ReplicateWrites) -> None:
+        applier = self._applier_for(message.shard_id, message.primary)
         applied = applier.receive(message.sequence, message.batches)
-        if self.runtime.cache is not None:
-            # Writes landed on this replica; cached read-only results that
-            # depend on them must not be served stale.  The applier may
-            # have drained buffered out-of-order sequences beyond this
-            # message, so invalidate the keys of *every* applied batch —
-            # decoding each batch exactly once.
-            written_keys: list[bytes] = []
-            for _sequence, applied_batches in applied:
-                for payload in applied_batches:
-                    batch = WriteBatch.decode(payload)
-                    written_keys.extend(key for _kind, key, _v in batch.items())
-            if written_keys:
-                self.runtime.cache.invalidate_keys(written_keys)
+        self._invalidate_applied(applied)
         for sequence, _batches in applied:
             reply = ReplicateAck(message.shard_id, sequence, self.name)
             self.net.send(self.name, message.primary, reply, size_bytes=reply.size())
 
+    def _on_replicate_range(self, message: ReplicateWritesRange) -> None:
+        """Apply a group-commit frame; answer with one cumulative ack.
+
+        The ack always goes out — even when the frame was entirely
+        duplicate or arrived ahead of a gap — because ``applied_through``
+        is what tells the primary's watchdog which range to retransmit."""
+        applier = self._applier_for(message.shard_id, message.primary)
+        applied: list[tuple[int, list[bytes]]] = []
+        for offset, batches in enumerate(message.rounds):
+            applied.extend(applier.receive(message.first_sequence + offset, batches))
+        self._invalidate_applied(applied)
+        reply = ReplicateAck(message.shard_id, applier.applied_through, self.name)
+        self.net.send(self.name, message.primary, reply, size_bytes=reply.size())
+
     def _on_replicate_ack(self, message: ReplicateAck) -> None:
         log = self.primary_logs.get(message.shard_id)
-        if log is not None:
-            log.record_ack(message.sequence, message.backup)
-        waiter = self._ack_waiters.get((message.shard_id, message.sequence))
-        if waiter is not None:
-            needed, event = waiter
+        if not self._group_commit:
+            # Legacy path: acks are per-sequence (sent in apply order, so
+            # ``applied_through`` *is* the acked sequence) and each waiter
+            # is exact-matched.
+            if log is not None:
+                log.record_ack(message.applied_through, message.backup)
+            waiter = self._ack_waiters.get((message.shard_id, message.applied_through))
+            if waiter is not None:
+                needed, event = waiter
+                needed.discard(message.backup)
+                if not needed and not event.triggered:
+                    event.succeed()
+            return
+        pipeline = self.pipelines.get(message.shard_id)
+        if log is not None and pipeline is None:
+            # No pipeline yet (legacy rounds only): record on the log
+            # directly; otherwise on_ack below records it exactly once.
+            log.record_cumulative_ack(message.backup, message.applied_through)
+        # One cumulative ack can settle many rounds: release this backup
+        # from every waiter at or below the watermark (legacy-path rounds
+        # share the sequence space with pipeline rounds).
+        for key in [
+            k
+            for k in self._ack_waiters
+            if k[0] == message.shard_id and k[1] <= message.applied_through
+        ]:
+            needed, event = self._ack_waiters[key]
             needed.discard(message.backup)
             if not needed and not event.triggered:
                 event.succeed()
+        if pipeline is not None:
+            pipeline.on_ack(message.backup, message.applied_through)
+
+    # -- group-commit pipeline ------------------------------------------------
+
+    def _log_for(self, shard_id: int) -> PrimaryReplicationLog:
+        log = self.primary_logs.get(shard_id)
+        if log is None:
+            log = PrimaryReplicationLog(
+                shard_id,
+                self._registry,
+                {**self._metric_labels, "role": "primary", "shard": str(shard_id)},
+            )
+            self.primary_logs[shard_id] = log
+        return log
+
+    def _current_backups(self, shard_id: int) -> list[str]:
+        if self.shard_map is None:
+            return []
+        replica_set = self.shard_map.replica_set_or_none(shard_id)
+        if replica_set is None:
+            return []
+        return [b for b in replica_set.backups if b != self.name]
+
+    def _send_range_frame(
+        self, shard_id: int, targets: list[str], first_sequence: int, rounds
+    ) -> None:
+        message = ReplicateWritesRange(
+            shard_id, self.epoch, first_sequence, list(rounds), self.name
+        )
+        for target in targets:
+            self.net.send(self.name, target, message, size_bytes=message.size())
+
+    def _pipeline_for(self, shard_id: int) -> ReplicationPipeline:
+        pipeline = self.pipelines.get(shard_id)
+        if pipeline is None:
+            pipeline = ReplicationPipeline(
+                self.sim,
+                shard_id,
+                self._log_for(shard_id),
+                send_frame=lambda targets, first, rounds, _sid=shard_id: (
+                    self._send_range_frame(_sid, targets, first, rounds)
+                ),
+                backups_fn=lambda _sid=shard_id: self._current_backups(_sid),
+                max_rounds=self._gc_max_rounds,
+                max_bytes=self._gc_max_bytes,
+                flush_interval_ms=self._gc_flush_ms,
+                ack_timeout_ms=self._ack_timeout,
+                name=f"{self.name}:s{shard_id}",
+                registry=self._registry,
+                labels={
+                    **self._metric_labels,
+                    "role": "primary",
+                    "shard": str(shard_id),
+                },
+            )
+            self.pipelines[shard_id] = pipeline
+        return pipeline
+
+    def _pipeline_wait(self, shard_id: int, waiter, parent=None):
+        """Park until the pipeline's watermark covers ``waiter``'s round."""
+        tracer = self.tracer
+        if tracer is not None and parent is not None:
+            # Same span name as the legacy path so trace tooling sees one
+            # replication phase per invocation regardless of mode.
+            span = tracer.start(
+                "replicate",
+                parent=parent,
+                node=self.name,
+                shard=shard_id,
+                phase="watermark-wait",
+            )
+            try:
+                yield waiter
+            finally:
+                tracer.end(span)
+        else:
+            yield waiter
+
+    def _replicate_batches(self, shard_id: int, batches: list[bytes], parent=None):
+        """Replicate committed batches and wait until every live backup
+        acked: the group-commit pipeline when enabled, the legacy
+        one-round-at-a-time path otherwise."""
+        if self._group_commit:
+            waiter = self._pipeline_for(shard_id).submit(batches)
+            self._c_replication_rounds.inc()
+            yield from self._pipeline_wait(shard_id, waiter, parent=parent)
+            return
+        yield from self._replicate(shard_id, batches, parent=parent)
 
     def _invoke_traced(self, root, request: ClientRequest):
         """Run the guest with the request's root span active, so invoke /
@@ -514,14 +684,7 @@ class StoreNode:
     def _replicate_inner(self, shard_id: int, batches: list[bytes]):
         replica_set = self.shard_map.replica_set(shard_id)
         backups = [b for b in replica_set.backups]
-        log = self.primary_logs.get(shard_id)
-        if log is None:
-            log = PrimaryReplicationLog(
-                shard_id,
-                self._registry,
-                {**self._metric_labels, "role": "primary", "shard": str(shard_id)},
-            )
-            self.primary_logs[shard_id] = log
+        log = self._log_for(shard_id)
         sequence = log.next_sequence(batches)
         if not backups:
             log.mark_complete(sequence)
@@ -533,9 +696,15 @@ class StoreNode:
         event = self.sim.event()
         self._ack_waiters[(shard_id, sequence)] = (needed, event)
         self._c_replication_rounds.inc()
+        # First wait is exactly the ack timeout; retransmissions back off
+        # exponentially (capped at 8x) with jitter so a wedged backup is
+        # not hammered at a fixed 5 ms cadence.  The jitter stream is
+        # created lazily: faultless runs never retransmit.
+        delay = self._ack_timeout
+        delay_cap = self._ack_timeout * 8
         try:
             while needed:
-                timeout = self.sim.timeout(self._ack_timeout)
+                timeout = self.sim.timeout(delay)
                 yield self.sim.any_of([event, timeout])
                 if not needed:
                     break
@@ -551,6 +720,11 @@ class StoreNode:
                 self._ack_waiters[(shard_id, sequence)] = (needed, event)
                 for backup in needed:
                     self.net.send(self.name, backup, message, size_bytes=message.size())
+                log.stats.retransmitted += 1
+                if self._legacy_retry_rng is None:
+                    self._legacy_retry_rng = self.sim.rng(f"{self.name}.repl-retry")
+                delay = min(delay * 2, delay_cap)
+                delay += self._legacy_retry_rng.uniform(0, delay * 0.25)
         finally:
             self._ack_waiters.pop((shard_id, sequence), None)
             # The round is settled (acked by every backup still in the
@@ -703,6 +877,9 @@ class StoreNode:
         self.object_load[key] = self.object_load.get(key, 0) + 1
 
     def _execute_readonly(self, request: ClientRequest, root=None):
+        if self._group_commit:
+            yield from self._execute_readonly_gc(request, root)
+            return
         self._c_readonly_requests.inc()
         self._note_load(request)
         arrived = self.sim.now
@@ -724,6 +901,68 @@ class StoreNode:
             if self._request_hist is not None:
                 self._request_hist["readonly"].observe(self.sim.now - arrived)
 
+    def _execute_readonly_gc(self, request: ClientRequest, root=None):
+        """Read path under group commit: with the object lock released at
+        local commit, committed-but-unacked writes are visible here at the
+        primary, so the reply parks behind the shard's settlement
+        watermark (off the core) — a later read at a lagging backup can
+        then never contradict what this read observed."""
+        self._c_readonly_requests.inc()
+        self._note_load(request)
+        arrived = self.sim.now
+        yield self.cpu.request()
+        started = self.sim.now
+        result = None
+        error_text = None
+        try:
+            try:
+                result = self._invoke_traced(root, request)
+            except (InvocationError, UnknownObjectError) as error:
+                self._c_failed_invocations.inc()
+                error_text = str(error)
+            if result is not None:
+                yield self.sim.timeout(result.fuel_used * self.ms_per_fuel)
+        finally:
+            self._c_busy_ms.inc(self.sim.now - started)
+            self.cpu.release()
+        try:
+            if error_text is not None:
+                self._reply(request, ClientReply(request.request_id, False, error=error_text))
+                return
+            yield from self._read_barrier(request, parent=root)
+            self._reply(request, ClientReply(request.request_id, True, value=result.value))
+        finally:
+            if self._request_hist is not None:
+                self._request_hist["readonly"].observe(self.sim.now - arrived)
+
+    def _read_barrier(self, request: ClientRequest, parent=None):
+        """Park a primary-served read until every sequence assigned before
+        it executed is acked by all live backups (no-op on backups and on
+        quiescent shards)."""
+        if self.shard_map is None:
+            return
+        replica_set = self.shard_map.shard_for(request.object_id)
+        if replica_set.primary != self.name:
+            return
+        pipeline = self.pipelines.get(replica_set.shard_id)
+        if pipeline is None:
+            return
+        event = pipeline.barrier()
+        if event.triggered:
+            return
+        tracer = self.tracer
+        if tracer is not None and parent is not None:
+            span = tracer.start(
+                "read.barrier", parent=parent, node=self.name,
+                shard=replica_set.shard_id,
+            )
+            try:
+                yield event
+            finally:
+                tracer.end(span)
+        else:
+            yield event
+
     def _execute_mutating(self, request: ClientRequest, shard_id: int, root=None):
         self._c_mutating_requests.inc()
         self._note_load(request)
@@ -736,6 +975,7 @@ class StoreNode:
             tracer.end(lock_span)
         else:
             yield self.locks.acquire(object_key)
+        locked = True
         try:
             yield self.cpu.request()
             started = self.sim.now
@@ -774,7 +1014,23 @@ class StoreNode:
 
             # Replication of this node's own writes.
             own_batches = capture.batches.get(self.name, [])
-            if own_batches:
+            if self._group_commit:
+                # Group commit decouples execution from replication: the
+                # write set is committed locally and enqueued on the
+                # shard's pipeline, the object lock is released so later
+                # invocations of *this* object (and others) execute while
+                # the frame is in flight, and only the client reply parks
+                # on the cumulative-ack watermark.  Linearizability holds
+                # because the reply is released only once every sequence
+                # <= its own is acked by all live backups — the same
+                # condition the legacy path waits for under the lock.
+                waiter = None
+                if own_batches:
+                    waiter = self._pipeline_for(shard_id).submit(own_batches)
+                    self._c_replication_rounds.inc()
+                self.locks.release(object_key)
+                locked = False
+            elif own_batches:
                 yield from self._replicate(shard_id, own_batches, parent=root)
 
             # Bill remote nested dispatches to their owners.
@@ -788,11 +1044,15 @@ class StoreNode:
                 )
                 yield from self._send_charge(charge, owner_name, parent=root)
 
+            if self._group_commit and waiter is not None:
+                yield from self._pipeline_wait(shard_id, waiter, parent=root)
+
             reply = ClientReply(request.request_id, True, value=result.value)
             self._completed.record(request.request_id, reply)
             self._reply(request, reply)
         finally:
-            self.locks.release(object_key)
+            if locked:
+                self.locks.release(object_key)
             if self._request_hist is not None:
                 self._request_hist["mutating"].observe(self.sim.now - arrived)
 
@@ -867,7 +1127,7 @@ class StoreNode:
             if message.batches and self.shard_map is not None:
                 own_shard = self.shard_map.shard_of_node(self.name)
                 if own_shard is not None and own_shard.primary == self.name:
-                    yield from self._replicate(
+                    yield from self._replicate_batches(
                         own_shard.shard_id, message.batches, parent=span
                     )
             if message.charge_id in self._charges_seen:
@@ -912,7 +1172,7 @@ class StoreNode:
         if self.shard_map is not None:
             own_shard = self.shard_map.shard_of_node(self.name)
             if own_shard is not None and own_shard.primary == self.name:
-                yield from self._replicate(own_shard.shard_id, [batch.encode()])
+                yield from self._replicate_batches(own_shard.shard_id, [batch.encode()])
 
     def _handle_migrate_in(self, message: MigrateObject) -> None:
         """Install a migrated object's state (migration step 2)."""
@@ -925,7 +1185,7 @@ class StoreNode:
             own_shard = self.shard_map.shard_of_node(self.name)
             if own_shard is not None and own_shard.primary == self.name and batch:
                 self.sim.process(
-                    self._replicate(own_shard.shard_id, [batch.encode()]),
+                    self._replicate_batches(own_shard.shard_id, [batch.encode()]),
                     name=f"{self.name}.migrate-repl",
                 )
         ack = MigrateAck(message.object_id, True)

@@ -271,7 +271,7 @@ class TransactionParticipant:
                     )
                 own_shard = node.shard_map.shard_of_node(node.name)
                 if own_shard is not None and own_shard.primary == node.name:
-                    yield from node._replicate(own_shard.shard_id, [batch.encode()])
+                    yield from node._replicate_batches(own_shard.shard_id, [batch.encode()])
             for object_key in state.locked:
                 node.locks.release(object_key)
         done = TxnDone(message.txn_id, node.name)

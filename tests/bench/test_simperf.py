@@ -33,11 +33,10 @@ def test_simperf_writes_artifact(tmp_path, monkeypatch):
     monkeypatch.setitem(
         sp._SIZES, "quick", {"ping_iters": 100, "chains": 3, "steps": 3, "pairs": 2, "messages": 5}
     )
-    monkeypatch.setattr(
-        sp,
-        "_bench_retwis",
-        lambda cal: {
-            "bench": "retwis_invoke",
+    def fake_retwis(cal, bench="retwis_invoke"):
+        per_invocation = 4.0 if cal.group_commit else 8.0
+        return {
+            "bench": bench,
             "events": 1000,
             "wall_s": 0.1,
             "events_per_sec": 10_000.0,
@@ -45,8 +44,10 @@ def test_simperf_writes_artifact(tmp_path, monkeypatch):
             "invocations_per_sec": 500.0,
             "messages": 200,
             "messages_per_sec": 2_000.0,
-        },
-    )
+            "messages_per_invocation": per_invocation,
+        }
+
+    monkeypatch.setattr(sp, "_bench_retwis", fake_retwis)
     out = tmp_path / "BENCH_simperf.json"
     result = sp.simperf(out_path=str(out))
     assert [row["bench"] for row in result["rows"]] == [
@@ -54,10 +55,13 @@ def test_simperf_writes_artifact(tmp_path, monkeypatch):
         "timers",
         "network",
         "retwis_invoke",
+        "retwis_invoke_nogc",
     ]
     assert result["headline"]["events_per_sec"] == 10_000.0
+    assert result["headline"]["messages_per_invocation"] == 4.0
+    assert "50.0% fewer" in result["text"]
     payload = json.loads(out.read_text())
-    assert payload["schema"] == 1
+    assert payload["schema"] == 2
     assert payload["headline"] == result["headline"]
 
 

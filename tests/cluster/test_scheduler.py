@@ -92,3 +92,37 @@ def test_stats_track_contention():
     assert locks.stats.contentions == 2
     assert locks.stats.max_queue_length >= 1
     assert locks.queue_length("obj") == 0
+
+
+def test_queue_length_histogram_records_every_acquire():
+    from repro.obs.registry import MetricsRegistry
+
+    sim = Simulation()
+    registry = MetricsRegistry(clock=lambda: sim.now)
+    labels = {"node": "store-0"}
+    locks = ObjectLockTable(sim, registry=registry, labels=labels)
+
+    def worker():
+        yield locks.acquire("obj")
+        yield sim.timeout(1)
+        locks.release("obj")
+
+    def late_worker():
+        yield sim.timeout(10)  # after the pile-up drains: second 0-depth sample
+        yield locks.acquire("obj")
+        locks.release("obj")
+
+    for _ in range(3):
+        sim.process(worker())
+    sim.process(late_worker())
+    sim.run()
+
+    hist = registry.get("scheduler_lock_queue_length", labels)
+    assert hist is not None
+    # One observation per acquire: two uncontended (depth 0) plus the two
+    # that queued behind the first holder (depths 1 and 2).
+    assert hist.count == 4
+    assert hist.sum == pytest.approx(3.0)
+    assert hist.quantile(1.0) == pytest.approx(2.0)
+    # The legacy high-water-mark gauge still works alongside the histogram.
+    assert locks.stats.max_queue_length == 2

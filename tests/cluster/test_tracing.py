@@ -26,13 +26,26 @@ def test_records_request_path():
 
 
 def test_by_kind_counts_replication():
+    # Group commit ships range frames; one per backup for a lone commit.
     sim, cluster, tracer = traced_cluster(seed=92)
     oid = cluster.create_object("Counter")
     client = cluster.client("c0")
     cluster.run_invoke(client, oid, "increment", 1)
     sim.run(until=sim.now + 5)
     counts = tracer.by_kind()
-    assert counts["ReplicateWrites"] == 2  # two backups
+    assert counts["ReplicateWritesRange"] == 2  # two backups
+    assert counts["ReplicateAck"] >= 2
+
+
+def test_by_kind_counts_replication_legacy_path():
+    sim, cluster = build_cluster(seed=92, group_commit=False)
+    tracer = MessageTracer(cluster.net)
+    oid = cluster.create_object("Counter")
+    client = cluster.client("c0")
+    cluster.run_invoke(client, oid, "increment", 1)
+    sim.run(until=sim.now + 5)
+    counts = tracer.by_kind()
+    assert counts["ReplicateWrites"] == 2  # one frame per backup per round
     assert counts["ReplicateAck"] >= 2
 
 
