@@ -6,15 +6,22 @@ primary, read-only ones to a uniformly chosen replica.  On a wrong-epoch
 or not-primary rejection — or a timeout after a node failure — the client
 refreshes its configuration from the coordination service and retries
 with backoff.
+
+All request/reply traffic rides an :class:`RpcStub`; the stub re-resolves
+the route and rebuilds the request per attempt (so each retry re-draws
+the read replica and carries the client's refreshed epoch) and draws the
+backoff jitter from this client's own random stream — draw-for-draw the
+historical schedule, so fixed-seed runs are unchanged.
 """
 
 from __future__ import annotations
 
-from typing import Any, Callable
+from typing import Any
 
 from repro.cluster.messages import ClientReply, ClientRequest, ConfigQuery, ConfigReply
 from repro.core.ids import ObjectId
 from repro.errors import RequestTimeout
+from repro.rpc import LinearJitterBackoff, RpcStub
 
 
 class ClusterClient:
@@ -35,7 +42,6 @@ class ClusterClient:
         self.sim = cluster.sim
         self.net = cluster.net
         self.name = name
-        self.host = cluster.net.add_host(name)
         self._counter = 0
         self._rng = self.sim.rng(f"client.{name}")
         self.epoch = cluster.bootstrap_epoch
@@ -47,11 +53,20 @@ class ClusterClient:
         self.recorder = recorder
         #: (latency_ms, method) per successful invocation, for metrics
         self.completions: list[tuple[float, str]] = []
-        # A single pump moves inbox messages into a scannable mailbox so
-        # abandoned waits never strand messages inside half-consumed gets.
-        self._mail: list[Any] = []
-        self._mail_signal = None
-        self.sim.process(self._pump(), name=f"{name}.pump")
+        # Unmatched mailbox payloads are stale replies to abandoned
+        # attempts (every wait in this client is strictly sequential), so
+        # the stub discards them on each scan.
+        self.stub = RpcStub(
+            cluster.sim,
+            cluster.net,
+            name,
+            default_deadline_ms=request_timeout_ms,
+            discard_unmatched=True,
+            registry=cluster.metrics,
+            tracer_fn=lambda: cluster.tracer,
+            rng=self._rng,
+        )
+        self.host = self.stub.host
 
     # -- public API (simulation-process generators) ----------------------------
 
@@ -66,10 +81,9 @@ class ClusterClient:
         if self.recorder is not None:
             record = self.recorder.begin(self.name, str(object_id), method, args, started)
 
-        last_error = "no attempts made"
-        for attempt in range(self._max_attempts):
-            target = self._route(object_id, readonly)
-            request = ClientRequest(
+        def build_request(_attempt: int) -> ClientRequest:
+            # Rebuilt per attempt: the epoch may have been refreshed.
+            return ClientRequest(
                 request_id=request_id,
                 client=self.name,
                 object_id=object_id,
@@ -78,28 +92,27 @@ class ClusterClient:
                 epoch=self.epoch,
                 readonly_hint=readonly,
             )
-            self.net.send(self.name, target, request, size_bytes=request.size())
-            reply = yield from self._await(
-                lambda p: isinstance(p, ClientReply) and p.request_id == request_id
-            )
-            if reply is not None and reply.ok:
-                self.completions.append((self.sim.now - started, method))
-                if record is not None:
-                    self.recorder.finish(record, self.sim.now, reply.value)
-                return reply.value
-            if reply is not None:
-                last_error = reply.error
-                if reply.error not in self.RETRYABLE_ERRORS:
-                    if record is not None:
-                        self.recorder.fail(record, self.sim.now, reply.error)
-                    raise RequestTimeout(
-                        f"{method} on {object_id.short} failed: {reply.error}"
-                    )
-            else:
-                last_error = "timeout"
-            # Stale routing or node failure: refresh config and back off.
-            yield from self.refresh_config()
-            yield self.sim.timeout(self._rng.uniform(0.1, 0.5) * (1 + attempt))
+
+        reply = yield from self.stub.call(
+            lambda _attempt: self._route(object_id, readonly),
+            build_request,
+            lambda p: isinstance(p, ClientReply) and p.request_id == request_id,
+            retry=LinearJitterBackoff(self._max_attempts),
+            should_retry=lambda r: not r.ok and r.error in self.RETRYABLE_ERRORS,
+            on_retry=lambda _attempt, _reply: self.refresh_config(),
+            method=method,
+            trace_id=request_id,
+        )
+        if reply is not None and reply.ok:
+            self.completions.append((self.sim.now - started, method))
+            if record is not None:
+                self.recorder.finish(record, self.sim.now, reply.value)
+            return reply.value
+        if reply is not None and reply.error not in self.RETRYABLE_ERRORS:
+            if record is not None:
+                self.recorder.fail(record, self.sim.now, reply.error)
+            raise RequestTimeout(f"{method} on {object_id.short} failed: {reply.error}")
+        last_error = reply.error if reply is not None else "timeout"
         if record is not None:
             self.recorder.fail(record, self.sim.now, last_error)
         raise RequestTimeout(
@@ -113,9 +126,10 @@ class ClusterClient:
             self._counter += 1
             query_id = f"{self.name}#{self._counter}"
             query = ConfigQuery(query_id)
-            self.net.send(self.name, coordinator, query, size_bytes=query.size())
-            reply = yield from self._await(
-                lambda p: isinstance(p, ConfigReply) and p.query_id == query_id
+            reply = yield from self.stub.request(
+                coordinator,
+                query,
+                lambda p: isinstance(p, ConfigReply) and p.query_id == query_id,
             )
             if reply is not None:
                 if reply.epoch >= self.epoch:
@@ -132,30 +146,3 @@ class ClusterClient:
         if readonly:
             return self._rng.choice(replica_set.members)
         return replica_set.primary
-
-    def _pump(self):
-        while True:
-            message = yield self.host.recv()
-            self._mail.append(message.payload)
-            if self._mail_signal is not None and not self._mail_signal.triggered:
-                self._mail_signal.succeed()
-
-    def _await(self, predicate: Callable[[Any], bool]):
-        """Wait for a mailbox message matching ``predicate`` (or time out).
-
-        Non-matching messages are stale (replies to abandoned attempts)
-        and are discarded — every wait in this client is strictly
-        sequential, so nothing else can be waiting for them.
-        """
-        deadline = self.sim.now + self._timeout
-        while True:
-            for index, payload in enumerate(self._mail):
-                if predicate(payload):
-                    del self._mail[index]
-                    return payload
-            self._mail.clear()
-            remaining = deadline - self.sim.now
-            if remaining <= 0:
-                return None
-            self._mail_signal = self.sim.event()
-            yield self.sim.any_of([self._mail_signal, self.sim.timeout(remaining)])

@@ -50,6 +50,9 @@ class ClusterConfig:
     heartbeat_timeout_ms: float = 60.0
     auto_failure_detection: bool = True
     ack_timeout_ms: float = 5.0
+    #: per-attempt reply deadline for control-plane RPCs (migration
+    #: freeze/copy exchanges, coordinator command submission, 2PC votes)
+    rpc_default_deadline_ms: float = 50.0
     #: when set, each storage node persists through the real LSM store in
     #: ``<durable_dir>/<node name>`` instead of an in-memory backend
     durable_dir: Optional[str] = None

@@ -28,6 +28,7 @@ from repro.cluster.messages import (
 from repro.cluster.paxos import PaxosNode
 from repro.cluster.shard import ShardMap
 from repro.obs.registry import MetricsRegistry, StatsView
+from repro.rpc import RpcEndpoint
 from repro.sim.core import Simulation
 from repro.sim.network import Network
 
@@ -118,7 +119,15 @@ class CoordinatorNode:
         self.net = net
         self.name = name
         self.peers = list(peers)
-        self.host = net.add_host(name)
+        self.endpoint = RpcEndpoint(
+            sim,
+            net,
+            name,
+            registry=registry,
+            labels={"node": name},
+            gate=lambda: self.crashed,
+        )
+        self.host = self.endpoint.host
         self.state = CoordinatorState()
         self.paxos = PaxosNode(sim, net, name, peers, on_decide=self._on_decide)
         self._storage_nodes = list(storage_nodes)
@@ -133,11 +142,22 @@ class CoordinatorNode:
         self._command_counter = 0
         self.stats = CoordinatorStats(registry, {"node": name})
         self.crashed = False
+        # Typed dispatch: the Paxos sub-protocol consumes its own message
+        # types through the default hook; coordination RPCs get handlers.
+        self.endpoint.on(CoordCommand, self._on_command)
+        self.endpoint.on_rpc(
+            ConfigQuery,
+            self._on_config_query,
+            # query ids are "<sender>#<counter>"
+            reply_to=lambda message: message.query_id.rsplit("#", 1)[0],
+        )
+        self.endpoint.on(Heartbeat, self._on_heartbeat)
+        self.endpoint.on_default(self.paxos.handle)
 
     # -- lifecycle ---------------------------------------------------------
 
     def start(self) -> None:
-        self.sim.process(self._serve(), name=f"{self.name}.serve")
+        self.endpoint.start()
         if self._auto_failure_detection:
             self.sim.process(self._monitor(), name=f"{self.name}.monitor")
 
@@ -161,33 +181,23 @@ class CoordinatorNode:
 
     # -- serving ------------------------------------------------------------
 
-    def _serve(self):
-        while True:
-            message = (yield self.host.recv()).payload
-            if self.crashed:
-                continue
-            if self.paxos.handle(message):
-                continue
-            if isinstance(message, CoordCommand):
-                self._on_command(message)
-            elif isinstance(message, ConfigQuery):
-                self.stats.config_queries += 1
-                reply = ConfigReply(message.query_id, self.state.epoch, self.state.shard_map.copy())
-                sender = message.query_id.rsplit("#", 1)[0]
-                self.net.send(self.name, sender, reply, size_bytes=reply.size())
-            elif isinstance(message, Heartbeat):
-                self.stats.heartbeats_seen += 1
-                self._last_heartbeat[message.sender] = self.sim.now
+    def _on_config_query(self, message: ConfigQuery) -> ConfigReply:
+        self.stats.config_queries += 1
+        return ConfigReply(message.query_id, self.state.epoch, self.state.shard_map.copy())
+
+    def _on_heartbeat(self, message: Heartbeat) -> None:
+        self.stats.heartbeats_seen += 1
+        self._last_heartbeat[message.sender] = self.sim.now
 
     def _on_command(self, command: CoordCommand) -> None:
         sender = command.command_id.rsplit("#", 1)[0]
         if not self.is_leader:
             reply = CoordReply(command.command_id, False, leader_hint=self.leader())
-            self.net.send(self.name, sender, reply, size_bytes=reply.size())
+            self.endpoint.send(sender, reply)
             return
         if command.command_id in self.state.applied_commands:
             reply = CoordReply(command.command_id, True, result={"epoch": self.state.epoch})
-            self.net.send(self.name, sender, reply, size_bytes=reply.size())
+            self.endpoint.send(sender, reply)
             return
         self._pending_replies[command.command_id] = sender
         self.submit(command)
@@ -217,7 +227,7 @@ class CoordinatorNode:
         sender = self._pending_replies.pop(command.command_id, None)
         if sender is not None:
             reply = CoordReply(command.command_id, True, result=result)
-            self.net.send(self.name, sender, reply, size_bytes=reply.size())
+            self.endpoint.send(sender, reply)
         if self.state.epoch != old_epoch and self.is_leader:
             self._broadcast_config()
 
@@ -233,7 +243,7 @@ class CoordinatorNode:
             if node not in targets:
                 targets.append(node)
         for node in targets:
-            self.net.send(self.name, node, message, size_bytes=message.size())
+            self.endpoint.send(node, message)
 
     # -- failure detection -------------------------------------------------
 

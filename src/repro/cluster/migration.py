@@ -15,12 +15,13 @@ Protocol (freeze-copy-flip):
    wrong-epoch rejections and refresh.
 
 Only the migrated object blocks during the window; every other object on
-both nodes keeps serving.
+both nodes keeps serving.  All exchanges ride on an :class:`RpcStub`;
+the per-exchange deadline is ``ClusterConfig.rpc_default_deadline_ms``.
 """
 
 from __future__ import annotations
 
-from typing import Any, Callable
+from typing import Any
 
 from repro.cluster.messages import (
     CoordCommand,
@@ -31,6 +32,7 @@ from repro.cluster.messages import (
 from repro.cluster.store_node import FreezeObject, FreezeReply, UnfreezeObject
 from repro.core.ids import ObjectId
 from repro.errors import ClusterError
+from repro.rpc import RetryPolicy, RpcStub
 
 
 class Migrator:
@@ -41,31 +43,16 @@ class Migrator:
         self.sim = cluster.sim
         self.net = cluster.net
         self.name = name
-        self.host = cluster.net.add_host(name)
         self._counter = 0
-        self._mail: list[Any] = []
-        self._mail_signal = None
-        self.sim.process(self._pump(), name=f"{name}.pump")
-
-    def _pump(self):
-        while True:
-            message = yield self.host.recv()
-            self._mail.append(message.payload)
-            if self._mail_signal is not None and not self._mail_signal.triggered:
-                self._mail_signal.succeed()
-
-    def _await(self, predicate: Callable[[Any], bool], timeout_ms: float = 50.0):
-        deadline = self.sim.now + timeout_ms
-        while True:
-            for index, payload in enumerate(self._mail):
-                if predicate(payload):
-                    del self._mail[index]
-                    return payload
-            remaining = deadline - self.sim.now
-            if remaining <= 0:
-                return None
-            self._mail_signal = self.sim.event()
-            yield self.sim.any_of([self._mail_signal, self.sim.timeout(remaining)])
+        self.stub = RpcStub(
+            cluster.sim,
+            cluster.net,
+            name,
+            default_deadline_ms=cluster.config.rpc_default_deadline_ms,
+            registry=cluster.metrics,
+            tracer_fn=lambda: cluster.tracer,
+        )
+        self.host = self.stub.host
 
     def migrate(self, object_id: ObjectId, to_shard: int):
         """Simulation process: move one object to another replica set."""
@@ -79,9 +66,10 @@ class Migrator:
         self._counter += 1
         freeze_id = f"{self.name}#{self._counter}"
         freeze = FreezeObject(object_id, freeze_id, self.name)
-        self.net.send(self.name, source.primary, freeze, size_bytes=freeze.size())
-        reply = yield from self._await(
-            lambda p: isinstance(p, FreezeReply) and p.freeze_id == freeze_id
+        reply = yield from self.stub.request(
+            source.primary,
+            freeze,
+            lambda p: isinstance(p, FreezeReply) and p.freeze_id == freeze_id,
         )
         if reply is None:
             raise ClusterError(f"freeze of {object_id.short} timed out")
@@ -92,9 +80,10 @@ class Migrator:
         try:
             # 2. install at the destination primary
             move = MigrateObject(object_id, entries, epoch, sender=self.name)
-            self.net.send(self.name, destination.primary, move, size_bytes=move.size())
-            ack = yield from self._await(
-                lambda p: isinstance(p, MigrateAck) and p.object_id == object_id
+            ack = yield from self.stub.request(
+                destination.primary,
+                move,
+                lambda p: isinstance(p, MigrateAck) and p.object_id == object_id,
             )
             if ack is None or not ack.ok:
                 raise ClusterError(f"migration copy of {object_id.short} failed")
@@ -113,28 +102,31 @@ class Migrator:
             # idempotent and the network may be lossy mid-chaos).
             rollback = UnfreezeObject(object_id, drop=False)
             for _ in range(3):
-                self.net.send(
-                    self.name, source.primary, rollback, size_bytes=rollback.size()
-                )
+                self.stub.send(source.primary, rollback)
                 yield self.sim.timeout(1.0)
             raise
 
         # 4. release the source
         unfreeze = UnfreezeObject(object_id, drop=True)
-        self.net.send(self.name, source.primary, unfreeze, size_bytes=unfreeze.size())
+        self.stub.send(source.primary, unfreeze)
 
     def _submit_command(self, command: CoordCommand):
         """Send a coordinator command, following leader hints."""
-        target = self.cluster.coordinator_names()[0]
-        for _attempt in range(10):
-            self.net.send(self.name, target, command, size_bytes=command.size())
-            reply = yield from self._await(
-                lambda p: isinstance(p, CoordReply) and p.command_id == command.command_id
-            )
-            if reply is None:
-                continue
-            if reply.ok:
-                return reply
-            if reply.leader_hint:
-                target = reply.leader_hint
-        raise ClusterError(f"coordinator command {command.kind} did not commit")
+        target = [self.cluster.coordinator_names()[0]]
+
+        def retarget(_attempt: int, reply: Any) -> None:
+            if reply is not None and reply.leader_hint:
+                target[0] = reply.leader_hint
+
+        reply = yield from self.stub.call(
+            lambda _attempt: target[0],
+            command,
+            lambda p: isinstance(p, CoordReply) and p.command_id == command.command_id,
+            retry=RetryPolicy(max_attempts=10),
+            should_retry=lambda r: not r.ok,
+            on_retry=retarget,
+            method=f"CoordCommand.{command.kind}",
+        )
+        if reply is None or not reply.ok:
+            raise ClusterError(f"coordinator command {command.kind} did not commit")
+        return reply

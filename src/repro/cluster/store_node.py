@@ -24,7 +24,6 @@ from repro.core.invocation import InvocationResult
 from repro.core.runtime import LocalRuntime
 from repro.core.ids import ObjectId
 from repro.core.storage import MemoryBackend
-from repro.cluster.dedupe import CompletedRequestTable
 from repro.cluster.messages import (
     ClientReply,
     ClientRequest,
@@ -47,6 +46,7 @@ from repro.cluster.scheduler import ObjectLockTable
 from repro.errors import InvocationError, UnknownObjectError
 from repro.kvstore.batch import WriteBatch
 from repro.obs.registry import StatsView
+from repro.rpc import RpcEndpoint
 from repro.sim.core import Simulation
 from repro.sim.network import Network
 from repro.sim.resources import Resource
@@ -240,10 +240,21 @@ class StoreNode:
         self.net = net
         self.cluster = cluster
         self.name = name
-        self.host = net.add_host(name)
-        self.cpu = Resource(sim, cores)
         registry = getattr(cluster, "metrics", None)
         labels = {"node": name}
+        #: the node's comms substrate: typed dispatch, per-RPC metrics,
+        #: and the at-most-once reply table all live on the endpoint
+        self.endpoint = RpcEndpoint(
+            sim,
+            net,
+            name,
+            registry=registry,
+            labels=labels,
+            gate=lambda: self.crashed,
+            dedupe_cap=completed_cap,
+        )
+        self.host = self.endpoint.host
+        self.cpu = Resource(sim, cores)
         self.locks = ObjectLockTable(sim, registry, labels)
         self.ms_per_fuel = ms_per_fuel
         self.fanout_parallelism = max(1, fanout_parallelism)
@@ -295,8 +306,9 @@ class StoreNode:
         self._charges_seen: "OrderedDict[str, bool]" = OrderedDict()
         self._freeze_waiters: dict[str, Any] = {}
         #: request_id -> ClientReply already sent (at-most-once per primary,
-        #: bounded by per-client watermarks + an LRU cap)
-        self._completed = CompletedRequestTable(completed_cap)
+        #: bounded by per-client watermarks + an LRU cap); owned by the
+        #: endpoint, which exports its occupancy/eviction gauges
+        self._completed = self.endpoint.dedupe
         #: request_id -> completion event for requests still executing, so
         #: client retries of an in-flight request never re-execute it
         self._inflight: dict[str, Any] = {}
@@ -320,6 +332,25 @@ class StoreNode:
         self._hb_generation = 0
         self._config_query_counter = 0
         self._last_config_query = float("-inf")
+        self._register_handlers()
+
+    def _register_handlers(self) -> None:
+        """Wire the endpoint's dispatch table (replaces the old
+        hand-rolled isinstance chain; same handlers, same spawn points)."""
+        endpoint = self.endpoint
+        endpoint.on(ClientRequest, self._handle_request, spawn="req")
+        endpoint.on(ReplicateWrites, self._on_replicate)
+        endpoint.on(ReplicateWritesRange, self._on_replicate_range)
+        endpoint.on(ReplicateAck, self._on_replicate_ack)
+        endpoint.on(NewConfig, self._on_config_message)
+        endpoint.on(ConfigReply, self._on_config_message)
+        endpoint.on(RemoteCharge, self._on_remote_charge)
+        endpoint.on(RemoteChargeAck, self._on_remote_charge_ack)
+        endpoint.on(FreezeObject, self._handle_freeze, spawn="freeze")
+        endpoint.on(FreezeReply, self._on_freeze_reply)
+        endpoint.on(UnfreezeObject, self._on_unfreeze)
+        endpoint.on(MigrateObject, self._handle_migrate_in)
+        endpoint.on_default(self._offer_extensions)
 
     # -- wiring -------------------------------------------------------------
 
@@ -329,7 +360,7 @@ class StoreNode:
         return getattr(self.cluster, "tracer", None)
 
     def start(self) -> None:
-        self.sim.process(self._serve(), name=f"{self.name}.serve")
+        self.endpoint.start()
         self._hb_generation += 1
         self.sim.process(
             self._heartbeat_loop(self._hb_generation), name=f"{self.name}.heartbeat"
@@ -408,66 +439,51 @@ class StoreNode:
                 return
             for coordinator in self.cluster.coordinator_names():
                 message = Heartbeat(self.name, self.sim.now)
-                self.net.send(self.name, coordinator, message, size_bytes=message.size())
+                self.endpoint.send(coordinator, message)
             yield self.sim.timeout(self._heartbeat_interval)
 
-    def _serve(self):
-        while True:
-            message = (yield self.host.recv()).payload
-            if self.crashed:
-                continue
-            if isinstance(message, ClientRequest):
-                self.sim.process(
-                    self._handle_request(message), name=f"{self.name}.req"
-                )
-            elif isinstance(message, ReplicateWrites):
-                self._on_replicate(message)
-            elif isinstance(message, ReplicateWritesRange):
-                self._on_replicate_range(message)
-            elif isinstance(message, ReplicateAck):
-                self._on_replicate_ack(message)
-            elif isinstance(message, NewConfig):
-                self.install_config(message.epoch, message.config)
-            elif isinstance(message, ConfigReply):
-                self.install_config(message.epoch, message.config)
-            elif isinstance(message, RemoteCharge):
-                done = self._charges_seen.get(message.charge_id)
-                if done is None:
-                    # First sighting: remember it so retransmissions of the
-                    # same charge never double-bill CPU or re-replicate.
-                    self._charges_seen[message.charge_id] = False
-                    while len(self._charges_seen) > 4096:
-                        self._charges_seen.popitem(last=False)
-                    self.sim.process(
-                        self._handle_remote_charge(message), name=f"{self.name}.charge"
-                    )
-                elif done:
-                    # Already settled; the earlier ack was lost — re-ack.
-                    ack = RemoteChargeAck(message.charge_id)
-                    self.net.send(self.name, message.sender, ack, size_bytes=ack.size())
-                # else: still in flight; the original handler will ack.
-            elif isinstance(message, RemoteChargeAck):
-                waiter = self._charge_waiters.pop(message.charge_id, None)
-                if waiter is not None:
-                    waiter.succeed()
-            elif isinstance(message, FreezeObject):
-                self.sim.process(self._handle_freeze(message), name=f"{self.name}.freeze")
-            elif isinstance(message, FreezeReply):
-                waiter = self._freeze_waiters.pop(message.freeze_id, None)
-                if waiter is not None:
-                    waiter.succeed(message.entries)
-            elif isinstance(message, UnfreezeObject):
-                self._frozen.discard(str(message.object_id))
-                if message.drop:
-                    self.sim.process(
-                        self._drop_object(message.object_id), name=f"{self.name}.drop"
-                    )
-            elif isinstance(message, MigrateObject):
-                self._handle_migrate_in(message)
-            else:
-                for extension in self.extensions:
-                    if extension.handle(message):
-                        break
+    def _on_config_message(self, message) -> None:
+        self.install_config(message.epoch, message.config)
+
+    def _on_remote_charge(self, message: RemoteCharge) -> None:
+        done = self._charges_seen.get(message.charge_id)
+        if done is None:
+            # First sighting: remember it so retransmissions of the
+            # same charge never double-bill CPU or re-replicate.
+            self._charges_seen[message.charge_id] = False
+            while len(self._charges_seen) > 4096:
+                self._charges_seen.popitem(last=False)
+            self.sim.process(
+                self._handle_remote_charge(message), name=f"{self.name}.charge"
+            )
+        elif done:
+            # Already settled; the earlier ack was lost — re-ack.
+            ack = RemoteChargeAck(message.charge_id)
+            self.endpoint.send(message.sender, ack)
+        # else: still in flight; the original handler will ack.
+
+    def _on_remote_charge_ack(self, message: RemoteChargeAck) -> None:
+        waiter = self._charge_waiters.pop(message.charge_id, None)
+        if waiter is not None:
+            waiter.succeed()
+
+    def _on_freeze_reply(self, message: FreezeReply) -> None:
+        waiter = self._freeze_waiters.pop(message.freeze_id, None)
+        if waiter is not None:
+            waiter.succeed(message.entries)
+
+    def _on_unfreeze(self, message: UnfreezeObject) -> None:
+        self._frozen.discard(str(message.object_id))
+        if message.drop:
+            self.sim.process(
+                self._drop_object(message.object_id), name=f"{self.name}.drop"
+            )
+
+    def _offer_extensions(self, message) -> bool:
+        for extension in self.extensions:
+            if extension.handle(message):
+                return True
+        return False
 
     # -- replication -----------------------------------------------------------
 
@@ -512,7 +528,7 @@ class StoreNode:
         self._invalidate_applied(applied)
         for sequence, _batches in applied:
             reply = ReplicateAck(message.shard_id, sequence, self.name)
-            self.net.send(self.name, message.primary, reply, size_bytes=reply.size())
+            self.endpoint.send(message.primary, reply)
 
     def _on_replicate_range(self, message: ReplicateWritesRange) -> None:
         """Apply a group-commit frame; answer with one cumulative ack.
@@ -526,7 +542,7 @@ class StoreNode:
             applied.extend(applier.receive(message.first_sequence + offset, batches))
         self._invalidate_applied(applied)
         reply = ReplicateAck(message.shard_id, applier.applied_through, self.name)
-        self.net.send(self.name, message.primary, reply, size_bytes=reply.size())
+        self.endpoint.send(message.primary, reply)
 
     def _on_replicate_ack(self, message: ReplicateAck) -> None:
         log = self.primary_logs.get(message.shard_id)
@@ -591,7 +607,7 @@ class StoreNode:
             shard_id, self.epoch, first_sequence, list(rounds), self.name
         )
         for target in targets:
-            self.net.send(self.name, target, message, size_bytes=message.size())
+            self.endpoint.send(target, message)
 
     def _pipeline_for(self, shard_id: int) -> ReplicationPipeline:
         pipeline = self.pipelines.get(shard_id)
@@ -691,7 +707,7 @@ class StoreNode:
             return sequence
         message = ReplicateWrites(shard_id, self.epoch, sequence, batches, self.name)
         for backup in backups:
-            self.net.send(self.name, backup, message, size_bytes=message.size())
+            self.endpoint.send(backup, message)
         needed = set(backups)
         event = self.sim.event()
         self._ack_waiters[(shard_id, sequence)] = (needed, event)
@@ -719,7 +735,7 @@ class StoreNode:
                 event = self.sim.event()
                 self._ack_waiters[(shard_id, sequence)] = (needed, event)
                 for backup in needed:
-                    self.net.send(self.name, backup, message, size_bytes=message.size())
+                    self.endpoint.send(backup, message)
                 log.stats.retransmitted += 1
                 if self._legacy_retry_rng is None:
                     self._legacy_retry_rng = self.sim.rng(f"{self.name}.repl-retry")
@@ -735,7 +751,7 @@ class StoreNode:
     # -- client requests ---------------------------------------------------
 
     def _reply(self, request: ClientRequest, reply: ClientReply) -> None:
-        self.net.send(self.name, request.client, reply, size_bytes=reply.size())
+        self.endpoint.send(request.client, reply)
 
     def _handle_request(self, request: ClientRequest):
         tracer = self.tracer
@@ -870,7 +886,7 @@ class StoreNode:
         self._config_query_counter += 1
         target = coordinators[self._config_query_counter % len(coordinators)]
         query = ConfigQuery(f"{self.name}#{self._config_query_counter}")
-        self.net.send(self.name, target, query, size_bytes=query.size())
+        self.endpoint.send(target, query)
 
     def _note_load(self, request: ClientRequest) -> None:
         key = str(request.object_id)
@@ -1078,7 +1094,7 @@ class StoreNode:
             for attempt in range(self._charge_max_attempts):
                 if attempt:
                     self.stats.remote_charge_retries += 1
-                self.net.send(self.name, owner_name, charge, size_bytes=charge.size())
+                self.endpoint.send(owner_name, charge)
                 yield self.sim.any_of([event, self.sim.timeout(timeout_ms)])
                 if event.triggered:
                     return True
@@ -1133,7 +1149,7 @@ class StoreNode:
             if message.charge_id in self._charges_seen:
                 self._charges_seen[message.charge_id] = True
             ack = RemoteChargeAck(message.charge_id)
-            self.net.send(self.name, message.sender, ack, size_bytes=ack.size())
+            self.endpoint.send(message.sender, ack)
         finally:
             if span is not None:
                 tracer.end(span)
@@ -1151,7 +1167,7 @@ class StoreNode:
             prefix = keyspace.object_prefix(message.object_id)
             entries = list(self.runtime.storage.iterate(prefix, keyspace.prefix_end(prefix)))
             reply = FreezeReply(message.freeze_id, entries)
-            self.net.send(self.name, message.sender, reply, size_bytes=reply.size())
+            self.endpoint.send(message.sender, reply)
         finally:
             self.locks.release(object_key)
 
@@ -1189,7 +1205,7 @@ class StoreNode:
                     name=f"{self.name}.migrate-repl",
                 )
         ack = MigrateAck(message.object_id, True)
-        self.net.send(self.name, message.sender, ack, size_bytes=ack.size())
+        self.endpoint.send(message.sender, ack)
 
 
 def _fuel_on_node(result: InvocationResult, capture: ExecutionCapture) -> float:

@@ -39,6 +39,7 @@ from repro.core.runtime import MAX_CALL_DEPTH
 from repro.core.transactions import TransactionAborted
 from repro.core.writeset import WriteSet
 from repro.errors import ClusterError, InvocationError, Trap, UnknownObjectError
+from repro.rpc import RpcStub
 from repro.wasm.fuel import FuelMeter
 from repro.wasm.instance import Instance
 
@@ -163,7 +164,7 @@ class TransactionParticipant:
         return state
 
     def _reply(self, message: TxnInvoke, reply: TxnInvokeReply) -> None:
-        self.node.net.send(self.node.name, message.client, reply, size_bytes=reply.size())
+        self.node.endpoint.send(message.client, reply)
 
     def _handle_invoke(self, message: TxnInvoke):
         node = self.node
@@ -256,7 +257,7 @@ class TransactionParticipant:
         if state is not None:
             state.prepared = yes
         vote = TxnVote(message.txn_id, self.node.name, yes)
-        self.node.net.send(self.node.name, message.client, vote, size_bytes=vote.size())
+        self.node.endpoint.send(message.client, vote)
 
     def _handle_decision(self, message: TxnDecision):
         node = self.node
@@ -275,7 +276,7 @@ class TransactionParticipant:
             for object_key in state.locked:
                 node.locks.release(object_key)
         done = TxnDone(message.txn_id, node.name)
-        node.net.send(node.name, message.client, done, size_bytes=done.size())
+        node.endpoint.send(message.client, done)
 
 
 # -- coordinator (client side) ----------------------------------------------
@@ -309,40 +310,33 @@ class DistributedTransaction:
 
 
 class TransactionCoordinator:
-    """Client-side transaction endpoint (owns a network mailbox)."""
+    """Client-side transaction endpoint (an :class:`RpcStub` mailbox).
 
-    def __init__(self, cluster: Any, name: str = "txn-client", timeout_ms: float = 50.0) -> None:
+    ``timeout_ms`` defaults to the cluster's
+    ``rpc_default_deadline_ms`` (one knob for every control-plane
+    exchange); pass a value to override for a single coordinator.
+    """
+
+    def __init__(
+        self, cluster: Any, name: str = "txn-client", timeout_ms: "float | None" = None
+    ) -> None:
         self.cluster = cluster
         self.sim = cluster.sim
         self.net = cluster.net
         self.name = name
-        self.host = cluster.net.add_host(name)
         self._ids = itertools.count(1)
-        self._timeout = timeout_ms
-        self._mail: list[Any] = []
-        self._mail_signal = None
+        self.stub = RpcStub(
+            cluster.sim,
+            cluster.net,
+            name,
+            default_deadline_ms=(
+                cluster.config.rpc_default_deadline_ms if timeout_ms is None else timeout_ms
+            ),
+            registry=cluster.metrics,
+            tracer_fn=lambda: cluster.tracer,
+        )
+        self.host = self.stub.host
         self.stats = {"begun": 0, "committed": 0, "aborted": 0, "conflicts": 0}
-        self.sim.process(self._pump(), name=f"{name}.pump")
-
-    def _pump(self):
-        while True:
-            message = yield self.host.recv()
-            self._mail.append(message.payload)
-            if self._mail_signal is not None and not self._mail_signal.triggered:
-                self._mail_signal.succeed()
-
-    def _await(self, predicate, timeout_ms=None):
-        deadline = self.sim.now + (timeout_ms or self._timeout)
-        while True:
-            for index, payload in enumerate(self._mail):
-                if predicate(payload):
-                    del self._mail[index]
-                    return payload
-            remaining = deadline - self.sim.now
-            if remaining <= 0:
-                return None
-            self._mail_signal = self.sim.event()
-            yield self.sim.any_of([self._mail_signal, self.sim.timeout(remaining)])
 
     # -- transaction API -------------------------------------------------------
 
@@ -386,10 +380,12 @@ class TransactionCoordinator:
         request_id = f"{txn.txn_id}#{next(self._ids)}"
         primary = self._primary_for(object_id)
         message = TxnInvoke(txn.txn_id, request_id, self.name, object_id, method, args)
-        self.net.send(self.name, primary, message, size_bytes=message.size())
         txn.participants.add(primary)
-        reply = yield from self._await(
-            lambda p: isinstance(p, TxnInvokeReply) and p.request_id == request_id
+        reply = yield from self.stub.request(
+            primary,
+            message,
+            lambda p: isinstance(p, TxnInvokeReply) and p.request_id == request_id,
+            trace_id=request_id,
         )
         if reply is None or not reply.ok:
             conflict = reply is not None and reply.conflict
@@ -411,9 +407,9 @@ class TransactionCoordinator:
         if want_commit and participants:
             for participant in participants:
                 prepare = TxnPrepare(txn.txn_id, self.name)
-                self.net.send(self.name, participant, prepare, size_bytes=prepare.size())
+                self.stub.send(participant, prepare)
             for participant in participants:
-                vote = yield from self._await(
+                vote = yield from self.stub.await_message(
                     lambda p, n=participant: isinstance(p, TxnVote)
                     and p.txn_id == txn.txn_id
                     and p.node == n
@@ -422,9 +418,9 @@ class TransactionCoordinator:
                     decision = False
         for participant in participants:
             message = TxnDecision(txn.txn_id, self.name, decision)
-            self.net.send(self.name, participant, message, size_bytes=message.size())
+            self.stub.send(participant, message)
         for participant in participants:
-            yield from self._await(
+            yield from self.stub.await_message(
                 lambda p, n=participant: isinstance(p, TxnDone)
                 and p.txn_id == txn.txn_id
                 and p.node == n

@@ -1,0 +1,109 @@
+"""Bounded at-most-once reply tables.
+
+A primary must remember the reply it sent for each ``request_id`` so that
+client retries (after a lost reply) are answered without re-executing the
+invocation.  Remembering every reply forever is an unbounded memory leak;
+this table bounds it using the client request-id scheme
+(``client#counter`` with a strictly increasing per-client counter):
+
+- **per-client watermark** — a client only issues counter ``n`` after it
+  observed the reply for ``n-1``, so when a request with counter ``n``
+  arrives, every stored reply of that client below ``n`` is garbage and is
+  dropped.  At most one reply per client is retained.
+- **stale-duplicate fencing** — a laggard duplicate of a request *below*
+  the watermark must never re-execute (the client already consumed a
+  reply); :meth:`is_superseded` identifies such ghosts so the node can
+  drop them silently.
+- **LRU backstop** — replies and watermarks are additionally capped, so
+  unbounded client churn cannot grow the table without limit.
+
+Request ids that do not follow the ``client#counter`` scheme degrade
+gracefully to plain LRU entries (no watermark, never superseded).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Any, Optional
+
+
+def split_request_id(request_id: str) -> tuple[Optional[str], Optional[int]]:
+    """``"c3#17"`` -> ``("c3", 17)``; non-conforming ids -> ``(None, None)``."""
+    client, sep, counter = request_id.rpartition("#")
+    if not sep or not client or not counter.isdigit():
+        return None, None
+    return client, int(counter)
+
+
+class CompletedRequestTable:
+    """Bounded request-id -> reply map with per-client watermarks."""
+
+    def __init__(self, max_entries: int = 4096) -> None:
+        if max_entries <= 0:
+            raise ValueError(f"max_entries must be > 0, got {max_entries}")
+        self._max_entries = max_entries
+        self._replies: "OrderedDict[str, Any]" = OrderedDict()
+        #: client -> highest counter whose reply was recorded
+        self._watermarks: "OrderedDict[str, int]" = OrderedDict()
+        #: entries dropped by the LRU backstop (not watermark pruning):
+        #: nonzero means live clients are being forgotten — memory pressure
+        self.evictions = 0
+
+    def __len__(self) -> int:
+        return len(self._replies)
+
+    def __contains__(self, request_id: str) -> bool:
+        return request_id in self._replies
+
+    def lookup(self, request_id: str) -> Optional[Any]:
+        """The recorded reply for ``request_id``, or ``None``."""
+        reply = self._replies.get(request_id)
+        if reply is not None:
+            self._replies.move_to_end(request_id)
+        return reply
+
+    def record(self, request_id: str, reply: Any) -> None:
+        """Remember ``reply``; prunes the client's superseded entries."""
+        self._replies[request_id] = reply
+        self._replies.move_to_end(request_id)
+        client, counter = split_request_id(request_id)
+        if client is not None:
+            previous = self._watermarks.get(client)
+            if previous is not None and previous != counter:
+                # The client has moved past `previous`: its reply was
+                # delivered, so the stored copy can never be needed again.
+                self._replies.pop(f"{client}#{previous}", None)
+            if previous is None or counter > previous:
+                self._watermarks[client] = counter
+            self._watermarks.move_to_end(client)
+        while len(self._replies) > self._max_entries:
+            self._replies.popitem(last=False)
+            self.evictions += 1
+        while len(self._watermarks) > self._max_entries:
+            self._watermarks.popitem(last=False)
+            self.evictions += 1
+
+    def is_superseded(self, request_id: str) -> bool:
+        """Whether ``request_id`` is a ghost duplicate: strictly below its
+        client's watermark with no stored reply.  The client already
+        observed a reply for it, so it must be dropped, not re-executed."""
+        if request_id in self._replies:
+            return False
+        client, counter = split_request_id(request_id)
+        if client is None:
+            return False
+        watermark = self._watermarks.get(client)
+        return watermark is not None and counter < watermark
+
+    def watermark(self, client: str) -> Optional[int]:
+        return self._watermarks.get(client)
+
+    def per_client_retained(self) -> dict[str, int]:
+        """How many replies are retained per client (invariant: <= 1 for
+        clients using the ``client#counter`` scheme)."""
+        counts: dict[str, int] = {}
+        for request_id in self._replies:
+            client, _counter = split_request_id(request_id)
+            key = client if client is not None else request_id
+            counts[key] = counts.get(key, 0) + 1
+        return counts

@@ -1,0 +1,81 @@
+"""Retry policies for :meth:`repro.rpc.RpcStub.call`.
+
+A policy bounds the attempt count and shapes the delay between attempts.
+Delays draw jitter from the *caller's* named random stream (passed per
+call), never from a policy-owned one, so two stubs sharing a policy
+instance cannot perturb each other's draw order — the property the
+simulator's byte-identical determinism rests on.
+
+``delay_ms`` returning ``0`` means "retry immediately"; the stub then
+schedules no timeout event at all, which keeps zero-delay retry loops
+(e.g. coordinator leader-hint chasing) event-count-identical to a plain
+``continue``.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+
+class RetryPolicy:
+    """Bounded attempts with no delay between them.
+
+    The base policy is what single-shot requests (``max_attempts=1``) and
+    immediate-retry loops use.  Subclasses override :meth:`delay_ms`.
+    """
+
+    def __init__(self, max_attempts: int = 1) -> None:
+        if max_attempts < 1:
+            raise ValueError(f"max_attempts must be >= 1, got {max_attempts}")
+        self.max_attempts = max_attempts
+
+    def delay_ms(self, attempt: int, rng: Optional[Any]) -> float:
+        """Delay before attempt ``attempt + 1`` (``attempt`` is 0-based)."""
+        return 0.0
+
+
+class ExponentialBackoff(RetryPolicy):
+    """``base * factor**attempt`` capped, plus proportional jitter.
+
+    The schedule matches the replication watchdog's shape (PR 4): capped
+    exponential growth so a wedged peer is not hammered at a fixed
+    cadence, jitter so synchronized retriers spread out.
+    """
+
+    def __init__(
+        self,
+        max_attempts: int,
+        base_ms: float = 1.0,
+        factor: float = 2.0,
+        cap_ms: float = 50.0,
+        jitter: float = 0.25,
+    ) -> None:
+        super().__init__(max_attempts)
+        self.base_ms = base_ms
+        self.factor = factor
+        self.cap_ms = cap_ms
+        self.jitter = jitter
+
+    def delay_ms(self, attempt: int, rng: Optional[Any]) -> float:
+        delay = min(self.base_ms * (self.factor**attempt), self.cap_ms)
+        if self.jitter and rng is not None:
+            delay += rng.uniform(0, delay * self.jitter)
+        return delay
+
+
+class LinearJitterBackoff(RetryPolicy):
+    """``uniform(low, high) * (1 + attempt)`` — the cluster client's
+    historical schedule, preserved draw-for-draw so fixed-seed runs stay
+    byte-identical across the rpc-layer migration."""
+
+    def __init__(
+        self, max_attempts: int, low_ms: float = 0.1, high_ms: float = 0.5
+    ) -> None:
+        super().__init__(max_attempts)
+        self.low_ms = low_ms
+        self.high_ms = high_ms
+
+    def delay_ms(self, attempt: int, rng: Optional[Any]) -> float:
+        if rng is None:
+            return self.high_ms * (1 + attempt)
+        return rng.uniform(self.low_ms, self.high_ms) * (1 + attempt)

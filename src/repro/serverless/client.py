@@ -7,6 +7,7 @@ from typing import Any
 from repro.cluster.messages import ClientReply, ClientRequest
 from repro.core.ids import ObjectId
 from repro.errors import RequestTimeout
+from repro.rpc import RpcStub
 
 
 class SimpleClient:
@@ -17,20 +18,19 @@ class SimpleClient:
         self.sim = platform.sim
         self.net = platform.net
         self.name = name
-        self.host = platform.net.add_host(name)
         self._counter = 0
-        self._timeout = request_timeout_ms
         self.completions: list[tuple[float, str]] = []
-        self._mail: list[Any] = []
-        self._mail_signal = None
-        self.sim.process(self._pump(), name=f"{name}.pump")
-
-    def _pump(self):
-        while True:
-            message = yield self.host.recv()
-            self._mail.append(message.payload)
-            if self._mail_signal is not None and not self._mail_signal.triggered:
-                self._mail_signal.succeed()
+        # Sequential waits: unmatched payloads are stale, discard them.
+        self.stub = RpcStub(
+            platform.sim,
+            platform.net,
+            name,
+            default_deadline_ms=request_timeout_ms,
+            discard_unmatched=True,
+            registry=getattr(platform, "metrics", None),
+            tracer_fn=lambda: getattr(platform, "tracer", None),
+        )
+        self.host = self.stub.host
 
     def invoke(self, object_id: ObjectId, method: str, *args: Any):
         """Simulation process: invoke and return the function's value."""
@@ -46,20 +46,16 @@ class SimpleClient:
             epoch=0,
         )
         target = self.platform.entry_point()
-        self.net.send(self.name, target, request, size_bytes=request.size())
-
-        deadline = self.sim.now + self._timeout
-        while True:
-            for index, payload in enumerate(self._mail):
-                if isinstance(payload, ClientReply) and payload.request_id == request_id:
-                    del self._mail[index]
-                    if not payload.ok:
-                        raise RequestTimeout(f"{method} failed: {payload.error}")
-                    self.completions.append((self.sim.now - started, method))
-                    return payload.value
-            self._mail.clear()
-            remaining = deadline - self.sim.now
-            if remaining <= 0:
-                raise RequestTimeout(f"{method} on {object_id.short} timed out")
-            self._mail_signal = self.sim.event()
-            yield self.sim.any_of([self._mail_signal, self.sim.timeout(remaining)])
+        reply = yield from self.stub.request(
+            target,
+            request,
+            lambda p: isinstance(p, ClientReply) and p.request_id == request_id,
+            method=method,
+            trace_id=request_id,
+        )
+        if reply is None:
+            raise RequestTimeout(f"{method} on {object_id.short} timed out")
+        if not reply.ok:
+            raise RequestTimeout(f"{method} failed: {reply.error}")
+        self.completions.append((self.sim.now - started, method))
+        return reply.value

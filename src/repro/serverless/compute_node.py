@@ -14,6 +14,7 @@ from repro.core.runtime import LocalRuntime
 from repro.cluster.messages import ClientReply, ClientRequest
 from repro.errors import InvocationError, UnknownObjectError
 from repro.obs.registry import StatsView
+from repro.rpc import RpcEndpoint
 from repro.serverless.container import ContainerPool
 from repro.serverless.storage_client import RecordingStorage, StorageOp
 from repro.sim.core import Simulation
@@ -82,7 +83,11 @@ class ComputeNode:
         self.net = net
         self.platform = platform
         self.name = name
-        self.host = net.add_host(name)
+        self.endpoint = RpcEndpoint(
+            sim, net, name, registry=getattr(platform, "metrics", None)
+        )
+        self.host = self.endpoint.host
+        self.endpoint.on(ClientRequest, self._handle, spawn="req")
         self.cpu = Resource(sim, cores)
         self.pool = container_pool or ContainerPool(sim)
         self.storage_nodes = storage_nodes
@@ -125,13 +130,7 @@ class ComputeNode:
         return getattr(self.platform, "tracer", None)
 
     def start(self) -> None:
-        self.sim.process(self._serve(), name=f"{self.name}.serve")
-
-    def _serve(self):
-        while True:
-            message = (yield self.host.recv()).payload
-            if isinstance(message, ClientRequest):
-                self.sim.process(self._handle(message), name=f"{self.name}.req")
+        self.endpoint.start()
 
     def _handle(self, request: ClientRequest):
         tracer = self.tracer
@@ -176,7 +175,7 @@ class ComputeNode:
             except (InvocationError, UnknownObjectError) as error:
                 self._c_failed.inc()
                 reply = ClientReply(request.request_id, False, error=str(error))
-                self.net.send(self.name, request.client, reply, size_bytes=reply.size())
+                self.endpoint.send(request.client, reply)
                 return
             finally:
                 self.storage.end_trace()
@@ -197,7 +196,7 @@ class ComputeNode:
                 yield from self._storage_round_trip(op, parent=root)
 
             reply = ClientReply(request.request_id, True, value=result.value)
-            self.net.send(self.name, request.client, reply, size_bytes=reply.size())
+            self.endpoint.send(request.client, reply)
         finally:
             self.pool.release()
             if self._request_hist is not None:

@@ -10,8 +10,10 @@ paper's measurements bypass this component; the architecture ablation
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Any, Optional
 
 from repro.cluster.messages import ClientRequest
+from repro.rpc import RpcEndpoint
 from repro.serverless.request_log import DurableRequestLog
 from repro.sim.core import Simulation
 from repro.sim.network import Network
@@ -34,24 +36,21 @@ class Gateway:
         name: str,
         compute_nodes: list[str],
         log: DurableRequestLog,
+        registry: Optional[Any] = None,
     ) -> None:
         self.sim = sim
         self.net = net
         self.name = name
-        self.host = net.add_host(name)
+        self.endpoint = RpcEndpoint(sim, net, name, registry=registry)
+        self.host = self.endpoint.host
         self._compute_nodes = list(compute_nodes)
         self._next = 0
         self.log = log
         self.stats = GatewayStats()
+        self.endpoint.on(ClientRequest, self._forward, spawn="fwd")
 
     def start(self) -> None:
-        self.sim.process(self._serve(), name=f"{self.name}.serve")
-
-    def _serve(self):
-        while True:
-            message = (yield self.host.recv()).payload
-            if isinstance(message, ClientRequest):
-                self.sim.process(self._forward(message), name=f"{self.name}.fwd")
+        self.endpoint.start()
 
     def _forward(self, request: ClientRequest):
         # Durability first: the request must survive compute failures.
@@ -60,4 +59,4 @@ class Gateway:
         self._next += 1
         self.stats.forwarded += 1
         # The compute node replies straight to the client.
-        self.net.send(self.name, target, request, size_bytes=request.size())
+        self.endpoint.send(target, request)

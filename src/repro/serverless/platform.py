@@ -165,6 +165,7 @@ class ServerlessPlatform:
                 "gateway",
                 [node.name for node in self.compute_nodes],
                 log,
+                registry=self.metrics,
             )
 
         # Setup-time runtime writing to every storage replica directly.

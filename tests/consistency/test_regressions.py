@@ -152,7 +152,7 @@ def test_newer_epoch_request_gets_node_behind_error():
     )
     cluster.net.send(client.name, primary_name, request, size_bytes=request.size())
     sim.run(until=sim.now + 20.0)
-    replies = [p for p in client._mail if getattr(p, "request_id", None) == request.request_id]
+    replies = [p for p in client.stub._mail if getattr(p, "request_id", None) == request.request_id]
     assert len(replies) == 1
     assert replies[0].error == "node behind"
     assert replies[0].error in client.RETRYABLE_ERRORS
@@ -207,7 +207,7 @@ def test_ghost_duplicate_below_watermark_is_dropped():
 
     assert primary.stats.dropped_stale_duplicates == 1
     # dropped silently: no reply, and definitely not re-executed
-    assert not [p for p in client._mail if getattr(p, "request_id", None) == ghost.request_id]
+    assert not [p for p in client.stub._mail if getattr(p, "request_id", None) == ghost.request_id]
     assert primary.runtime.storage.get(keyspace.value_key(oid, "value")) == value_before
 
 

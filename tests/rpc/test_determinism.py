@@ -1,0 +1,74 @@
+"""Fixed-seed determinism guard for the RPC-layer migration.
+
+Pins one fig1 cell ("Post", both variants) to byte-identical values —
+report rows *and* total scheduled-event counts — captured immediately
+before the hand-rolled mailboxes moved onto ``repro.rpc``.  Any change
+to scheduling order, rng draw order, or message counts moves at least
+one of these numbers.
+
+If a later change *legitimately* alters scheduling (a new protocol
+message, a reordered process), re-capture these constants in that PR and
+say so in its description; an unexplained diff here is a determinism
+regression.
+"""
+
+from dataclasses import replace
+
+from repro.bench.calibration import preset
+from repro.bench.harness import AGGREGATED, DISAGGREGATED, run_retwis
+
+#: quick preset, shrunk so both runs stay a few seconds of wall clock
+CAL = replace(preset("quick"), duration_ms=400.0, warmup_ms=50.0, num_clients=8)
+
+#: captured at the commit before the repro.rpc migration (seed from the
+#: quick preset); the migration itself reproduced every value exactly
+GOLDEN = {
+    AGGREGATED: {
+        "completed": 895,
+        "events_scheduled": 73185,
+        "median_ms": 3.128658,
+        "messages_delivered": 6389,
+        "messages_sent": 6389,
+        "p99_ms": 4.929011,
+        "throughput": 2557.142857,
+    },
+    DISAGGREGATED: {
+        "completed": 88,
+        "events_scheduled": 32131,
+        "median_ms": 34.332138,
+        "messages_delivered": 194,
+        "messages_sent": 194,
+        "p99_ms": 54.389314,
+        "throughput": 251.428571,
+    },
+}
+
+
+def _run_cell(variant: str) -> dict:
+    result = run_retwis(variant, "Post", CAL)
+    report = result.report
+    sim = result.platform.sim
+    net = result.platform.net
+    return {
+        "completed": report.completed,
+        "events_scheduled": sim.events_scheduled,
+        "median_ms": round(report.median_ms, 6),
+        "messages_delivered": net.stats.messages_delivered,
+        "messages_sent": net.stats.messages_sent,
+        "p99_ms": round(report.p99_ms, 6),
+        "throughput": round(report.throughput_per_sec, 6),
+    }
+
+
+def test_fig1_post_cell_aggregated_is_byte_identical():
+    assert _run_cell(AGGREGATED) == GOLDEN[AGGREGATED]
+
+
+def test_fig1_post_cell_disaggregated_is_byte_identical():
+    assert _run_cell(DISAGGREGATED) == GOLDEN[DISAGGREGATED]
+
+
+def test_same_seed_runs_twice_identically():
+    """The weaker invariant that must hold even across legitimate
+    re-captures: two runs of the same cell in one process agree."""
+    assert _run_cell(AGGREGATED) == _run_cell(AGGREGATED)

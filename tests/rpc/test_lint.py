@@ -1,0 +1,21 @@
+"""Tier-1 gate for the raw-``recv`` lint.
+
+The CI lint job is advisory (``continue-on-error``), so the check that
+keeps mailboxes behind :mod:`repro.rpc` must also run as an ordinary
+test to actually block merges.
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent.parent
+
+
+def test_no_raw_recv_outside_rpc_layer():
+    result = subprocess.run(
+        [sys.executable, str(REPO_ROOT / "tools" / "check_raw_recv.py")],
+        capture_output=True,
+        text=True,
+    )
+    assert result.returncode == 0, result.stdout + result.stderr

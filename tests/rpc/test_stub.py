@@ -1,0 +1,240 @@
+"""RpcStub: deadlines, retries, waiter wake-ups, and auto-metrics."""
+
+from dataclasses import dataclass
+
+from repro.obs.registry import MetricsRegistry
+from repro.rpc import RetryPolicy, RpcEndpoint, RpcStub
+from repro.sim import ConstantLatency, Network, Simulation
+
+
+@dataclass
+class Ping:
+    seq: int
+
+    def size(self) -> int:
+        return 16
+
+
+@dataclass
+class Pong:
+    seq: int
+
+    def size(self) -> int:
+        return 16
+
+
+def build(latency_ms: float = 1.0, registry=None):
+    sim = Simulation(seed=1)
+    net = Network(sim, latency=ConstantLatency(latency_ms))
+    stub = RpcStub(sim, net, "client", default_deadline_ms=20.0, registry=registry)
+    return sim, net, stub
+
+
+def echo_server(sim, net, name="server", drop_first=0):
+    """An endpoint that pongs every ping, optionally dropping the first N."""
+    endpoint = RpcEndpoint(sim, net, name)
+    state = {"seen": 0}
+
+    def handle(ping):
+        state["seen"] += 1
+        if state["seen"] <= drop_first:
+            return
+        endpoint.send("client", Pong(ping.seq))
+
+    endpoint.on(Ping, handle)
+    endpoint.start()
+    return state
+
+
+def test_call_returns_matching_reply():
+    sim, net, stub = build()
+    echo_server(sim, net)
+    got = []
+
+    def caller():
+        reply = yield from stub.call(
+            "server", Ping(7), lambda p: isinstance(p, Pong) and p.seq == 7
+        )
+        got.append((reply, sim.now))
+
+    sim.process(caller())
+    sim.run()
+    assert got[0][0] == Pong(7)
+    assert got[0][1] < 20.0  # well before the deadline
+
+
+def test_deadline_expiry_returns_none():
+    sim, net, stub = build()
+    # no server host even exists: the send is dropped, the call times out
+    net.add_host("server")
+    got = []
+
+    def caller():
+        reply = yield from stub.call("server", Ping(1), lambda p: isinstance(p, Pong))
+        got.append((reply, sim.now))
+
+    sim.process(caller())
+    sim.run()
+    assert got == [(None, 20.0)]  # exactly the default deadline
+
+
+def test_retry_recovers_from_lost_request():
+    registry = MetricsRegistry()
+    sim, net, stub = build(registry=registry)
+    state = echo_server(sim, net, drop_first=1)
+    got = []
+
+    def caller():
+        reply = yield from stub.call(
+            "server",
+            Ping(3),
+            lambda p: isinstance(p, Pong) and p.seq == 3,
+            retry=RetryPolicy(max_attempts=3),
+        )
+        got.append(reply)
+
+    sim.process(caller())
+    sim.run()
+    assert got == [Pong(3)]
+    assert state["seen"] == 2
+    labels = {"node": "client", "method": "Ping", "peer": "server"}
+    assert registry.get("rpc_calls", labels).value == 1
+    assert registry.get("rpc_retries", labels).value == 1
+    assert registry.get("rpc_timeouts", labels).value == 1
+    assert registry.get("rpc_call_ms", labels).count == 1
+
+
+def test_should_retry_and_on_retry_drive_the_schedule():
+    sim, net, stub = build()
+    endpoint = RpcEndpoint(sim, net, "server")
+    endpoint.on(Ping, lambda ping: endpoint.send("client", Pong(ping.seq)))
+    endpoint.start()
+    retries_seen = []
+
+    def caller():
+        # Pongs with seq < 2 are "retryable errors"; the payload callable
+        # bumps seq per attempt, so the third attempt succeeds.
+        reply = yield from stub.call(
+            "server",
+            lambda attempt: Ping(attempt),
+            lambda p: isinstance(p, Pong),
+            retry=RetryPolicy(max_attempts=5),
+            should_retry=lambda pong: pong.seq < 2,
+            on_retry=lambda attempt, pong: retries_seen.append((attempt, pong.seq)),
+        )
+        return reply
+
+    process = sim.process(caller())
+    sim.run()
+    assert process.value == Pong(2)
+    assert retries_seen == [(0, 0), (1, 1)]
+
+
+def test_exhausted_retries_return_last_reply():
+    sim, net, stub = build()
+    endpoint = RpcEndpoint(sim, net, "server")
+    endpoint.on(Ping, lambda ping: endpoint.send("client", Pong(-1)))
+    endpoint.start()
+
+    def caller():
+        return (
+            yield from stub.call(
+                "server",
+                Ping(0),
+                lambda p: isinstance(p, Pong),
+                retry=RetryPolicy(max_attempts=3),
+                should_retry=lambda pong: True,  # never satisfied
+            )
+        )
+
+    process = sim.process(caller())
+    sim.run()
+    assert process.value == Pong(-1)  # the caller classifies, the stub never raises
+
+
+def test_duplicate_replies_are_suppressed_by_predicate_consumption():
+    """Two identical pongs: the first satisfies the call, the stale second
+    stays unmatched and is dropped by a discarding stub's next scan."""
+    sim = Simulation(seed=1)
+    net = Network(sim, latency=ConstantLatency(1.0))
+    stub = RpcStub(
+        sim, net, "client", default_deadline_ms=20.0, discard_unmatched=True
+    )
+    endpoint = RpcEndpoint(sim, net, "server")
+
+    def handle(ping):
+        endpoint.send("client", Pong(ping.seq))
+        endpoint.send("client", Pong(ping.seq))  # duplicate (e.g. resent reply)
+
+    endpoint.on(Ping, handle)
+    endpoint.start()
+    got = []
+
+    def caller():
+        first = yield from stub.call(
+            "server", Ping(1), lambda p: isinstance(p, Pong) and p.seq == 1
+        )
+        # The duplicate Pong(1) must not satisfy this second exchange.
+        second = yield from stub.call(
+            "server", Ping(2), lambda p: isinstance(p, Pong) and p.seq == 2
+        )
+        got.append((first, second))
+
+    sim.process(caller())
+    sim.run()
+    assert got == [(Pong(1), Pong(2))]
+    # The stale Pong(1) duplicate was discarded by the second call's scan;
+    # only the not-yet-scanned Pong(2) duplicate remains.
+    assert stub._mail == [Pong(2)]
+
+
+def test_stale_signal_regression_concurrent_waiters():
+    """The bug the waiter list fixes: with the old single-signal slot, a
+    second concurrent awaiter overwrote the first's signal, so the first
+    waiter's message only surfaced at its *deadline* rescan.  Both
+    waiters must wake at delivery time."""
+    sim = Simulation(seed=1)
+    net = Network(sim, latency=ConstantLatency(1.0))
+    stub = RpcStub(sim, net, "client", default_deadline_ms=100.0)
+    net.add_host("server")
+    woke = {}
+
+    def waiter(tag, seq):
+        reply = yield from stub.await_message(
+            lambda p: isinstance(p, Pong) and p.seq == seq
+        )
+        woke[tag] = (reply, sim.now)
+
+    sim.process(waiter("first", 1))
+    sim.process(waiter("second", 2))
+    # Deliver the *first* waiter's message; the old code would have woken
+    # only the most recent waiter ("second"), stranding "first" until its
+    # 100 ms deadline.
+    net.send("server", "client", Pong(1), size_bytes=16)
+    sim.run(until=10.0)
+    assert woke["first"][0] == Pong(1)
+    assert woke["first"][1] < 5.0  # delivery time, not the 100 ms deadline
+    assert "second" not in woke  # still parked, signal intact
+    net.send("server", "client", Pong(2), size_bytes=16)
+    sim.run(until=20.0)
+    assert woke["second"][0] == Pong(2)
+    assert woke["second"][1] < 100.0
+
+
+def test_timed_out_waiter_leaves_the_waiter_list():
+    """After a timeout wake the waiter must deregister — the stale-signal
+    half of the fix: the next delivery wakes only live waiters."""
+    sim = Simulation(seed=1)
+    net = Network(sim, latency=ConstantLatency(1.0))
+    stub = RpcStub(sim, net, "client", default_deadline_ms=5.0)
+    net.add_host("server")
+    got = []
+
+    def waiter():
+        reply = yield from stub.await_message(lambda p: False)
+        got.append(reply)
+
+    sim.process(waiter())
+    sim.run()
+    assert got == [None]
+    assert stub._waiters == []
