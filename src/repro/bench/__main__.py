@@ -59,6 +59,16 @@ def main(argv: list[str] | None = None) -> int:
         "see abl_group_commit for the measured delta",
     )
     parser.add_argument(
+        "--replica-reads",
+        choices=["on", "off"],
+        default="on",
+        help="lease-based replica reads (backups holding a primary-granted "
+        "lease serve read-only invocations locally); 'off' sends every "
+        "read to the primary behind the settlement barrier — see "
+        "abl_replica_reads for the measured delta.  Requires group "
+        "commit; ignored when --group-commit off",
+    )
+    parser.add_argument(
         "--simperf-baseline",
         metavar="PATH",
         default=None,
@@ -76,7 +86,11 @@ def main(argv: list[str] | None = None) -> int:
         "rows to PATH as JSON",
     )
     args = parser.parse_args(argv)
-    cal = preset(args.preset, group_commit=(args.group_commit == "on"))
+    cal = preset(
+        args.preset,
+        group_commit=(args.group_commit == "on"),
+        replica_reads=(args.replica_reads == "on"),
+    )
     jobs = max(1, args.jobs)
 
     names = sorted(ALL_EXPERIMENTS) if args.experiment == "all" else [args.experiment]

@@ -51,6 +51,10 @@ class Calibration:
     #: mutating invocation, exactly the pre-group-commit behavior.  The
     #: on/off delta is measured in ``abl_group_commit``.
     group_commit: bool = True
+    #: lease-based replica reads (backups serve read-only invocations
+    #: locally under a primary-granted lease); requires group_commit.
+    #: The on/off delta is measured in ``abl_replica_reads``.
+    replica_reads: bool = True
 
 
 #: presets: "quick" keeps pytest-benchmark runs fast; "full" matches §5.

@@ -55,8 +55,11 @@ def chaos_soak(
             num_objects=3,
             ops_per_client=200,
             duration_ms=cal.duration_ms,
+            group_commit=cal.group_commit,
+            replica_reads=cal.replica_reads,
         )
         report = result.check()
+        node_stats = result.cluster.total_node_stats()
         rows.append(
             {
                 "seed": seed,
@@ -68,7 +71,11 @@ def chaos_soak(
                 "gave_up": sum(result.gave_up.values()),
                 "nemesis_events": len(result.nemesis.events_log),
                 "messages_dropped": result.cluster.net.stats.messages_dropped,
-                "node_stats": result.cluster.total_node_stats(),
+                "replica_reads_served": int(
+                    node_stats.get("replica_reads_served", 0)
+                ),
+                "lease_rejections": int(node_stats.get("lease_rejections", 0)),
+                "node_stats": node_stats,
             }
         )
     summary = {
@@ -76,10 +83,16 @@ def chaos_soak(
         "all_consistent": all(row["consistent"] for row in rows),
         "total_operations": sum(row["operations"] for row in rows),
         "total_nemesis_events": sum(row["nemesis_events"] for row in rows),
+        "total_replica_reads_served": sum(
+            row["replica_reads_served"] for row in rows
+        ),
     }
     text = "Chaos soak: randomized faults + consistency checking\n\n"
     text += format_table(
-        ["seed", "consistent", "ops", "incomplete", "nemesis events", "msgs dropped"],
+        [
+            "seed", "consistent", "ops", "incomplete", "nemesis events",
+            "msgs dropped", "replica reads",
+        ],
         [
             [
                 row["seed"],
@@ -88,6 +101,7 @@ def chaos_soak(
                 row["incomplete_operations"],
                 row["nemesis_events"],
                 row["messages_dropped"],
+                row["replica_reads_served"],
             ]
             for row in rows
         ],

@@ -24,6 +24,7 @@ from repro.bench.chaos import chaos_soak
 from repro.bench.harness import (
     AGGREGATED,
     DISAGGREGATED,
+    READ_HEAVY_MIX,
     VARIANTS,
     RunResult,
     build_aggregated,
@@ -380,6 +381,56 @@ def abl_group_commit(cal: CalibrationLike = None) -> dict:
     return {"name": "abl_group_commit", "rows": rows, "text": text}
 
 
+def abl_replica_reads(cal: CalibrationLike = None) -> dict:
+    """Lease-based replica reads on vs off (read-heavy mix, aggregated).
+
+    READ_HEAVY_MIX at the replication-mix node count: with replica reads
+    off, every timeline read is a primary round trip parked behind the
+    settlement barrier; on, lease-holding backups answer locally, so the
+    read path costs two messages and the primary's read load fans out
+    across the replica set.  The bill is messages per invocation plus the
+    read latency distribution (which must not regress).
+    """
+    cal = _calibration(cal)
+    rows = []
+    for label, enabled in (
+        ("off (primary reads + barrier)", False),
+        ("on (lease-holding backups)", True),
+    ):
+        result, platform, _sim = run_replication_mix(
+            replace(cal, replica_reads=enabled), mix=READ_HEAVY_MIX
+        )
+        completed = sum(r.completed for r in result.reports.values())
+        messages = platform.net.stats.messages_sent
+        reads = result.reports["get_timeline"]
+        served = sum(
+            node.stats.replica_reads_served for node in platform.nodes.values()
+        )
+        rows.append(
+            {
+                "replica_reads": label,
+                "throughput_per_sec": round(
+                    sum(r.throughput_per_sec for r in result.reports.values()), 1
+                ),
+                "read_median_ms": round(reads.median_ms, 3),
+                "read_p99_ms": round(reads.p99_ms, 3),
+                "replica_reads_served": served,
+                "messages": messages,
+                "messages_per_invocation": round(messages / completed, 2),
+            }
+        )
+    off_row, on_row = rows
+    reduction = 100.0 * (
+        1.0 - on_row["messages_per_invocation"] / off_row["messages_per_invocation"]
+    )
+    text = format_comparison(
+        "Ablation: lease-based replica reads (read-heavy mix, aggregated)",
+        rows,
+    )
+    text += f"\n  messages/invocation reduction with replica reads: {reduction:.1f}%"
+    return {"name": "abl_replica_reads", "rows": rows, "text": text}
+
+
 def abl_coldstart(cal: CalibrationLike = None) -> dict:
     """§2.1 — start-up latency: cold vs warm containers vs aggregated."""
     cal = _calibration(cal)
@@ -707,6 +758,7 @@ ALL_EXPERIMENTS = {
     "table1": table1,
     "abl_cache": abl_cache,
     "abl_group_commit": abl_group_commit,
+    "abl_replica_reads": abl_replica_reads,
     "abl_replication": abl_replication,
     "abl_coldstart": abl_coldstart,
     "abl_contention": abl_contention,

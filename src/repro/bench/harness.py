@@ -34,6 +34,15 @@ REPLICATION_MIX = {
 #: sweep, so backup frames + acks are the dominant message class
 REPLICATION_MIX_NODES = 5
 
+#: read-heavy Retwis mix used by ``abl_replica_reads``: timeline reads
+#: dominate, so the per-invocation message count is governed by where
+#: reads are served (primary round trip + barrier vs. local at a backup)
+READ_HEAVY_MIX = {
+    RetwisWorkload.GET_TIMELINE: 0.8,
+    RetwisWorkload.POST: 0.1,
+    RetwisWorkload.FOLLOW: 0.1,
+}
+
 AGGREGATED = "aggregated"
 DISAGGREGATED = "disaggregated"
 VARIANTS = (AGGREGATED, DISAGGREGATED)
@@ -74,6 +83,7 @@ def build_aggregated(sim: Simulation, cal: Calibration, **config_overrides) -> C
         net_cap_ms=cal.net_cap_ms,
         enable_cache=cal.enable_cache,
         group_commit=cal.group_commit,
+        replica_reads=cal.replica_reads,
         seed=cal.seed,
     )
     options.update(config_overrides)
@@ -151,14 +161,15 @@ def run_retwis(
 
 
 def run_replication_mix(
-    cal: Calibration, variant: str = AGGREGATED
+    cal: Calibration, variant: str = AGGREGATED, mix: Optional[dict] = None
 ) -> tuple[DriverResult, Any, Simulation]:
-    """Run :data:`REPLICATION_MIX` closed-loop; returns (result, platform, sim).
+    """Run a Retwis mix closed-loop; returns (result, platform, sim).
 
     Used where replication traffic itself is the measurement (the
-    group-commit ablation, the simperf headline row), so the caller gets
-    the platform back to read ``net.stats`` alongside the reports.  Runs
-    at :data:`REPLICATION_MIX_NODES` replicas regardless of the preset.
+    group-commit and replica-reads ablations, the simperf headline row),
+    so the caller gets the platform back to read ``net.stats`` alongside
+    the reports.  Runs :data:`REPLICATION_MIX` (or ``mix``) at
+    :data:`REPLICATION_MIX_NODES` replicas regardless of the preset.
     """
     from dataclasses import replace
 
@@ -168,7 +179,7 @@ def run_replication_mix(
     sim = Simulation(seed=cal.seed)
     platform = build_platform(variant, sim, cal)
     dataset = load_dataset(platform, cal)
-    workload = MixedRetwisWorkload(dataset, dict(REPLICATION_MIX))
+    workload = MixedRetwisWorkload(dataset, dict(mix or REPLICATION_MIX))
     driver = ClosedLoopDriver(
         sim,
         platform,

@@ -307,6 +307,35 @@ class ConsistencyChecker:
                         f"{len(node._charge_waiters)} remote charges still awaiting acks",
                     )
                 )
+            if node._parked_reads:
+                report.violations.append(
+                    Violation(
+                        "bookkeeping",
+                        name,
+                        f"{node._parked_reads} replica reads still parked "
+                        f"(the park deadline should have released them)",
+                    )
+                )
+            for shard_id, state in node._replica_read_state.items():
+                replica_set = next(
+                    (rs for rs in shard_map.replica_sets if rs.shard_id == shard_id),
+                    None,
+                )
+                if (
+                    replica_set is not None
+                    and state.primary == replica_set.primary
+                    and name in replica_set.members
+                ):
+                    continue  # a current-primary lease is legitimate
+                if node.sim.now < state.lease_expiry:
+                    report.violations.append(
+                        Violation(
+                            "bookkeeping",
+                            name,
+                            f"unexpired replica-read lease for shard {shard_id} "
+                            f"from {state.primary!r}, which no longer leads it",
+                        )
+                    )
             completed = node._completed
             if len(completed) > self.cluster.config.completed_cap:
                 report.violations.append(

@@ -23,7 +23,7 @@ from repro.chaos.nemesis import Nemesis, NemesisConfig
 from repro.cluster import Cluster, ClusterConfig
 from repro.core import ObjectType, ValueField, method, readonly_method
 from repro.core.ids import ObjectId
-from repro.errors import RequestTimeout
+from repro.errors import InvocationFailed, RequestTimeout
 from repro.sim import Simulation
 
 
@@ -137,7 +137,7 @@ def run_scenario(
                     )
                 else:
                     yield from client.invoke(object_id, "read")
-            except RequestTimeout:
+            except (RequestTimeout, InvocationFailed):
                 gave_up[client.name] = gave_up.get(client.name, 0) + 1
             yield sim.timeout(rng.uniform(0.5, 3.0))
 

@@ -2,10 +2,14 @@
 
 Clients contact storage nodes directly (the paper's evaluation runs with
 no load balancer or frontend): mutating invocations go to the object's
-primary, read-only ones to a uniformly chosen replica.  On a wrong-epoch
-or not-primary rejection — or a timeout after a node failure — the client
-refreshes its configuration from the coordination service and retries
-with backoff.
+primary; read-only ones prefer a lease-holding backup when replica reads
+are enabled (falling back to the primary otherwise).  On a wrong-epoch,
+not-primary, or lease rejection — or a timeout after a node failure —
+the client refreshes its configuration from the coordination service and
+retries with backoff.  Successful replies carry a monotonic-read fence
+(the settled sequence the reply reflects); the client threads the
+highest fence it has seen back into later reads as ``min_applied`` so it
+can never observe a settled write and then read older backup state.
 
 All request/reply traffic rides an :class:`RpcStub`; the stub re-resolves
 the route and rebuilds the request per attempt (so each retry re-draws
@@ -20,7 +24,7 @@ from typing import Any
 
 from repro.cluster.messages import ClientReply, ClientRequest, ConfigQuery, ConfigReply
 from repro.core.ids import ObjectId
-from repro.errors import RequestTimeout
+from repro.errors import InvocationFailed, RequestTimeout
 from repro.rpc import LinearJitterBackoff, RpcStub
 
 
@@ -28,7 +32,17 @@ class ClusterClient:
     """One simulated client endpoint; drive it from a simulation process."""
 
     #: reply errors that mean "back off, refresh config, and retry"
-    RETRYABLE_ERRORS = ("wrong epoch", "node behind", "not primary", "migration in progress")
+    RETRYABLE_ERRORS = (
+        "wrong epoch",
+        "node behind",
+        "not primary",
+        "migration in progress",
+        "no lease",
+        "replica behind",
+    )
+
+    #: how long a backup that rejected a read stays off the read route
+    REPLICA_PENALTY_MS = 5.0
 
     def __init__(
         self,
@@ -48,6 +62,18 @@ class ClusterClient:
         self.shard_map = cluster.bootstrap_shard_map
         self._timeout = request_timeout_ms
         self._max_attempts = max_attempts
+        config = getattr(cluster, "config", None)
+        self._group_commit = bool(config is None or config.group_commit)
+        #: whether read-only requests prefer lease-holding backups
+        self.replica_reads = bool(
+            config is not None and config.replica_reads and config.group_commit
+        )
+        #: monotonic-read fences: (shard_id, primary) -> highest settled
+        #: sequence this client has observed for that primaryship
+        self._fences: dict[tuple[int, str], int] = {}
+        #: backups that recently rejected a read, mapped to the sim time
+        #: their routing penalty expires
+        self._penalty: dict[str, float] = {}
         #: optional chaos-harness HistoryRecorder: every invocation is
         #: logged as (invoke_at, return_at, object, method, args, result)
         self.recorder = recorder
@@ -82,7 +108,8 @@ class ClusterClient:
             record = self.recorder.begin(self.name, str(object_id), method, args, started)
 
         def build_request(_attempt: int) -> ClientRequest:
-            # Rebuilt per attempt: the epoch may have been refreshed.
+            # Rebuilt per attempt: the epoch (and hence the shard map the
+            # fence lookup uses) may have been refreshed.
             return ClientRequest(
                 request_id=request_id,
                 client=self.name,
@@ -91,19 +118,50 @@ class ClusterClient:
                 args=args,
                 epoch=self.epoch,
                 readonly_hint=readonly,
+                min_applied=self._fence_for(object_id) if readonly else 0,
             )
 
+        # Flips once a backup rejects this read: retries then go straight
+        # to the primary, which can always serve.  Backups park for up to
+        # their read deadline before rejecting, so a re-draw among the
+        # replicas could flap between lease-less backups for the whole
+        # attempt budget (e.g. a primary partitioned from its backups).
+        primary_only = False
+
+        def on_retry(_attempt: int, reply):
+            # A backup that rejected a read is skipped for a short while
+            # so other requests land somewhere that can actually serve.
+            nonlocal primary_only
+            if (
+                reply is not None
+                and reply.server
+                and reply.error in ("no lease", "replica behind")
+            ):
+                self._penalty[reply.server] = self.sim.now + self.REPLICA_PENALTY_MS
+                primary_only = True
+            yield from self.refresh_config()
+
+        def route(_attempt: int) -> str:
+            if primary_only:
+                return self.shard_map.shard_for(object_id).primary
+            return self._route(object_id, readonly)
+
         reply = yield from self.stub.call(
-            lambda _attempt: self._route(object_id, readonly),
+            route,
             build_request,
             lambda p: isinstance(p, ClientReply) and p.request_id == request_id,
             retry=LinearJitterBackoff(self._max_attempts),
             should_retry=lambda r: not r.ok and r.error in self.RETRYABLE_ERRORS,
-            on_retry=lambda _attempt, _reply: self.refresh_config(),
+            on_retry=on_retry,
             method=method,
             trace_id=request_id,
         )
         if reply is not None and reply.ok:
+            if reply.fence is not None:
+                shard_id, primary, watermark = reply.fence
+                key = (shard_id, primary)
+                if watermark > self._fences.get(key, 0):
+                    self._fences[key] = watermark
             self.completions.append((self.sim.now - started, method))
             if record is not None:
                 self.recorder.finish(record, self.sim.now, reply.value)
@@ -111,7 +169,10 @@ class ClusterClient:
         if reply is not None and reply.error not in self.RETRYABLE_ERRORS:
             if record is not None:
                 self.recorder.fail(record, self.sim.now, reply.error)
-            raise RequestTimeout(f"{method} on {object_id.short} failed: {reply.error}")
+            raise InvocationFailed(
+                f"{method} on {object_id.short} failed: {reply.error}",
+                error=reply.error,
+            )
         last_error = reply.error if reply is not None else "timeout"
         if record is not None:
             self.recorder.fail(record, self.sim.now, last_error)
@@ -141,8 +202,28 @@ class ClusterClient:
 
     # -- internals ---------------------------------------------------------
 
+    def _fence_for(self, object_id: ObjectId) -> int:
+        """The monotonic-read floor for the shard currently owning
+        ``object_id`` (0 when this client never observed a settled write
+        under the shard's current primaryship)."""
+        replica_set = self.shard_map.shard_for(object_id)
+        return self._fences.get((replica_set.shard_id, replica_set.primary), 0)
+
     def _route(self, object_id: ObjectId, readonly: bool) -> str:
         replica_set = self.shard_map.shard_for(object_id)
         if readonly:
-            return self._rng.choice(replica_set.members)
+            if self.replica_reads and replica_set.backups:
+                now = self.sim.now
+                candidates = [
+                    replica
+                    for replica in replica_set.read_replicas()
+                    if self._penalty.get(replica, 0.0) <= now
+                ]
+                if candidates:
+                    return self._rng.choice(candidates)
+            elif not self._group_commit:
+                # Legacy synchronous replication: any member may serve a
+                # read (the historical route).  Under group commit with
+                # replica reads off, backups would reject — go primary.
+                return self._rng.choice(replica_set.members)
         return replica_set.primary

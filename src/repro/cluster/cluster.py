@@ -71,6 +71,15 @@ class ClusterConfig:
     group_commit_max_bytes: int = 64 * 1024
     #: backstop flush interval (simulated ms) while frames are in flight
     group_commit_flush_ms: float = 0.25
+    #: lease-based replica reads: backups holding a fresh lease from
+    #: their shard's primary serve read-only invocations locally (no
+    #: primary round trip), releasing each reply only once the settlement
+    #: watermark covers the read state.  Requires ``group_commit``.
+    replica_reads: bool = True
+    #: replica-read lease duration; clamped below the failure-detection
+    #: timeout so a partitioned backup's lease always expires before the
+    #: coordinator can reconfigure the shard around it
+    replica_read_lease_ms: float = 40.0
     #: when > 0, a background process samples every registry instrument's
     #: time series at this simulated-ms interval (0 disables the sampler)
     metrics_sample_interval_ms: float = 0.0
@@ -146,6 +155,12 @@ class Cluster:
                 group_commit_max_rounds=self.config.group_commit_max_rounds,
                 group_commit_max_bytes=self.config.group_commit_max_bytes,
                 group_commit_flush_ms=self.config.group_commit_flush_ms,
+                replica_reads=self.config.replica_reads,
+                replica_read_lease_ms=min(
+                    self.config.replica_read_lease_ms,
+                    self.config.heartbeat_timeout_ms
+                    - 2 * self.config.heartbeat_interval_ms,
+                ),
             )
             node.install_config(self.bootstrap_epoch, self.bootstrap_shard_map.copy())
             self.nodes[name] = node
@@ -355,6 +370,10 @@ class Cluster:
         _epoch, shard_map = self.current_config()
         for node in self.live_nodes():
             if node._inflight or node._ack_waiters or node._charge_waiters:
+                return False
+            if node._parked_reads:
+                # A backup read parked on a lease/settlement deadline; it
+                # resolves (serve or reject) within the park window.
                 return False
             for shard_id, pipeline in node.pipelines.items():
                 if pipeline.idle:

@@ -72,6 +72,11 @@ class ClientRequest:
     args: tuple
     epoch: int
     readonly_hint: bool = False
+    #: monotonic-read fence: the serving replica must have applied at
+    #: least this settled sequence for the target shard before answering
+    #: a read (0 = no constraint).  Set by the client from the fences it
+    #: collected on earlier replies.
+    min_applied: int = 0
 
     def size(self) -> int:
         # Tuples and lists size identically, so no need to copy the args.
@@ -88,6 +93,13 @@ class ClientReply:
     error: str = ""
     #: set when the request was rejected for a stale epoch
     current_epoch: Optional[int] = None
+    #: monotonic-read fence the client should carry forward:
+    #: ``(shard_id, primary_name, settled_sequence)``.  Every fence a
+    #: node hands out is settled at reply time, so carrying it as
+    #: ``min_applied`` on later reads can never deadlock a replica.
+    fence: Optional[tuple] = None
+    #: the node that produced this reply (routing penalty attribution)
+    server: str = ""
 
     def size(self) -> int:
         return 48 + estimate_size(self.value) + len(self.error)
@@ -127,12 +139,30 @@ class ReplicateWritesRange:
     #: one entry per replication round: the round's encoded WriteBatches
     rounds: list[list[bytes]]
     primary: str
+    #: the primary's settlement watermark when the frame was built; the
+    #: backup uses it to release reads fenced on settled sequences
+    settled_through: int = 0
+    #: replica-read lease duration granted by this frame (0 = no lease)
+    lease_ms: float = 0.0
+    #: parallel to ``rounds``: the object-id prefixes each round wrote,
+    #: so backups track per-object dirtiness without decoding batches
+    objects: list = field(default_factory=list)
+    #: piggybacked consistent-cache entries the primary recently stored:
+    #: ``(object_id_str, method, digest, value, read_set)`` tuples that
+    #: the backup validates against local applied state before installing
+    cache_entries: list = field(default_factory=list)
 
     def size(self) -> int:
-        # Frame header + a small per-round header + the batch payloads.
-        return 48 + 8 * len(self.rounds) + sum(
+        # Frame header + a small per-round header + the batch payloads
+        # (+ the piggybacked cache entries, sized like any payload).
+        total = 48 + 8 * len(self.rounds) + sum(
             len(b) for round_batches in self.rounds for b in round_batches
         )
+        for entry in self.objects:
+            total += 8 * len(entry)
+        if self.cache_entries:
+            total += estimate_size(self.cache_entries)
+        return total
 
 
 @dataclass
@@ -150,6 +180,47 @@ class ReplicateAck:
 
     def size(self) -> int:
         return 32
+
+
+@dataclass
+class LeaseQuery:
+    """Backup -> primary: renew my replica-read lease for ``shard_id``.
+
+    Sent on demand (rate-limited) when a backup wants to serve a read but
+    holds no valid lease, or needs a fresher settlement watermark to
+    release a fenced read.  The primary answers with a
+    :class:`LeaseGrant` only while it is still the shard's primary in a
+    matching epoch.
+    """
+
+    shard_id: int
+    backup: str
+    epoch: int
+
+    def size(self) -> int:
+        return 24
+
+
+@dataclass
+class LeaseGrant:
+    """Primary -> backup: serve reads for ``lease_ms`` from now.
+
+    Also carries the current settlement watermark (releasing fenced
+    reads) and any pending piggybacked cache entries.
+    """
+
+    shard_id: int
+    epoch: int
+    primary: str
+    settled_through: int
+    lease_ms: float
+    cache_entries: list = field(default_factory=list)
+
+    def size(self) -> int:
+        total = 40
+        if self.cache_entries:
+            total += estimate_size(self.cache_entries)
+        return total
 
 
 # -- membership / failure detection ----------------------------------------

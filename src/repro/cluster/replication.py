@@ -284,6 +284,12 @@ class ReplicationPipeline:
         #: set when this node stops being the shard's primary (failover,
         #: migration): a retired pipeline ships nothing and settles nothing
         self._retired = False
+        #: object-id prefix -> last unsettled sequence that wrote it, for
+        #: per-object read barriers (pruned as the watermark advances)
+        self._dirty_last: dict[bytes, int] = {}
+        #: sequence -> object-id prefixes that round wrote, kept until
+        #: settlement so (re)transmitted frames can carry them
+        self._round_objects: dict[int, tuple] = {}
         #: jitter stream, created lazily on the first retransmission so
         #: faultless runs never touch it
         self._retry_rng = None
@@ -363,6 +369,9 @@ class ReplicationPipeline:
         if sequence is None:
             sequence = self.log.last_assigned
         event = self.sim.event(name=f"repl-barrier:{self._name}:{sequence}")
+        if sequence <= 0:
+            event.succeed()
+            return event
         if sequence <= self.settled_through:
             event.succeed()
         else:
@@ -371,12 +380,35 @@ class ReplicationPipeline:
             self._barriers.setdefault(sequence, []).append(event)
         return event
 
+    def required_for(self, objects) -> int:
+        """The highest unsettled sequence that wrote any of ``objects``
+        (0 when every listed object is clean): the per-object read
+        barrier a read touching exactly these objects must wait for."""
+        dirty = self._dirty_last
+        required = 0
+        for obj in objects:
+            sequence = dirty.get(obj, 0)
+            if sequence > required:
+                required = sequence
+        return required
+
+    def objects_for_round(self, sequence: int) -> tuple:
+        """Object-id prefixes round ``sequence`` wrote (empty once the
+        round settled and was pruned)."""
+        return self._round_objects.get(sequence, ())
+
     # -- commit path -----------------------------------------------------------
 
-    def submit(self, batches: list[bytes]):
+    def submit(self, batches: list[bytes], objects: tuple = ()):
         """Enqueue a committed round; returns the event that fires once
-        every sequence <= this round's is acked by all live backups."""
+        every sequence <= this round's is acked by all live backups.
+        ``objects`` lists the object-id prefixes the round wrote, driving
+        per-object read barriers here and dirtiness tracking on backups."""
         sequence = self.log.next_sequence(batches)
+        if objects:
+            for obj in objects:
+                self._dirty_last[obj] = sequence
+            self._round_objects[sequence] = tuple(objects)
         event = self.sim.event(name=f"repl:{self._name}:{sequence}")
         self._waiters[sequence] = event
         self._pending.append((sequence, batches))
@@ -465,6 +497,11 @@ class ReplicationPipeline:
             return
         self.settled_through = watermark
         self.log.complete_through(watermark)
+        if self._round_objects:
+            for sequence in [s for s in self._round_objects if s <= watermark]:
+                del self._round_objects[sequence]
+            for obj in [o for o, s in self._dirty_last.items() if s <= watermark]:
+                del self._dirty_last[obj]
         released = []
         for sequence in self._waiters:  # ascending insertion order
             if sequence > watermark:

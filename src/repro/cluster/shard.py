@@ -30,6 +30,11 @@ class ReplicaSet:
     def members(self) -> list[str]:
         return [self.primary] + self.backups
 
+    def read_replicas(self) -> list[str]:
+        """Nodes eligible to serve lease-based replica reads: the backups
+        when there are any, otherwise the primary itself."""
+        return list(self.backups) if self.backups else [self.primary]
+
     def copy(self) -> "ReplicaSet":
         return ReplicaSet(self.shard_id, self.primary, list(self.backups))
 

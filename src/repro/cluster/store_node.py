@@ -30,6 +30,8 @@ from repro.cluster.messages import (
     ConfigQuery,
     ConfigReply,
     Heartbeat,
+    LeaseGrant,
+    LeaseQuery,
     MigrateAck,
     MigrateObject,
     NewConfig,
@@ -43,6 +45,7 @@ from repro.cluster.replication import (
     ReplicationPipeline,
 )
 from repro.cluster.scheduler import ObjectLockTable
+from repro.core.fields import value_digest
 from repro.errors import InvocationError, UnknownObjectError
 from repro.kvstore.batch import WriteBatch
 from repro.obs.registry import StatsView
@@ -114,6 +117,51 @@ class UnfreezeObject:
         return 33
 
 
+@dataclass
+class ReplicaReadState:
+    """Backup-side replica-read state for one shard's current primaryship.
+
+    Replaced wholesale when the shard's primary changes: a new primary
+    means a fresh sequence space, so leases, watermarks, and dirtiness
+    from the old primaryship are all meaningless."""
+
+    primary: str
+    #: sim time the current lease expires (-inf = never held one)
+    lease_expiry: float = float("-inf")
+    #: highest settlement watermark learned from frames, lease grants, or
+    #: client fences (a fence is a settlement proof)
+    known_settled: int = 0
+    #: object-id prefix -> last sequence known to have written it and not
+    #: yet known settled (pruned as ``known_settled`` advances)
+    dirty: dict = field(default_factory=dict)
+    #: parked reads woken on any state change
+    waiters: list = field(default_factory=list)
+
+
+#: digest of an absent storage key (mirrors repro.core.caching)
+_ABSENT_DIGEST = b"\x00" * 8
+
+
+def _object_id_bytes(key: bytes) -> bytes:
+    """The object-id prefix a storage key belongs to (the key itself for
+    keys outside the ``o/<oid>/...`` layout, conservatively)."""
+    if key.startswith(b"o/"):
+        end = key.find(b"/", 2)
+        if end >= 0:
+            return key[2:end]
+    return key
+
+
+def _objects_in_batches(batches: list[bytes]) -> tuple:
+    """Object-id prefixes written by encoded batches (decode fallback for
+    paths that did not capture objects at commit time)."""
+    objects = set()
+    for payload in batches:
+        for _kind, key, _value in WriteBatch.decode(payload).items():
+            objects.add(_object_id_bytes(key))
+    return tuple(sorted(objects))
+
+
 class NodeStats(StatsView):
     """Per-node request/replication counters.
 
@@ -139,6 +187,10 @@ class NodeStats(StatsView):
         "remote_charge_retries": 0,
         "remote_charge_timeouts": 0,
         "config_refreshes": 0,
+        "replica_reads_served": 0,
+        "lease_rejections": 0,
+        "replica_behind_rejections": 0,
+        "lease_grants": 0,
         "busy_ms": 0.0,
     }
 
@@ -205,11 +257,17 @@ class ExecutionCapture:
 
     #: encoded batches committed per node name
     batches: dict[str, list[bytes]] = field(default_factory=dict)
+    #: object-id prefixes written per node name (per-object read barriers
+    #: and backup dirtiness tracking, extracted pre-encode for free)
+    objects: dict[str, set] = field(default_factory=dict)
     #: (owner node name, sub InvocationResult) for remote nested calls
     remote_dispatches: list[tuple[str, InvocationResult]] = field(default_factory=list)
 
     def record_batch(self, node_name: str, batch: WriteBatch) -> None:
         self.batches.setdefault(node_name, []).append(batch.encode())
+        ids = self.objects.setdefault(node_name, set())
+        for _kind, key, _value in batch.items():
+            ids.add(_object_id_bytes(key))
 
 
 class StoreNode:
@@ -235,6 +293,8 @@ class StoreNode:
         group_commit_max_rounds: int = 32,
         group_commit_max_bytes: int = 64 * 1024,
         group_commit_flush_ms: float = 0.25,
+        replica_reads: bool = False,
+        replica_read_lease_ms: float = 40.0,
     ) -> None:
         self.sim = sim
         self.net = net
@@ -295,6 +355,21 @@ class StoreNode:
         self._gc_max_bytes = group_commit_max_bytes
         self._gc_flush_ms = group_commit_flush_ms
         self.pipelines: dict[int, ReplicationPipeline] = {}
+        #: replica-read lease protocol (backups serve reads at their own
+        #: applied point); only meaningful on top of group commit
+        self._replica_reads = bool(replica_reads and group_commit)
+        self._lease_ms = replica_read_lease_ms
+        #: bound on how long a backup read parks for a lease/watermark
+        self._read_park_ms = min(replica_read_lease_ms, ack_timeout_ms * 4)
+        #: shard -> backup-side lease/watermark/dirtiness state
+        self._replica_read_state: dict[int, ReplicaReadState] = {}
+        #: shard -> consistent-cache entries queued for piggybacking on
+        #: the next outbound frame / lease grant (primary side, capped)
+        self._cache_share: dict[int, list] = {}
+        #: backup reads currently parked (cluster quiescence accounting)
+        self._parked_reads = 0
+        #: shard -> last LeaseQuery send time (rate limiting)
+        self._last_lease_query: dict[int, float] = {}
         #: jitter stream for legacy-path retransmission backoff, created
         #: lazily so faultless runs never touch it
         self._legacy_retry_rng = None
@@ -327,7 +402,13 @@ class StoreNode:
         self._c_mutating_requests = self.stats.handle("mutating_requests")
         self._c_failed_invocations = self.stats.handle("failed_invocations")
         self._c_replication_rounds = self.stats.handle("replication_rounds")
+        self._c_replica_reads_served = self.stats.handle("replica_reads_served")
         self._c_busy_ms = self.stats.handle("busy_ms")
+        if self.runtime.cache is not None:
+            # Primary-side half of cross-replica cache sharing: freshly
+            # stored entries are queued for piggybacking (no-op while
+            # this node is not a primary or replica reads are off).
+            self.runtime.cache.on_store = self._on_cache_store
         self.crashed = False
         self._hb_generation = 0
         self._config_query_counter = 0
@@ -342,6 +423,8 @@ class StoreNode:
         endpoint.on(ReplicateWrites, self._on_replicate)
         endpoint.on(ReplicateWritesRange, self._on_replicate_range)
         endpoint.on(ReplicateAck, self._on_replicate_ack)
+        endpoint.on(LeaseQuery, self._on_lease_query)
+        endpoint.on(LeaseGrant, self._on_lease_grant)
         endpoint.on(NewConfig, self._on_config_message)
         endpoint.on(ConfigReply, self._on_config_message)
         endpoint.on(RemoteCharge, self._on_remote_charge)
@@ -543,6 +626,172 @@ class StoreNode:
         self._invalidate_applied(applied)
         reply = ReplicateAck(message.shard_id, applier.applied_through, self.name)
         self.endpoint.send(message.primary, reply)
+        if self._replica_reads:
+            self._absorb_frame_lease(message)
+
+    def _absorb_frame_lease(self, message: ReplicateWritesRange) -> None:
+        """Backup half of the lease protocol, fed by a replication frame:
+        renew the lease, learn the settlement watermark, mark the frame's
+        objects dirty, install piggybacked cache entries (validated
+        against the just-applied state), and wake parked reads."""
+        if self.shard_map is None:
+            return
+        replica_set = self.shard_map.replica_set_or_none(message.shard_id)
+        if (
+            replica_set is None
+            or replica_set.primary != message.primary
+            or self.name not in replica_set.backups
+        ):
+            # A frame from a deposed primary must not resurrect a lease
+            # (or reset the state built up under the current one).
+            return
+        state = self._replica_state_for(message.shard_id, message.primary)
+        if message.lease_ms > 0:
+            expiry = self.sim.now + message.lease_ms
+            if expiry > state.lease_expiry:
+                state.lease_expiry = expiry
+        for offset, round_objects in enumerate(message.objects):
+            sequence = message.first_sequence + offset
+            for obj in round_objects:
+                if state.dirty.get(obj, 0) < sequence:
+                    state.dirty[obj] = sequence
+        self._advance_known_settled(state, message.settled_through)
+        if message.cache_entries:
+            self._install_shared_cache(message.cache_entries)
+        self._wake_replica_waiters(state)
+
+    # -- replica-read leases ---------------------------------------------------
+
+    def _replica_state_for(self, shard_id: int, primary: str) -> ReplicaReadState:
+        state = self._replica_read_state.get(shard_id)
+        if state is None or state.primary != primary:
+            state = ReplicaReadState(primary=primary)
+            self._replica_read_state[shard_id] = state
+        return state
+
+    @staticmethod
+    def _advance_known_settled(state: ReplicaReadState, settled_through: int) -> None:
+        if settled_through > state.known_settled:
+            state.known_settled = settled_through
+            if state.dirty:
+                for obj in [
+                    o for o, s in state.dirty.items() if s <= settled_through
+                ]:
+                    del state.dirty[obj]
+
+    @staticmethod
+    def _wake_replica_waiters(state: ReplicaReadState) -> None:
+        if state.waiters:
+            waiters, state.waiters = state.waiters, []
+            for event in waiters:
+                if not event.triggered:
+                    event.succeed()
+
+    def _park_on(self, state: ReplicaReadState, deadline: float):
+        """Park until the shard's replica-read state changes or the
+        deadline passes (whichever comes first)."""
+        remaining = deadline - self.sim.now
+        if remaining <= 0:
+            return
+        event = self.sim.event()
+        state.waiters.append(event)
+        try:
+            yield self.sim.any_of([event, self.sim.timeout(remaining)])
+        finally:
+            if not event.triggered and event in state.waiters:
+                state.waiters.remove(event)
+
+    def _maybe_lease_query(self, shard_id: int, primary: str) -> None:
+        """Ask the primary for a lease/watermark, at most once per ack
+        timeout per shard (frames renew for free under write traffic, so
+        queries only flow when a backup serves reads of a quiet or
+        unsettled shard)."""
+        last = self._last_lease_query.get(shard_id, float("-inf"))
+        if self.sim.now - last < self._ack_timeout:
+            return
+        self._last_lease_query[shard_id] = self.sim.now
+        self.endpoint.send(primary, LeaseQuery(shard_id, self.name, self.epoch))
+
+    def _on_lease_query(self, message: LeaseQuery) -> None:
+        if not self._replica_reads or self.shard_map is None:
+            return
+        if message.epoch != self.epoch:
+            return  # stale epoch on either side: let config refresh fix it
+        replica_set = self.shard_map.replica_set_or_none(message.shard_id)
+        if (
+            replica_set is None
+            or replica_set.primary != self.name
+            or message.backup not in replica_set.backups
+        ):
+            return  # deposed (or never) primary: grant nothing
+        pipeline = self.pipelines.get(message.shard_id)
+        settled = pipeline.settled_through if pipeline is not None else 0
+        entries = self._cache_share.pop(message.shard_id, [])
+        self.stats.lease_grants += 1
+        grant = LeaseGrant(
+            message.shard_id, self.epoch, self.name, settled, self._lease_ms, entries
+        )
+        self.endpoint.send(message.backup, grant)
+
+    def _on_lease_grant(self, message: LeaseGrant) -> None:
+        if not self._replica_reads or self.shard_map is None:
+            return
+        if message.epoch != self.epoch:
+            return
+        replica_set = self.shard_map.replica_set_or_none(message.shard_id)
+        if replica_set is None or replica_set.primary != message.primary:
+            return
+        state = self._replica_state_for(message.shard_id, message.primary)
+        expiry = self.sim.now + message.lease_ms
+        if expiry > state.lease_expiry:
+            state.lease_expiry = expiry
+        self._advance_known_settled(state, message.settled_through)
+        if message.cache_entries:
+            self._install_shared_cache(message.cache_entries)
+        self._wake_replica_waiters(state)
+
+    # -- cross-replica cache sharing -------------------------------------------
+
+    def _on_cache_store(
+        self, object_id: str, method: str, digest: bytes, value, read_set: dict
+    ) -> None:
+        """ResultCache.on_store hook: queue a freshly memoised entry for
+        piggybacking to this shard's backups (primary side only)."""
+        if not self._replica_reads or self.shard_map is None:
+            return
+        own_shard = self.shard_map.shard_of_node(self.name)
+        if (
+            own_shard is None
+            or own_shard.primary != self.name
+            or not own_shard.backups
+        ):
+            return
+        queue = self._cache_share.setdefault(own_shard.shard_id, [])
+        queue.append((object_id, method, digest, value, dict(read_set)))
+        if len(queue) > 64:
+            del queue[0]  # best-effort: drop the oldest, not the freshest
+
+    def _install_shared_cache(self, entries: list) -> None:
+        """Backup side: validate each piggybacked entry's read set against
+        *local* applied state and install the ones that match (a mismatch
+        just means this replica hasn't applied the underpinning writes or
+        already applied newer ones — skip, never serve)."""
+        cache = self.runtime.cache
+        if cache is None:
+            return
+        get = self.runtime.storage.get
+        for object_id, method, digest, value, read_set in entries:
+            valid = True
+            for storage_key, expected_digest in read_set.items():
+                current = get(storage_key)
+                current_digest = (
+                    value_digest(current) if current is not None else _ABSENT_DIGEST
+                )
+                if current_digest != expected_digest:
+                    valid = False
+                    break
+            if valid:
+                cache.install(object_id, method, digest, value, read_set)
 
     def _on_replicate_ack(self, message: ReplicateAck) -> None:
         log = self.primary_logs.get(message.shard_id)
@@ -603,9 +852,25 @@ class StoreNode:
     def _send_range_frame(
         self, shard_id: int, targets: list[str], first_sequence: int, rounds
     ) -> None:
+        rounds = list(rounds)
         message = ReplicateWritesRange(
-            shard_id, self.epoch, first_sequence, list(rounds), self.name
+            shard_id, self.epoch, first_sequence, rounds, self.name
         )
+        pipeline = self.pipelines.get(shard_id)
+        if pipeline is not None:
+            message.settled_through = pipeline.settled_through
+            if self._replica_reads:
+                # Every frame doubles as a lease renewal and carries the
+                # per-round dirty-object hints plus any queued cache
+                # entries (drained once; retransmissions carry none).
+                message.lease_ms = self._lease_ms
+                message.objects = [
+                    list(pipeline.objects_for_round(first_sequence + offset))
+                    for offset in range(len(rounds))
+                ]
+                entries = self._cache_share.pop(shard_id, None)
+                if entries:
+                    message.cache_entries = entries
         for target in targets:
             self.endpoint.send(target, message)
 
@@ -655,12 +920,16 @@ class StoreNode:
         else:
             yield waiter
 
-    def _replicate_batches(self, shard_id: int, batches: list[bytes], parent=None):
+    def _replicate_batches(
+        self, shard_id: int, batches: list[bytes], parent=None, objects=None
+    ):
         """Replicate committed batches and wait until every live backup
         acked: the group-commit pipeline when enabled, the legacy
         one-round-at-a-time path otherwise."""
         if self._group_commit:
-            waiter = self._pipeline_for(shard_id).submit(batches)
+            if objects is None:
+                objects = _objects_in_batches(batches)
+            waiter = self._pipeline_for(shard_id).submit(batches, objects=objects)
             self._c_replication_rounds.inc()
             yield from self._pipeline_wait(shard_id, waiter, parent=parent)
             return
@@ -751,6 +1020,7 @@ class StoreNode:
     # -- client requests ---------------------------------------------------
 
     def _reply(self, request: ClientRequest, reply: ClientReply) -> None:
+        reply.server = self.name
         self.endpoint.send(request.client, reply)
 
     def _handle_request(self, request: ClientRequest):
@@ -918,11 +1188,20 @@ class StoreNode:
                 self._request_hist["readonly"].observe(self.sim.now - arrived)
 
     def _execute_readonly_gc(self, request: ClientRequest, root=None):
-        """Read path under group commit: with the object lock released at
-        local commit, committed-but-unacked writes are visible here at the
-        primary, so the reply parks behind the shard's settlement
-        watermark (off the core) — a later read at a lagging backup can
-        then never contradict what this read observed."""
+        """Read path under group commit.
+
+        At the primary, committed-but-unacked writes are visible (the
+        object lock is released at local commit), so the reply parks
+        behind a *per-object* settlement barrier: only the last unsettled
+        sequence that wrote the read objects gates it — reads of clean
+        objects never park.  At a backup, the replica-read lease protocol
+        applies (see :meth:`_execute_readonly_backup`).  Either way a
+        later read at any replica can never contradict what this read
+        observed."""
+        replica_set = self.shard_map.shard_for(request.object_id)
+        if replica_set.primary != self.name:
+            yield from self._execute_readonly_backup(request, replica_set, root)
+            return
         self._c_readonly_requests.inc()
         self._note_load(request)
         arrived = self.sim.now
@@ -945,39 +1224,200 @@ class StoreNode:
             if error_text is not None:
                 self._reply(request, ClientReply(request.request_id, False, error=error_text))
                 return
-            yield from self._read_barrier(request, parent=root)
-            self._reply(request, ClientReply(request.request_id, True, value=result.value))
+            pipeline = self.pipelines.get(replica_set.shard_id)
+            fence = None
+            if pipeline is not None:
+                if result.sub_results:
+                    # Nested dispatches may have exposed *any* object's
+                    # unsettled writes: fall back to the full watermark.
+                    required = pipeline.log.last_assigned
+                else:
+                    required = pipeline.required_for(
+                        (str(request.object_id).encode(),)
+                    )
+                if required > pipeline.settled_through:
+                    event = pipeline.barrier(required)
+                    if not event.triggered:
+                        tracer = self.tracer
+                        if tracer is not None and root is not None:
+                            span = tracer.start(
+                                "read.barrier", parent=root, node=self.name,
+                                shard=replica_set.shard_id,
+                            )
+                            try:
+                                yield event
+                            finally:
+                                tracer.end(span)
+                        else:
+                            yield event
+                if pipeline.settled_through:
+                    fence = (
+                        replica_set.shard_id, self.name, pipeline.settled_through
+                    )
+            self._reply(
+                request,
+                ClientReply(request.request_id, True, value=result.value, fence=fence),
+            )
         finally:
             if self._request_hist is not None:
                 self._request_hist["readonly"].observe(self.sim.now - arrived)
 
-    def _read_barrier(self, request: ClientRequest, parent=None):
-        """Park a primary-served read until every sequence assigned before
-        it executed is acked by all live backups (no-op on backups and on
-        quiescent shards)."""
-        if self.shard_map is None:
+    def _reject(self, request: ClientRequest, error: str) -> None:
+        self._reply(
+            request,
+            ClientReply(request.request_id, False, error=error, current_epoch=self.epoch),
+        )
+
+    def _execute_readonly_backup(self, request: ClientRequest, replica_set, root=None):
+        """Serve a read at a backup: no primary round trip, no settlement
+        barrier — the backup executes against its own applied state.
+
+        Safety comes from three checks.  Pre-execution: a valid lease
+        from the shard's current primary (a lease outlives every window
+        in which the primary could settle writes without this backup, so
+        a partitioned/deposed replica refuses instead of serving stale
+        state) and ``applied_through >= min_applied`` (the client's
+        monotonic-read fence).  Post-execution: the reply is parked until
+        the settlement watermark covers the last applied write to the
+        read objects, so a result derived from a write that could still
+        be lost on failover is never released.  Rejections are retryable;
+        the client's router penalises this backup briefly and retries
+        elsewhere."""
+        shard_id = replica_set.shard_id
+        if not self._replica_reads:
+            # Without leases a backup must not serve reads under group
+            # commit at all (it would skip the settlement barrier).
+            self.stats.rejected_not_primary += 1
+            self._reject(request, "not primary")
             return
-        replica_set = self.shard_map.shard_for(request.object_id)
-        if replica_set.primary != self.name:
-            return
-        pipeline = self.pipelines.get(replica_set.shard_id)
-        if pipeline is None:
-            return
-        event = pipeline.barrier()
-        if event.triggered:
-            return
-        tracer = self.tracer
-        if tracer is not None and parent is not None:
-            span = tracer.start(
-                "read.barrier", parent=parent, node=self.name,
-                shard=replica_set.shard_id,
+        self._c_readonly_requests.inc()
+        self._note_load(request)
+        arrived = self.sim.now
+        primary = replica_set.primary
+        state = self._replica_state_for(shard_id, primary)
+        # A fence is a settlement proof: the client observed a reply
+        # derived from settled sequence ``min_applied`` under this
+        # primaryship, so the watermark is at least that.
+        self._advance_known_settled(state, request.min_applied)
+        deadline = self.sim.now + self._read_park_ms
+        self._parked_reads += 1
+        try:
+            ready = yield from self._await_replica_ready(
+                request, shard_id, primary, state, deadline
             )
+            if not ready:
+                return
+            yield self.cpu.request()
+            started = self.sim.now
+            result = None
+            error_text = None
             try:
-                yield event
+                try:
+                    result = self._invoke_traced(root, request)
+                except (InvocationError, UnknownObjectError) as error:
+                    self._c_failed_invocations.inc()
+                    error_text = str(error)
+                if result is not None:
+                    yield self.sim.timeout(result.fuel_used * self.ms_per_fuel)
             finally:
-                tracer.end(span)
-        else:
-            yield event
+                self._c_busy_ms.inc(self.sim.now - started)
+                self.cpu.release()
+            if error_text is not None:
+                self._reply(
+                    request, ClientReply(request.request_id, False, error=error_text)
+                )
+                return
+            if result.sub_results:
+                # Nested dispatches executed remotely at their owners'
+                # runtimes and may expose state no watermark this replica
+                # knows about covers; bounce to the primary's barrier.
+                self.stats.rejected_not_primary += 1
+                self._reject(request, "not primary")
+                return
+            required = state.dirty.get(str(request.object_id).encode(), 0)
+            released = yield from self._await_settled(
+                request, shard_id, primary, state, required, deadline
+            )
+            if not released:
+                return
+            self._c_replica_reads_served.inc()
+            fence = (
+                (shard_id, primary, state.known_settled)
+                if state.known_settled
+                else None
+            )
+            self._reply(
+                request,
+                ClientReply(request.request_id, True, value=result.value, fence=fence),
+            )
+        finally:
+            self._parked_reads -= 1
+            if self._request_hist is not None:
+                self._request_hist["readonly"].observe(self.sim.now - arrived)
+
+    def _await_replica_ready(
+        self, request: ClientRequest, shard_id: int, primary: str,
+        state: ReplicaReadState, deadline: float,
+    ):
+        """Pre-execution gate for a backup read: park until this backup
+        holds a valid lease and has applied the client's fence.  Returns
+        False after sending a retryable rejection."""
+        while True:
+            if self.shard_map is None:
+                self.stats.rejected_wrong_epoch += 1
+                self._reject(request, "wrong epoch")
+                return False
+            current = self.shard_map.shard_for(request.object_id)
+            if (
+                current.shard_id != shard_id
+                or current.primary != primary
+                or self.name not in current.members
+            ):
+                # Reconfigured while parked: the lease state no longer
+                # describes this shard's primaryship.
+                self.stats.rejected_wrong_epoch += 1
+                self._reject(request, "wrong epoch")
+                return False
+            applier = self.backup_appliers.get(shard_id)
+            applied = applier.applied_through if applier is not None else 0
+            lease_ok = self.sim.now < state.lease_expiry
+            if lease_ok and applied >= request.min_applied:
+                return True
+            if self.sim.now >= deadline:
+                if not lease_ok:
+                    self.stats.lease_rejections += 1
+                    self._reject(request, "no lease")
+                else:
+                    self.stats.replica_behind_rejections += 1
+                    self._reject(request, "replica behind")
+                return False
+            self._maybe_lease_query(shard_id, primary)
+            yield from self._park_on(state, deadline)
+
+    def _await_settled(
+        self, request: ClientRequest, shard_id: int, primary: str,
+        state: ReplicaReadState, required: int, deadline: float,
+    ):
+        """Post-execution gate for a backup read: park until the
+        settlement watermark covers ``required`` (the last applied write
+        to the read objects).  Returns False after sending a retryable
+        rejection."""
+        while state.known_settled < required:
+            if self.sim.now >= deadline:
+                self.stats.replica_behind_rejections += 1
+                self._reject(request, "replica behind")
+                return False
+            if self.shard_map is not None:
+                current = self.shard_map.shard_for(request.object_id)
+                if current.primary != primary:
+                    # Deposed primary: its watermark can never advance to
+                    # cover the unsettled write this result exposes.
+                    self.stats.rejected_wrong_epoch += 1
+                    self._reject(request, "wrong epoch")
+                    return False
+            self._maybe_lease_query(shard_id, primary)
+            yield from self._park_on(state, deadline)
+        return True
 
     def _execute_mutating(self, request: ClientRequest, shard_id: int, root=None):
         self._c_mutating_requests.inc()
@@ -1042,7 +1482,10 @@ class StoreNode:
                 # condition the legacy path waits for under the lock.
                 waiter = None
                 if own_batches:
-                    waiter = self._pipeline_for(shard_id).submit(own_batches)
+                    waiter = self._pipeline_for(shard_id).submit(
+                        own_batches,
+                        objects=tuple(sorted(capture.objects.get(self.name, ()))),
+                    )
                     self._c_replication_rounds.inc()
                 self.locks.release(object_key)
                 locked = False
@@ -1063,7 +1506,14 @@ class StoreNode:
             if self._group_commit and waiter is not None:
                 yield from self._pipeline_wait(shard_id, waiter, parent=root)
 
-            reply = ClientReply(request.request_id, True, value=result.value)
+            fence = None
+            if self._group_commit and waiter is not None:
+                pipeline = self.pipelines.get(shard_id)
+                if pipeline is not None and pipeline.settled_through:
+                    fence = (shard_id, self.name, pipeline.settled_through)
+            reply = ClientReply(
+                request.request_id, True, value=result.value, fence=fence
+            )
             self._completed.record(request.request_id, reply)
             self._reply(request, reply)
         finally:

@@ -53,6 +53,7 @@ class CacheStats(StatsView):
         "invalidations": 0,
         "validation_failures": 0,
         "stores": 0,
+        "installs": 0,
     }
 
 
@@ -80,6 +81,11 @@ class ResultCache:
         self._c_validation_failures = self.stats.handle("validation_failures")
         self._c_invalidations = self.stats.handle("invalidations")
         self._c_stores = self.stats.handle("stores")
+        self._c_installs = self.stats.handle("installs")
+        #: optional hook fired after every locally-originated store()
+        #: (NOT after install()) — the cluster layer uses it to piggyback
+        #: fresh entries to the shard's other replicas
+        self.on_store: Optional[Callable[[str, str, bytes, Any, dict], None]] = None
         if registry is not None:
             registry.gauge("cache_entries", labels, fn=lambda: len(self._entries))
 
@@ -123,7 +129,25 @@ class ResultCache:
         self, object_id: str, method: str, digest: bytes, value: Any, read_set: dict[bytes, bytes]
     ) -> None:
         """Memoise a result keyed by input hash, recording its read set."""
-        cache_key = self._key(object_id, method, digest)
+        self._insert(self._key(object_id, method, digest), value, read_set)
+        self._c_stores.inc()
+        if self.on_store is not None:
+            self.on_store(str(object_id), method, digest, value, read_set)
+
+    def install(
+        self, object_id: str, method: str, digest: bytes, value: Any, read_set: dict[bytes, bytes]
+    ) -> None:
+        """Install an entry shared by another replica.
+
+        Identical to :meth:`store` except it never notifies
+        :attr:`on_store` (shared entries must not echo back to the wire)
+        and counts separately.  The caller is responsible for validating
+        the read set against *local* committed state first.
+        """
+        self._insert(self._key(object_id, method, digest), value, read_set)
+        self._c_installs.inc()
+
+    def _insert(self, cache_key: tuple, value: Any, read_set: dict[bytes, bytes]) -> None:
         self._drop(cache_key)
         while len(self._entries) >= self._max_entries:
             oldest_key = next(iter(self._entries))
@@ -131,7 +155,6 @@ class ResultCache:
         self._entries[cache_key] = CacheEntry(value, dict(read_set))
         for storage_key in read_set:
             self._by_read_key.setdefault(storage_key, set()).add(cache_key)
-        self._c_stores.inc()
 
     # -- invalidation -------------------------------------------------------
 

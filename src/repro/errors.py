@@ -150,6 +150,20 @@ class RequestTimeout(ClusterError):
     """A client request exceeded its deadline without a response."""
 
 
+class InvocationFailed(ClusterError):
+    """The cluster answered, but the invocation itself failed.
+
+    Distinct from :class:`RequestTimeout`: the request *did* reach a node
+    and was definitively rejected with a non-retryable application error
+    ("insufficient funds", unknown method, ...).  ``error`` carries the
+    server-side error text verbatim.
+    """
+
+    def __init__(self, message: str, error: str = "") -> None:
+        super().__init__(message)
+        self.error = error
+
+
 # ---------------------------------------------------------------------------
 # Serverless baseline
 # ---------------------------------------------------------------------------

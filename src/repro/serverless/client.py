@@ -6,7 +6,7 @@ from typing import Any
 
 from repro.cluster.messages import ClientReply, ClientRequest
 from repro.core.ids import ObjectId
-from repro.errors import RequestTimeout
+from repro.errors import InvocationFailed, RequestTimeout
 from repro.rpc import RpcStub
 
 
@@ -56,6 +56,8 @@ class SimpleClient:
         if reply is None:
             raise RequestTimeout(f"{method} on {object_id.short} timed out")
         if not reply.ok:
-            raise RequestTimeout(f"{method} failed: {reply.error}")
+            # The platform answered: the invocation itself failed (bad
+            # method, unknown object, application error) — not a timeout.
+            raise InvocationFailed(f"{method} failed: {reply.error}", error=reply.error)
         self.completions.append((self.sim.now - started, method))
         return reply.value

@@ -12,7 +12,7 @@ from __future__ import annotations
 
 from repro.core.runtime import LocalRuntime
 from repro.cluster.messages import ClientReply, ClientRequest
-from repro.errors import InvocationError, UnknownObjectError
+from repro.errors import InvocationError, UnknownObjectError, WasmError
 from repro.obs.registry import StatsView
 from repro.rpc import RpcEndpoint
 from repro.serverless.container import ContainerPool
@@ -172,7 +172,10 @@ class ComputeNode:
                     result = self.runtime.invoke_detailed(
                         request.object_id, request.method, *request.args
                     )
-            except (InvocationError, UnknownObjectError) as error:
+            except (InvocationError, UnknownObjectError, WasmError) as error:
+                # WasmError covers link failures (unknown method) and guest
+                # traps: without it the request died here unanswered and the
+                # client burned its full timeout on a definitive failure.
                 self._c_failed.inc()
                 reply = ClientReply(request.request_id, False, error=str(error))
                 self.endpoint.send(request.client, reply)

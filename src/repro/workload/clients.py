@@ -10,7 +10,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any
 
-from repro.errors import RequestTimeout
+from repro.errors import InvocationFailed, RequestTimeout
 from repro.sim.core import Simulation
 from repro.workload.metrics import LatencyRecorder, WorkloadReport
 
@@ -59,7 +59,7 @@ class ClosedLoopDriver:
             started = self.sim.now
             try:
                 yield from client.invoke(object_id, method, *args)
-            except RequestTimeout:
+            except (RequestTimeout, InvocationFailed):
                 self.failures += 1
                 continue
             self.recorder.record(self.sim.now, method, self.sim.now - started)

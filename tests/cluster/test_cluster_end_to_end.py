@@ -3,7 +3,7 @@
 import pytest
 
 from repro.core import ObjectId
-from repro.errors import RequestTimeout
+from repro.errors import InvocationFailed
 
 from tests.cluster.conftest import build_cluster, run_ops
 
@@ -101,14 +101,15 @@ def test_unknown_method_fails_cleanly(small_cluster):
     sim, cluster = small_cluster
     oid = cluster.create_object("Counter")
     client = cluster.client("c0")
-    with pytest.raises(RequestTimeout):
+    with pytest.raises(InvocationFailed) as excinfo:
         cluster.run_invoke(client, oid, "no_such_method")
+    assert "no_such_method" in str(excinfo.value)
 
 
-def test_unknown_object_times_out(small_cluster):
+def test_unknown_object_fails_cleanly(small_cluster):
     sim, cluster = small_cluster
     client = cluster.client("c0", max_attempts=2, request_timeout_ms=5.0)
-    with pytest.raises(RequestTimeout):
+    with pytest.raises(InvocationFailed):
         cluster.run_invoke(client, ObjectId.from_name("ghost"), "read")
 
 

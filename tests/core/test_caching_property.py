@@ -114,3 +114,130 @@ CacheIndexMachine.TestCase.settings = settings(
     max_examples=60, stateful_step_count=40, deadline=None
 )
 TestCacheIndex = CacheIndexMachine.TestCase
+
+
+class ReplicaCacheMachine(RuleBasedStateMachine):
+    """Cross-replica cache sharing never goes incoherent.
+
+    Models the lease-read piggyback protocol: the primary's cache fires
+    ``on_store`` for every locally-originated entry, which queues the
+    entry for shipment to a backup; the backup applies replicated writes
+    in order and, before installing a shared entry, re-validates its read
+    set against *local* committed state (mirroring the store node's
+    install path).  Shipment and write application interleave arbitrarily
+    — more adversarially than the real frames, where entries ride with
+    the writes — so validate-before-install is load-bearing.  The
+    invariant is the chaos checker's: ``stale_entries()`` stays empty on
+    BOTH replicas after every step.
+    """
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.primary = ResultCache(max_entries=MAX_ENTRIES)
+        self.backup = ResultCache(max_entries=MAX_ENTRIES)
+        self.primary_storage: dict[bytes, bytes] = {}
+        self.backup_storage: dict[bytes, bytes] = {}
+        #: committed writes awaiting backup apply, in commit order
+        self.replication_queue: list[tuple[bytes, bytes | None]] = []
+        #: fresh primary entries awaiting shipment (on_store piggyback)
+        self.share_queue: list[tuple] = []
+        self.installed = 0
+        self.rejected = 0
+        self.primary.on_store = (
+            lambda *entry: self.share_queue.append(entry)
+        )
+
+    def _get(self, storage: dict[bytes, bytes]):
+        return storage.get
+
+    def _read_set(self, keys: set[bytes]) -> dict[bytes, bytes]:
+        """A read set consistent with *primary* storage at store time."""
+        return {
+            key: value_digest(self.primary_storage[key])
+            if key in self.primary_storage
+            else _ABSENT_DIGEST
+            for key in keys
+        }
+
+    @rule(
+        object_id=OBJECTS,
+        method=METHODS,
+        digest=DIGESTS,
+        value=st.integers(0, 100),
+        keys=st.sets(STORAGE_KEYS, min_size=0, max_size=3),
+    )
+    def primary_store(self, object_id, method, digest, value, keys):
+        """A read-only invocation memoised at the primary; the on_store
+        hook queues it for the backup."""
+        self.primary.store(object_id, method, digest, value, self._read_set(keys))
+
+    @rule(object_id=OBJECTS, method=METHODS, digest=DIGESTS)
+    def primary_lookup(self, object_id, method, digest):
+        self.primary.lookup(object_id, method, digest, self._get(self.primary_storage))
+
+    @rule(object_id=OBJECTS, method=METHODS, digest=DIGESTS)
+    def backup_lookup(self, object_id, method, digest):
+        self.backup.lookup(object_id, method, digest, self._get(self.backup_storage))
+
+    @rule(key=STORAGE_KEYS, value=st.integers(0, 100))
+    def primary_commit_write(self, key, value):
+        """A commit at the primary: local apply + eager invalidation, and
+        the write joins the ordered replication stream."""
+        encoded = encode_value(value)
+        self.primary_storage[key] = encoded
+        self.primary.invalidate_keys([key])
+        self.replication_queue.append((key, encoded))
+
+    @rule(key=STORAGE_KEYS)
+    def primary_commit_delete(self, key):
+        self.primary_storage.pop(key, None)
+        self.primary.invalidate_keys([key])
+        self.replication_queue.append((key, None))
+
+    @rule()
+    def backup_apply_write(self):
+        """The backup applies the next replicated write and invalidates
+        readers — the store node's batch-apply path."""
+        if not self.replication_queue:
+            return
+        key, encoded = self.replication_queue.pop(0)
+        if encoded is None:
+            self.backup_storage.pop(key, None)
+        else:
+            self.backup_storage[key] = encoded
+        self.backup.invalidate_keys([key])
+
+    @rule()
+    def deliver_shared_entry(self):
+        """A piggybacked entry arrives: validate the read set against the
+        backup's committed state, install only on a full match (the store
+        node's ``_install_shared_cache``)."""
+        if not self.share_queue:
+            return
+        object_id, method, digest, value, read_set = self.share_queue.pop(0)
+        get = self._get(self.backup_storage)
+        for storage_key, expected_digest in read_set.items():
+            current = get(storage_key)
+            current_digest = (
+                value_digest(current) if current is not None else _ABSENT_DIGEST
+            )
+            if current_digest != expected_digest:
+                self.rejected += 1
+                return
+        self.backup.install(object_id, method, digest, value, read_set)
+        self.installed += 1
+
+    @invariant()
+    def no_replica_serves_stale_state(self):
+        assert self.primary.stale_entries(self._get(self.primary_storage)) == []
+        assert self.backup.stale_entries(self._get(self.backup_storage)) == []
+        # install() never echoes back to the wire: only the primary's
+        # locally-originated stores ever entered the share queue.
+        assert self.backup.stats.installs == self.installed
+        assert self.backup.stats.stores == 0
+
+
+ReplicaCacheMachine.TestCase.settings = settings(
+    max_examples=60, stateful_step_count=40, deadline=None
+)
+TestReplicaCache = ReplicaCacheMachine.TestCase

@@ -130,6 +130,47 @@ def test_should_retry_and_on_retry_drive_the_schedule():
     assert retries_seen == [(0, 0), (1, 1)]
 
 
+def test_generator_on_retry_runs_before_next_attempt():
+    """``on_retry`` may be a generator (e.g. the cluster client's config
+    refresh round trip); the stub must drive it to completion — including
+    its timeouts — before rebuilding the next attempt's payload."""
+    sim, net, stub = build()
+    endpoint = RpcEndpoint(sim, net, "server")
+    endpoint.on(Ping, lambda ping: endpoint.send("client", Pong(ping.seq)))
+    endpoint.start()
+    state = {"config": 0}
+    hook_done_at = []
+
+    def on_retry(_attempt, pong):
+        # Simulate a refresh: only after a simulated round trip does the
+        # shared config advance past the retry threshold.
+        yield sim.timeout(3.0)
+        state["config"] = pong.seq + 10
+        hook_done_at.append(sim.now)
+
+    def caller():
+        return (
+            yield from stub.call(
+                "server",
+                lambda attempt: Ping(state["config"] + attempt),
+                lambda p: isinstance(p, Pong),
+                retry=RetryPolicy(max_attempts=5),
+                should_retry=lambda pong: pong.seq < 10,
+                on_retry=on_retry,
+            )
+        )
+
+    process = sim.process(caller())
+    sim.run()
+    # Attempt 0 sent Ping(0) -> Pong(0), retryable.  The generator hook
+    # ran to completion (config = 10) BEFORE attempt 1 built its payload,
+    # so attempt 1 sent Ping(11) and was accepted.  If the stub had only
+    # invoked the hook without driving the generator, config would still
+    # be 0 and every attempt would exhaust on seq < 10.
+    assert process.value == Pong(11)
+    assert hook_done_at and hook_done_at[0] >= 3.0
+
+
 def test_exhausted_retries_return_last_reply():
     sim, net, stub = build()
     endpoint = RpcEndpoint(sim, net, "server")

@@ -9,7 +9,7 @@ from repro.core import (
     method,
     readonly_method,
 )
-from repro.errors import RequestTimeout
+from repro.errors import InvocationFailed
 from repro.serverless import ServerlessConfig, ServerlessPlatform
 from repro.serverless.request_log import DurableRequestLog
 from repro.serverless.storage_client import RecordingStorage
@@ -110,7 +110,7 @@ def test_unknown_method_fails():
     sim, platform = build_platform()
     oid = platform.create_object("Counter")
     client = platform.client("c0")
-    with pytest.raises(RequestTimeout):
+    with pytest.raises(InvocationFailed):
         platform.run_invoke(client, oid, "nope")
 
 

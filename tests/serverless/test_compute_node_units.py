@@ -88,9 +88,9 @@ def test_failed_invocation_releases_container():
     sim, platform = build(seed=6, container_pool_size=1)
     oid = platform.create_object("Chain")
     client = platform.client("c")
-    from repro.errors import RequestTimeout
+    from repro.errors import InvocationFailed
 
-    with pytest.raises(RequestTimeout):
+    with pytest.raises(InvocationFailed):
         platform.run_invoke(client, oid, "no_such_method")
     # The pool slot came back: the next request succeeds.
     assert platform.run_invoke(client, oid, "read") == 0
