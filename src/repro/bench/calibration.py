@@ -55,6 +55,15 @@ class Calibration:
     #: locally under a primary-granted lease); requires group_commit.
     #: The on/off delta is measured in ``abl_replica_reads``.
     replica_reads: bool = True
+    #: per-tenant admission control + overload shedding (DESIGN.md §5h);
+    #: off everywhere except ``abl_overload``, which measures the
+    #: goodput-under-overload delta.
+    admission_control: bool = False
+    #: sustained per-tenant admitted rate in requests/sec (0 = unlimited);
+    #: only read when ``admission_control`` is on
+    tenant_rate_limit: float = 0.0
+    #: per-node concurrent-request cap (0 = unlimited)
+    max_inflight_requests: int = 0
 
 
 #: presets: "quick" keeps pytest-benchmark runs fast; "full" matches §5.

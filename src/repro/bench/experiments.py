@@ -30,6 +30,8 @@ from repro.bench.harness import (
     build_aggregated,
     build_disaggregated,
     load_dataset,
+    probe_capacity,
+    run_overload,
     run_replication_mix,
     run_retwis,
 )
@@ -431,6 +433,210 @@ def abl_replica_reads(cal: CalibrationLike = None) -> dict:
     return {"name": "abl_replica_reads", "rows": rows, "text": text}
 
 
+#: open-loop sweep points, as multiples of the probed saturation rate
+OVERLOAD_MULTIPLIERS = (1.0, 2.0, 3.0, 4.0)
+
+#: the sweep's traffic: an all-Post write storm on Zipf-hot authors —
+#: the workload where uncontrolled overload actually collapses (posts
+#: serialize on per-object locks and funnel through the primary; reads
+#: would spread across replicas and mask the cliff)
+OVERLOAD_STORM_MIX = {RetwisWorkload.POST: 1.0}
+
+#: tenants sharing the cluster in the overload sweep
+OVERLOAD_TENANTS = 4
+
+#: per-tenant admitted-rate limit, as a fraction of the tenant's fair
+#: share of probed capacity (slightly under 1.0 so the admitted load is
+#: sustainable and queues stay bounded)
+OVERLOAD_RATE_HEADROOM = 0.8
+
+#: goodput counts only completions at or under this latency — under
+#: overload "finished eventually, long past the deadline budget" is not
+#: useful work.  ~2x the saturated closed-loop p99, so the SLO only
+#: bites when queues actually grow.
+OVERLOAD_SLO_MS = 50.0
+
+#: per-tenant client-pool bound in the open-loop driver: large enough
+#: that uncontrolled queues genuinely build (the collapse mechanism),
+#: small enough to keep the event count sane
+OVERLOAD_OUTSTANDING = 256
+
+
+def _overload_row(cal, fair_share: float, mult: float, admission: bool) -> dict:
+    rates = {
+        f"tenant-{i}": mult * fair_share for i in range(OVERLOAD_TENANTS)
+    }
+    result, platform, _sim = run_overload(
+        cal,
+        rates,
+        admission=admission,
+        tenant_rate_limit=OVERLOAD_RATE_HEADROOM * fair_share,
+        max_inflight=8 * cal.cores_per_node,
+        max_outstanding=OVERLOAD_OUTSTANDING,
+        mix=OVERLOAD_STORM_MIX,
+    )
+    tenants = result.tenants.values()
+    shed = sum(node.stats.shed_requests for node in platform.nodes.values())
+    p99 = [t.latency(0.99) for t in tenants if t.latencies_ms]
+    return {
+        "offered_x_capacity": mult,
+        "admission": "on" if admission else "off",
+        "offered_per_sec": round(result.offered_per_sec, 1),
+        "goodput_per_sec": round(result.goodput_per_sec(OVERLOAD_SLO_MS), 1),
+        "completed_per_sec": round(result.goodput_per_sec(), 1),
+        "failed": sum(t.failed for t in tenants),
+        "starved": sum(t.starved for t in tenants),
+        "shed_by_server": shed,
+        "p99_ms": round(max(p99), 3) if p99 else float("nan"),
+        "fairness_index": round(result.fairness_index(OVERLOAD_SLO_MS), 3),
+    }
+
+
+def abl_overload(cal: CalibrationLike = None) -> dict:
+    """DESIGN.md §5h — goodput under overload, admission control on/off.
+
+    Open-loop Poisson write-storm arrivals from
+    :data:`OVERLOAD_TENANTS` tenants on Zipf-hot objects, swept at
+    multiples of the closed-loop saturation rate.  Without admission
+    control, offered load past saturation grows the primary's queues
+    without bound: latencies blow through the :data:`OVERLOAD_SLO_MS`
+    budget, the (already-sunk) server-side work is wasted, and goodput
+    collapses toward zero.  With per-tenant token buckets + concurrency
+    caps + queue backpressure, the excess is shed at arrival with a
+    server-advised retry delay, queues stay bounded, and goodput
+    plateaus near capacity.
+
+    The fairness block keeps the storm but has one aggressive tenant
+    offering 3x its fair share: without admission it crowds the others
+    out of the lock queues (Jain's index sinks); with per-tenant buckets
+    each tenant keeps its share.
+
+    The protect-reads block mixes a reader tenant into the storm with
+    replica reads disabled (so reads share the primary) and turns on
+    *only* the lock-queue backpressure gate: shedding mutating requests
+    when scheduler queues deepen keeps read p99 flat through the storm —
+    and raises write goodput too, because admitted writes stay inside
+    the SLO instead of aging out in queues.
+    """
+    cal = _calibration(cal)
+    capacity = probe_capacity(cal, mix=OVERLOAD_STORM_MIX)
+    fair_share = capacity / OVERLOAD_TENANTS
+    rows = [
+        _overload_row(cal, fair_share, mult, admission)
+        for mult in OVERLOAD_MULTIPLIERS
+        for admission in (False, True)
+    ]
+    text = format_comparison(
+        f"Ablation: goodput under a write storm "
+        f"(open loop, {OVERLOAD_TENANTS} tenants, SLO {OVERLOAD_SLO_MS:.0f}ms, "
+        f"probed capacity {capacity:.0f}/s)",
+        rows,
+    )
+
+    # Fairness: 3 tenants post at their fair share, one at 3x it.
+    fairness_rows = []
+    for admission in (False, True):
+        rates = {
+            f"tenant-{i}": fair_share for i in range(OVERLOAD_TENANTS - 1)
+        }
+        rates["aggressive"] = 3.0 * fair_share
+        result, _platform, _sim = run_overload(
+            cal,
+            rates,
+            admission=admission,
+            tenant_rate_limit=OVERLOAD_RATE_HEADROOM * fair_share,
+            max_inflight=8 * cal.cores_per_node,
+            max_outstanding=OVERLOAD_OUTSTANDING,
+            mix=OVERLOAD_STORM_MIX,
+        )
+        duration = result.duration_ms
+        fairness_rows.append(
+            {
+                "admission": "on" if admission else "off",
+                "fairness_index": round(result.fairness_index(OVERLOAD_SLO_MS), 3),
+                "aggressive_goodput": round(
+                    result.tenants["aggressive"].goodput_per_sec(
+                        duration, OVERLOAD_SLO_MS
+                    ),
+                    1,
+                ),
+                "others_goodput": round(
+                    sum(
+                        t.goodput_per_sec(duration, OVERLOAD_SLO_MS)
+                        for name, t in result.tenants.items()
+                        if name != "aggressive"
+                    ),
+                    1,
+                ),
+            }
+        )
+    text += "\n\n" + format_comparison(
+        "Fairness: write storm, one tenant offering 3x its share", fairness_rows
+    )
+
+    # Protect-reads: a reader tenant sharing the primary with three
+    # write-storm tenants, pressure-gate backpressure only (no rate
+    # limits), so the delta is purely the shed policy.
+    reader_cal = replace(cal, replica_reads=False)
+    rates = {"readers": 2.0 * fair_share}
+    mixes = {"readers": {RetwisWorkload.GET_TIMELINE: 1.0}}
+    for i in range(OVERLOAD_TENANTS - 1):
+        rates[f"writer-{i}"] = 3.0 * fair_share
+        mixes[f"writer-{i}"] = OVERLOAD_STORM_MIX
+    protect_rows = []
+    for label, kwargs in (
+        ("off", dict(admission=False)),
+        (
+            "on (protect-reads, pressure only)",
+            dict(
+                admission=True,
+                tenant_rate_limit=0.0,
+                max_inflight=0,
+                shed_policy="protect-reads",
+            ),
+        ),
+    ):
+        result, platform, _sim = run_overload(
+            cal=reader_cal,
+            tenant_rates=rates,
+            tenant_mixes=mixes,
+            max_outstanding=OVERLOAD_OUTSTANDING,
+            **kwargs,
+        )
+        duration = result.duration_ms
+        readers = result.tenants["readers"]
+        writers = [t for name, t in result.tenants.items() if name != "readers"]
+        protect_rows.append(
+            {
+                "admission": label,
+                "read_goodput": round(
+                    readers.goodput_per_sec(duration, OVERLOAD_SLO_MS), 1
+                ),
+                "read_p99_ms": round(readers.latency(0.99), 3),
+                "write_goodput": round(
+                    sum(t.goodput_per_sec(duration, OVERLOAD_SLO_MS) for t in writers),
+                    1,
+                ),
+                "shed_by_server": sum(
+                    node.stats.shed_requests for node in platform.nodes.values()
+                ),
+            }
+        )
+    text += "\n\n" + format_comparison(
+        "Protect-reads: reader tenant through a write storm (primary reads)",
+        protect_rows,
+    )
+    return {
+        "name": "abl_overload",
+        "rows": rows,
+        "fairness_rows": fairness_rows,
+        "protect_rows": protect_rows,
+        "capacity_per_sec": round(capacity, 1),
+        "slo_ms": OVERLOAD_SLO_MS,
+        "text": text,
+    }
+
+
 def abl_coldstart(cal: CalibrationLike = None) -> dict:
     """§2.1 — start-up latency: cold vs warm containers vs aggregated."""
     cal = _calibration(cal)
@@ -760,6 +966,7 @@ ALL_EXPERIMENTS = {
     "abl_group_commit": abl_group_commit,
     "abl_replica_reads": abl_replica_reads,
     "abl_replication": abl_replication,
+    "abl_overload": abl_overload,
     "abl_coldstart": abl_coldstart,
     "abl_contention": abl_contention,
     "abl_elasticity": abl_elasticity,

@@ -84,6 +84,9 @@ def build_aggregated(sim: Simulation, cal: Calibration, **config_overrides) -> C
         enable_cache=cal.enable_cache,
         group_commit=cal.group_commit,
         replica_reads=cal.replica_reads,
+        admission_control=cal.admission_control,
+        tenant_rate_limit=cal.tenant_rate_limit,
+        max_inflight_requests=cal.max_inflight_requests,
         seed=cal.seed,
     )
     options.update(config_overrides)
@@ -158,6 +161,132 @@ def run_retwis(
             f"(failures={result.failures})"
         )
     return RunResult(variant, workload_name, report, result, platform)
+
+
+#: operation mix for the overload experiments: mutation-heavy (a write
+#: storm) with enough timeline reads to measure the protect-reads policy
+OVERLOAD_MIX = REPLICATION_MIX
+
+
+def _zipf_skewed(workload: Any, dataset: Any, exponent: float) -> Any:
+    """Redirect every operation at a Zipf-sampled account, in place.
+
+    Same wrap as the contention ablation: the op and args are drawn as
+    usual, only the target object is re-pointed, so tenants contend on
+    the same hot head objects.
+    """
+    from repro.workload.zipf import ZipfSampler
+
+    sampler = ZipfSampler(len(dataset.accounts), exponent)
+    original_next = workload.next_operation
+
+    def skewed_next(rng):
+        _oid, method_name, args = original_next(rng)
+        target = dataset.accounts[sampler.sample(rng)]
+        return target, method_name, args
+
+    workload.next_operation = skewed_next  # type: ignore[method-assign]
+    return workload
+
+
+def probe_capacity(
+    cal: Calibration, mix: Optional[dict] = None, zipf_exponent: float = 0.9
+) -> float:
+    """Closed-loop saturation throughput (invocations/sec) of the
+    aggregated platform under ``mix`` — the reference point the open-loop
+    overload sweep expresses its offered rates against.  Uses the same
+    Zipf object skew as :func:`run_overload`, so "1.0× capacity" there
+    means what it says."""
+    from repro.workload.retwis_load import MixedRetwisWorkload
+
+    sim = Simulation(seed=cal.seed)
+    platform = build_aggregated(sim, cal)
+    dataset = load_dataset(platform, cal)
+    workload = MixedRetwisWorkload(dataset, dict(mix or OVERLOAD_MIX))
+    if zipf_exponent > 0:
+        _zipf_skewed(workload, dataset, zipf_exponent)
+    driver = ClosedLoopDriver(
+        sim,
+        platform,
+        workload,
+        num_clients=cal.num_clients,
+        duration_ms=cal.duration_ms,
+        warmup_ms=cal.warmup_ms,
+    )
+    result = driver.run()
+    return sum(r.throughput_per_sec for r in result.reports.values())
+
+
+def run_overload(
+    cal: Calibration,
+    tenant_rates: dict[str, float],
+    admission: bool = False,
+    tenant_rate_limit: float = 0.0,
+    max_inflight: int = 0,
+    request_timeout_ms: float = 40.0,
+    max_attempts: int = 3,
+    mix: Optional[dict] = None,
+    tenant_mixes: Optional[dict] = None,
+    zipf_exponent: float = 0.9,
+    max_outstanding: int = 32,
+    shed_policy: Optional[str] = None,
+):
+    """Open-loop multi-tenant run against the aggregated platform.
+
+    ``tenant_rates`` maps tenant name -> offered requests/sec.  Object
+    selection is Zipf-skewed (``zipf_exponent``) over the accounts, so
+    tenants contend on the same hot objects.  Short per-attempt deadlines
+    + few attempts model latency-sensitive front-end traffic: a request
+    that cannot finish in time is abandoned (its server-side cost is
+    already sunk), which is what makes uncontrolled overload collapse
+    goodput.  ``tenant_mixes`` gives individual tenants their own
+    operation mix (unlisted tenants fall back to ``mix``).  Returns
+    ``(OpenLoopResult, platform, sim)``.
+    """
+    from repro.workload.openloop import OpenLoopDriver
+    from repro.workload.retwis_load import MixedRetwisWorkload
+
+    overrides = {}
+    if admission:
+        overrides = dict(
+            admission_control=True,
+            tenant_rate_limit=tenant_rate_limit,
+            max_inflight_requests=max_inflight,
+        )
+        if shed_policy is not None:
+            overrides["shed_policy"] = shed_policy
+    sim = Simulation(seed=cal.seed)
+    platform = build_aggregated(sim, cal, **overrides)
+    dataset = load_dataset(platform, cal)
+
+    def make_workload(the_mix: dict):
+        workload = MixedRetwisWorkload(dataset, dict(the_mix))
+        if zipf_exponent > 0:
+            _zipf_skewed(workload, dataset, zipf_exponent)
+        return workload
+
+    if tenant_mixes:
+        default_mix = dict(mix or OVERLOAD_MIX)
+        workload = {
+            tenant: make_workload(tenant_mixes.get(tenant, default_mix))
+            for tenant in tenant_rates
+        }
+    else:
+        workload = make_workload(mix or OVERLOAD_MIX)
+    driver = OpenLoopDriver(
+        sim,
+        platform,
+        workload,
+        tenants=tenant_rates,
+        duration_ms=cal.duration_ms,
+        warmup_ms=cal.warmup_ms,
+        max_outstanding=max_outstanding,
+        client_kwargs={
+            "request_timeout_ms": request_timeout_ms,
+            "max_attempts": max_attempts,
+        },
+    )
+    return driver.run(), platform, sim
 
 
 def run_replication_mix(

@@ -22,10 +22,12 @@ from __future__ import annotations
 
 from typing import Any
 
+from typing import Optional
+
 from repro.cluster.messages import ClientReply, ClientRequest, ConfigQuery, ConfigReply
 from repro.core.ids import ObjectId
 from repro.errors import InvocationFailed, RequestTimeout
-from repro.rpc import LinearJitterBackoff, RpcStub
+from repro.rpc import LinearJitterBackoff, RetryAfter, RpcStub
 
 
 class ClusterClient:
@@ -44,6 +46,11 @@ class ClusterClient:
     #: how long a backup that rejected a read stays off the read route
     REPLICA_PENALTY_MS = 5.0
 
+    #: the penalty map never grows past this many entries (a long-lived
+    #: client in a large cluster would otherwise accumulate one entry per
+    #: backup it ever saw reject)
+    PENALTY_CAP = 64
+
     def __init__(
         self,
         cluster: Any,
@@ -51,11 +58,15 @@ class ClusterClient:
         request_timeout_ms: float = 1_000.0,
         max_attempts: int = 40,
         recorder: Any = None,
+        tenant: Optional[str] = None,
     ) -> None:
         self.cluster = cluster
         self.sim = cluster.sim
         self.net = cluster.net
         self.name = name
+        #: the tenant requests bill against under admission control
+        #: (defaults to the client name — every client its own tenant)
+        self.tenant = tenant if tenant is not None else name
         self._counter = 0
         self._rng = self.sim.rng(f"client.{name}")
         self.epoch = cluster.bootstrap_epoch
@@ -119,6 +130,7 @@ class ClusterClient:
                 epoch=self.epoch,
                 readonly_hint=readonly,
                 min_applied=self._fence_for(object_id) if readonly else 0,
+                tenant=self.tenant,
             )
 
         # Flips once a backup rejects this read: retries then go straight
@@ -129,6 +141,12 @@ class ClusterClient:
         primary_only = False
 
         def on_retry(_attempt: int, reply):
+            # Overload is not staleness: a RetryAfter means the server is
+            # shedding load, so the config is fine and a refresh would
+            # only add traffic to an already-hot cluster.  The stub
+            # sleeps the server-advised delay; nothing to do here.
+            if type(reply) is RetryAfter:
+                return
             # A backup that rejected a read is skipped for a short while
             # so other requests land somewhere that can actually serve.
             nonlocal primary_only
@@ -137,7 +155,7 @@ class ClusterClient:
                 and reply.server
                 and reply.error in ("no lease", "replica behind")
             ):
-                self._penalty[reply.server] = self.sim.now + self.REPLICA_PENALTY_MS
+                self._note_penalty(reply.server)
                 primary_only = True
             yield from self.refresh_config()
 
@@ -155,7 +173,18 @@ class ClusterClient:
             on_retry=on_retry,
             method=method,
             trace_id=request_id,
+            request_id=request_id,
         )
+        if type(reply) is RetryAfter:
+            # Attempt budget exhausted while the cluster was shedding:
+            # surface it like a timeout (retryable by the caller), not an
+            # application error.
+            if record is not None:
+                self.recorder.fail(record, self.sim.now, "overloaded")
+            raise RequestTimeout(
+                f"{method} on {object_id.short} shed by {reply.server or 'server'} "
+                f"after {self._max_attempts} attempts: {reply.reason}"
+            )
         if reply is not None and reply.ok:
             if reply.fence is not None:
                 shard_id, primary, watermark = reply.fence
@@ -209,11 +238,35 @@ class ClusterClient:
         replica_set = self.shard_map.shard_for(object_id)
         return self._fences.get((replica_set.shard_id, replica_set.primary), 0)
 
+    def _note_penalty(self, server: str) -> None:
+        """Record a routing penalty, keeping the map bounded.
+
+        Expired entries are dropped first; if the map is still over
+        :data:`PENALTY_CAP`, the soonest-expiring entries go (they were
+        about to leave anyway, and dropping a penalty is always safe —
+        the worst case is one extra rejected read at that backup).
+        """
+        self._prune_penalties(self.sim.now)
+        self._penalty[server] = self.sim.now + self.REPLICA_PENALTY_MS
+        while len(self._penalty) > self.PENALTY_CAP:
+            del self._penalty[min(self._penalty, key=self._penalty.get)]
+
+    def _prune_penalties(self, now: float) -> None:
+        if not self._penalty:
+            return
+        expired = [s for s, until in self._penalty.items() if until <= now]
+        for server in expired:
+            del self._penalty[server]
+
     def _route(self, object_id: ObjectId, readonly: bool) -> str:
         replica_set = self.shard_map.shard_for(object_id)
         if readonly:
             if self.replica_reads and replica_set.backups:
                 now = self.sim.now
+                # Pruning first keeps the map from pinning memory; the
+                # candidate list is identical either way (expired entries
+                # already passed the <= now filter).
+                self._prune_penalties(now)
                 candidates = [
                     replica
                     for replica in replica_set.read_replicas()

@@ -80,6 +80,22 @@ class ClusterConfig:
     #: timeout so a partitioned backup's lease always expires before the
     #: coordinator can reconfigure the shard around it
     replica_read_lease_ms: float = 40.0
+    #: per-tenant admission control + load shedding at each storage node
+    #: (DESIGN.md §5h); off preserves the historical admit-everything
+    #: behavior byte-for-byte
+    admission_control: bool = False
+    #: per-tenant admitted-request rate (requests/sec; 0 = no rate gate)
+    tenant_rate_limit: float = 0.0
+    #: token-bucket depth per tenant (0 picks max(8, 50 ms of rate))
+    tenant_burst: float = 0.0
+    #: per-node cap on admitted requests in flight (0 = unlimited)
+    max_inflight_requests: int = 0
+    #: backpressure policy: "protect-reads" sheds mutating requests once
+    #: the per-object lock queues pass ``shed_queue_threshold`` waiters
+    #: (reads keep flowing); "none" disables pressure shedding
+    shed_policy: str = "protect-reads"
+    #: scheduler lock-queue waiters that trip write shedding
+    shed_queue_threshold: int = 32
     #: when > 0, a background process samples every registry instrument's
     #: time series at this simulated-ms interval (0 disables the sampler)
     metrics_sample_interval_ms: float = 0.0
@@ -136,6 +152,23 @@ class Cluster:
                 )
                 self._dbs.append(db)
                 storage = KVBackend(db)
+            admission = None
+            if self.config.admission_control:
+                from repro.qos import AdmissionController
+
+                # pressure_fn is left unset here; the node points it at
+                # its own lock table (the scheduler queue depth is the
+                # backpressure signal).
+                admission = AdmissionController(
+                    clock=lambda: sim.now,
+                    tenant_rate_per_sec=self.config.tenant_rate_limit,
+                    tenant_burst=self.config.tenant_burst,
+                    max_inflight=self.config.max_inflight_requests,
+                    shed_policy=self.config.shed_policy,
+                    pressure_threshold=self.config.shed_queue_threshold,
+                    registry=self.metrics,
+                    labels={"node": name},
+                )
             node = StoreNode(
                 sim,
                 self.net,
@@ -161,6 +194,7 @@ class Cluster:
                     self.config.heartbeat_timeout_ms
                     - 2 * self.config.heartbeat_interval_ms,
                 ),
+                admission=admission,
             )
             node.install_config(self.bootstrap_epoch, self.bootstrap_shard_map.copy())
             self.nodes[name] = node

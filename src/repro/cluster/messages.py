@@ -77,6 +77,9 @@ class ClientRequest:
     #: a read (0 = no constraint).  Set by the client from the fences it
     #: collected on earlier replies.
     min_applied: int = 0
+    #: the tenant this request bills against for admission control
+    #: ("" falls back to the client name — every client its own tenant)
+    tenant: str = ""
 
     def size(self) -> int:
         # Tuples and lists size identically, so no need to copy the args.

@@ -113,3 +113,11 @@ class ObjectLockTable:
 
     def queue_length(self, object_id: str) -> int:
         return len(self._waiting.get(object_id, ()))
+
+    def total_waiting(self) -> int:
+        """Waiters queued across all objects — the backpressure signal
+        admission control reads (cheap: the dict holds only contended
+        objects, which is a handful even under a write storm)."""
+        if not self._waiting:
+            return 0
+        return sum(len(queue) for queue in self._waiting.values())

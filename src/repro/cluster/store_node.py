@@ -49,7 +49,7 @@ from repro.core.fields import value_digest
 from repro.errors import InvocationError, UnknownObjectError
 from repro.kvstore.batch import WriteBatch
 from repro.obs.registry import StatsView
-from repro.rpc import RpcEndpoint
+from repro.rpc import RetryAfter, RpcEndpoint
 from repro.sim.core import Simulation
 from repro.sim.network import Network
 from repro.sim.resources import Resource
@@ -187,6 +187,7 @@ class NodeStats(StatsView):
         "remote_charge_retries": 0,
         "remote_charge_timeouts": 0,
         "config_refreshes": 0,
+        "shed_requests": 0,
         "replica_reads_served": 0,
         "lease_rejections": 0,
         "replica_behind_rejections": 0,
@@ -295,6 +296,7 @@ class StoreNode:
         group_commit_flush_ms: float = 0.25,
         replica_reads: bool = False,
         replica_read_lease_ms: float = 40.0,
+        admission: Optional[Any] = None,
     ) -> None:
         self.sim = sim
         self.net = net
@@ -316,6 +318,11 @@ class StoreNode:
         self.host = self.endpoint.host
         self.cpu = Resource(sim, cores)
         self.locks = ObjectLockTable(sim, registry, labels)
+        #: optional per-tenant admission controller (DESIGN.md §5h); its
+        #: backpressure probe is this node's per-object lock queues
+        self._admission = admission
+        if admission is not None and admission.pressure_fn is None:
+            admission.pressure_fn = self.locks.total_waiting
         self.ms_per_fuel = ms_per_fuel
         self.fanout_parallelism = max(1, fanout_parallelism)
         self._ack_timeout = ack_timeout_ms
@@ -1118,8 +1125,24 @@ class StoreNode:
             )
             return
 
+        # Admission runs after the routing/dedupe checks — a stale-config
+        # redirect is a cheap reply that must not consume rate tokens —
+        # and before any execution resource is touched.
+        admission = self._admission
         if readonly:
-            yield from self._execute_readonly(request, root)
+            if admission is None:
+                yield from self._execute_readonly(request, root)
+                return
+            decision = admission.admit(
+                request.tenant or request.client, readonly=True
+            )
+            if not decision.admitted:
+                self._shed(request, decision)
+                return
+            try:
+                yield from self._execute_readonly(request, root)
+            finally:
+                admission.release()
         else:
             if self.name != replica_set.primary:
                 self.stats.rejected_not_primary += 1
@@ -1133,14 +1156,40 @@ class StoreNode:
                     ),
                 )
                 return
+            if admission is not None:
+                decision = admission.admit(
+                    request.tenant or request.client, readonly=False
+                )
+                if not decision.admitted:
+                    self._shed(request, decision)
+                    return
             completion = self.sim.event()
             self._inflight[request.request_id] = completion
             try:
                 yield from self._execute_mutating(request, replica_set.shard_id, root)
             finally:
+                if admission is not None:
+                    admission.release()
                 self._inflight.pop(request.request_id, None)
                 if not completion.triggered:
                     completion.succeed()
+
+    def _shed(self, request: ClientRequest, decision: Any) -> None:
+        """Answer a shed request with server-advised backoff.
+
+        Nothing executed, so nothing enters the at-most-once table — a
+        retry of a shed request is a fresh admission decision.
+        """
+        self.stats.shed_requests += 1
+        self.endpoint.send(
+            request.client,
+            RetryAfter(
+                request.request_id,
+                decision.retry_after_ms,
+                reason=decision.reason,
+                server=self.name,
+            ),
+        )
 
     def _request_config_refresh(self) -> None:
         """Ask a coordinator for the latest configuration (rate-limited;

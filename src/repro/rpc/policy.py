@@ -14,7 +14,33 @@ schedules no timeout event at all, which keeps zero-delay retry loops
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import Any, Optional
+
+
+@dataclass
+class RetryAfter:
+    """Server-advised backoff: "I shed your request; come back in N ms."
+
+    Sent instead of a normal reply by an overloaded entry point (gateway
+    admission control, a storage node's token buckets).  The stub treats
+    it specially: the attempt is always retried, and the inter-attempt
+    delay is the server's ``retry_after_ms`` — which knows when the
+    bucket refills — rather than the policy's blind jitter.  On attempt
+    exhaustion the stub returns the ``RetryAfter`` itself so callers can
+    classify the failure as overload rather than a timeout or an
+    application error.
+    """
+
+    request_id: str
+    retry_after_ms: float
+    #: which gate shed it ("rate" | "concurrency" | "pressure" | ...)
+    reason: str = "overloaded"
+    #: the entry point that shed (metrics/debugging attribution)
+    server: str = ""
+
+    def size(self) -> int:
+        return 40 + len(self.reason)
 
 
 class RetryPolicy:

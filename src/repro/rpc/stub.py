@@ -26,7 +26,7 @@ from __future__ import annotations
 
 from typing import Any, Callable, Optional
 
-from repro.rpc.policy import RetryPolicy
+from repro.rpc.policy import RetryAfter, RetryPolicy
 
 _SINGLE_ATTEMPT = RetryPolicy(1)
 
@@ -34,7 +34,7 @@ _SINGLE_ATTEMPT = RetryPolicy(1)
 class _MethodHandles:
     """Preresolved instruments for one ``(method, peer)`` pair."""
 
-    __slots__ = ("calls", "retries", "timeouts", "latency", "sent")
+    __slots__ = ("calls", "retries", "timeouts", "latency", "sent", "retry_after")
 
     def __init__(self, registry, labels: dict) -> None:
         self.calls = registry.counter(
@@ -51,6 +51,9 @@ class _MethodHandles:
         )
         self.sent = registry.counter(
             "rpc_messages_out", labels, help="messages sent through this stub"
+        )
+        self.retry_after = registry.counter(
+            "rpc_retry_after", labels, help="server-advised backoff replies"
         )
 
 
@@ -77,6 +80,14 @@ class RpcStub:
         Default random stream for retry-policy jitter (callers can
         override per call to share their own draw order).
     """
+
+    #: floor applied to the *second and later* consecutive zero-delay
+    #: retries that consumed no simulated time.  A policy returning
+    #: ``delay_ms == 0`` against a zero-latency rejector would otherwise
+    #: hot-loop its entire attempt budget at one simulated instant,
+    #: starving the now-lane; one immediate retry stays free so
+    #: leader-hint chasing and the migration retry loop are undisturbed.
+    MIN_BACKOFF_FLOOR_MS = 0.05
 
     def __init__(
         self,
@@ -207,6 +218,7 @@ class RpcStub:
         method: Optional[str] = None,
         rng: Optional[Any] = None,
         trace_id: Optional[str] = None,
+        request_id: Optional[str] = None,
     ):
         """Simulation process: request/reply with deadline + retry.
 
@@ -221,17 +233,36 @@ class RpcStub:
         so.  Between attempts ``on_retry(attempt, reply)`` runs first (it
         may return a generator, e.g. a config refresh, which is driven to
         completion), then the policy's delay — a zero delay schedules no
-        timeout event.  Returns the last reply, or ``None`` when every
-        attempt timed out.  Callers classify the result; the stub never
-        raises on exhaustion.
+        timeout event, except that consecutive zero-delay retries of
+        zero-time attempts are floored at :attr:`MIN_BACKOFF_FLOOR_MS`
+        after the first (now-lane starvation guard).  Returns the last
+        reply, or ``None`` when every attempt timed out.  Callers
+        classify the result; the stub never raises on exhaustion.
+
+        ``request_id`` opts the call into server-advised backoff: the
+        predicate is widened to also match a :class:`RetryAfter` carrying
+        that id, and such a reply always retries after the *server's*
+        ``retry_after_ms`` instead of the policy's delay (the server
+        knows when its admission gate clears; the policy is guessing).
+        On exhaustion the ``RetryAfter`` itself is returned so callers
+        can classify the failure as overload.
         """
         policy = retry if retry is not None else _SINGLE_ATTEMPT
         jitter_rng = rng if rng is not None else self._rng
         tracer = self._tracer_fn() if self._tracer_fn is not None else None
+        if request_id is not None:
+            match = predicate
+
+            def predicate(p, _rid=request_id, _match=match):  # noqa: F811
+                return (
+                    type(p) is RetryAfter and p.request_id == _rid
+                ) or _match(p)
+
         span = None
         handles = None
         started = self.sim.now
         reply = None
+        immediate_retries = 0
         try:
             for attempt in range(policy.max_attempts):
                 dst = target(attempt) if callable(target) else target
@@ -251,13 +282,21 @@ class RpcStub:
                         handles.calls.inc()
                 elif handles is not None:
                     handles.retries.inc()
+                attempt_started = self.sim.now
                 self.net.send(
                     self.name, dst, message, size_bytes=message.size()
                 )
                 reply = yield from self.await_message(predicate, deadline_ms)
+                advised = None
                 if reply is None:
                     if handles is not None:
                         handles.timeouts.inc()
+                elif type(reply) is RetryAfter:
+                    # An admission gate shed the request: always
+                    # retryable, and the server said exactly when.
+                    advised = max(0.0, reply.retry_after_ms)
+                    if handles is not None:
+                        handles.retry_after.inc()
                 elif should_retry is None or not should_retry(reply):
                     return reply
                 if attempt + 1 >= policy.max_attempts:
@@ -266,7 +305,16 @@ class RpcStub:
                     step = on_retry(attempt, reply)
                     if step is not None:
                         yield from step
-                delay = policy.delay_ms(attempt, jitter_rng)
+                if advised is not None:
+                    delay = advised
+                else:
+                    delay = policy.delay_ms(attempt, jitter_rng)
+                if delay <= 0 and self.sim.now <= attempt_started:
+                    immediate_retries += 1
+                    if immediate_retries > 1:
+                        delay = self.MIN_BACKOFF_FLOOR_MS
+                else:
+                    immediate_retries = 0
                 if delay > 0:
                     yield self.sim.timeout(delay)
             return reply

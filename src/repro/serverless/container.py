@@ -68,6 +68,11 @@ class ContainerPool:
             registry.gauge(
                 "scheduler_warm_containers", labels, fn=lambda: len(self._warm)
             )
+            registry.gauge(
+                "scheduler_container_queue_length",
+                labels,
+                fn=lambda: self._slots.queue_length,
+            )
 
     @property
     def capacity(self) -> int:
@@ -76,6 +81,12 @@ class ContainerPool:
     @property
     def in_use(self) -> int:
         return self._slots.in_use
+
+    @property
+    def queue_length(self) -> int:
+        """Invocations waiting for a container slot — the backpressure
+        signal gateway admission control reads."""
+        return self._slots.queue_length
 
     def warm_count(self) -> int:
         """Currently usable warm containers (expired ones pruned)."""

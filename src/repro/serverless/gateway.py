@@ -5,29 +5,39 @@ that distributes computation and durably logs every request (Kafka in
 OpenWhisk) so a compute-node failure can never lose a response.  The
 paper's measurements bypass this component; the architecture ablation
 (`abl_coldstart` with ``use_gateway=True``) includes it.
+
+When an :class:`~repro.qos.AdmissionController` is attached, the gateway
+is also the platform's overload-protection point (DESIGN.md §5h): a
+request that fails admission is answered immediately with a
+:class:`~repro.rpc.RetryAfter` carrying the server-advised backoff,
+before any durable-log or compute capacity is spent on it.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from typing import Any, Optional
 
 from repro.cluster.messages import ClientRequest
-from repro.rpc import RpcEndpoint
+from repro.obs.registry import StatsView
+from repro.rpc import RetryAfter, RpcEndpoint
 from repro.serverless.request_log import DurableRequestLog
 from repro.sim.core import Simulation
 from repro.sim.network import Network
 
 
-@dataclass
-class GatewayStats:
-    """Gateway forwarding counters."""
+class GatewayStats(StatsView):
+    """Gateway forwarding counters, exported as ``gateway_*`` series."""
 
-    forwarded: int = 0
+    PREFIX = "gateway"
+    COUNTERS = {"forwarded": 0, "shed": 0, "skipped_dead_targets": 0}
+    GAUGES = {"queue_depth": 0}
 
 
 class Gateway:
     """Round-robin load balancer with durable request logging."""
+
+    #: advised backoff when every compute node is crashed or unreachable
+    DEAD_TARGET_RETRY_MS = 5.0
 
     def __init__(
         self,
@@ -37,6 +47,7 @@ class Gateway:
         compute_nodes: list[str],
         log: DurableRequestLog,
         registry: Optional[Any] = None,
+        admission: Optional[Any] = None,
     ) -> None:
         self.sim = sim
         self.net = net
@@ -46,17 +57,76 @@ class Gateway:
         self._compute_nodes = list(compute_nodes)
         self._next = 0
         self.log = log
-        self.stats = GatewayStats()
+        self.stats = GatewayStats(registry, {"node": name})
+        self._admission = admission
+        # _forward runs once per request; preresolved handles keep the
+        # hot-path increments off the StatsView attribute protocol.
+        self._c_forwarded = self.stats.handle("forwarded")
+        self._c_shed = self.stats.handle("shed")
+        self._c_skipped = self.stats.handle("skipped_dead_targets")
+        self._g_queue_depth = self.stats.handle("queue_depth")
         self.endpoint.on(ClientRequest, self._forward, spawn="fwd")
 
     def start(self) -> None:
         self.endpoint.start()
 
     def _forward(self, request: ClientRequest):
-        # Durability first: the request must survive compute failures.
-        yield from self.log.append(request.request_id)
-        target = self._compute_nodes[self._next % len(self._compute_nodes)]
-        self._next += 1
-        self.stats.forwarded += 1
-        # The compute node replies straight to the client.
-        self.endpoint.send(target, request)
+        admission = self._admission
+        if admission is not None:
+            decision = admission.admit(
+                request.tenant or request.client, readonly=request.readonly_hint
+            )
+            if not decision.admitted:
+                self._shed(request, decision.retry_after_ms, decision.reason)
+                return
+        try:
+            self._g_queue_depth.set(self._g_queue_depth.value + 1)
+            try:
+                # Durability first: the request must survive compute failures.
+                yield from self.log.append(request.request_id)
+                target = self._next_live_target()
+                if target is None:
+                    self._shed(request, self.DEAD_TARGET_RETRY_MS, "no live compute nodes")
+                    return
+                self._c_forwarded.inc()
+                # The compute node replies straight to the client.
+                self.endpoint.send(target, request)
+            finally:
+                self._g_queue_depth.set(self._g_queue_depth.value - 1)
+        finally:
+            # Admission bounds the gateway's own forwarding pipeline (log
+            # append + target choice), not compute occupancy — the reply
+            # bypasses the gateway, so it cannot observe completion.
+            if admission is not None:
+                admission.release()
+
+    def _next_live_target(self) -> Optional[str]:
+        """The next compute node in round-robin order that is up and
+        reachable, or None when there is none.
+
+        A crashed host silently drops messages, so forwarding to one
+        costs the client a full request timeout; skipping it here costs
+        one liveness check.  The cursor still advances past skipped
+        nodes, preserving round-robin fairness once they recover.
+        """
+        for _ in range(len(self._compute_nodes)):
+            target = self._compute_nodes[self._next % len(self._compute_nodes)]
+            self._next += 1
+            if not self.net.host(target).crashed and not self.net.is_partitioned(
+                self.name, target
+            ):
+                return target
+            self._c_skipped.inc()
+        return None
+
+    def _shed(self, request: ClientRequest, retry_after_ms: float, reason: str) -> None:
+        self._c_shed.inc()
+        self.endpoint.send(
+            request.client,
+            RetryAfter(
+                request.request_id,
+                retry_after_ms,
+                reason=reason,
+                server=self.name,
+            ),
+        )

@@ -54,6 +54,21 @@ class ServerlessConfig:
     #: avoids; the aggregated variant's equivalent is the (much smaller)
     #: wasm call_base cost.
     dispatch_overhead_fuel: float = 300.0
+    #: gateway admission control (DESIGN.md §5h): per-tenant token-bucket
+    #: rate limiting + concurrency caps + container-pool backpressure.
+    #: Off by default — the historical front door admits everything.
+    admission_control: bool = False
+    #: sustained per-tenant admission rate in requests/sec (0 = unlimited)
+    tenant_rate_limit: float = 0.0
+    #: per-tenant burst allowance in requests (0 = derived from the rate)
+    tenant_burst: float = 0.0
+    #: cap on requests concurrently inside the gateway's forwarding
+    #: pipeline (0 = unlimited)
+    gateway_max_inflight: int = 0
+    #: what to shed first under container-pool backpressure
+    shed_policy: str = "protect-reads"
+    #: container-pool waiter depth beyond which mutating requests shed
+    shed_queue_threshold: int = 32
     #: when > 0, a background process samples every registry instrument's
     #: time series at this simulated-ms interval (0 disables the sampler)
     metrics_sample_interval_ms: float = 0.0
@@ -119,6 +134,11 @@ class ServerlessPlatform:
                     container_pool=pool,
                     read_from_any_replica=self.config.read_from_any_replica,
                     dispatch_overhead_fuel=self.config.dispatch_overhead_fuel,
+                    shed_queue_threshold=(
+                        self.config.shed_queue_threshold
+                        if self.config.admission_control
+                        else 0
+                    ),
                 )
             )
 
@@ -159,6 +179,24 @@ class ServerlessPlatform:
             log = DurableRequestLog(
                 sim, self.net.latency, num_replicas=self.config.log_replicas
             )
+            admission = None
+            if self.config.admission_control:
+                from repro.qos import AdmissionController
+
+                pools = [node.pool for node in self.compute_nodes]
+                admission = AdmissionController(
+                    clock=lambda: sim.now,
+                    tenant_rate_per_sec=self.config.tenant_rate_limit,
+                    tenant_burst=self.config.tenant_burst,
+                    max_inflight=self.config.gateway_max_inflight,
+                    shed_policy=self.config.shed_policy,
+                    # Backpressure: requests queued for container slots
+                    # across the compute fleet.
+                    pressure_fn=lambda: sum(p.queue_length for p in pools),
+                    pressure_threshold=self.config.shed_queue_threshold,
+                    registry=self.metrics,
+                    labels={"node": "gateway"},
+                )
             self.gateway = Gateway(
                 sim,
                 self.net,
@@ -166,6 +204,7 @@ class ServerlessPlatform:
                 [node.name for node in self.compute_nodes],
                 log,
                 registry=self.metrics,
+                admission=admission,
             )
 
         # Setup-time runtime writing to every storage replica directly.

@@ -6,20 +6,26 @@
   accounts in the paper's setup) and the Post / GetTimeline / Follow
   workload definitions of §5;
 - :mod:`repro.workload.clients` — closed-loop client processes;
+- :mod:`repro.workload.openloop` — fixed-rate multi-tenant arrivals
+  (the overload/QoS experiments);
 - :mod:`repro.workload.metrics` — latency/throughput collection with
   warm-up trimming and percentiles.
 """
 
 from repro.workload.clients import ClosedLoopDriver
 from repro.workload.metrics import LatencyRecorder, WorkloadReport
+from repro.workload.openloop import OpenLoopDriver, OpenLoopResult, TenantStats
 from repro.workload.retwis_load import RetwisDataset, RetwisWorkload
 from repro.workload.zipf import ZipfSampler
 
 __all__ = [
     "ClosedLoopDriver",
     "LatencyRecorder",
+    "OpenLoopDriver",
+    "OpenLoopResult",
     "RetwisDataset",
     "RetwisWorkload",
+    "TenantStats",
     "WorkloadReport",
     "ZipfSampler",
 ]

@@ -1,0 +1,221 @@
+"""Open-loop (arrival-rate-driven) load generation.
+
+The closed-loop driver cannot show overload collapse: its clients slow
+down with the system, so offered load self-throttles to capacity.  Here
+each tenant offers requests at a fixed Poisson rate regardless of how
+the system is doing — when the platform falls behind, work piles up,
+timeouts abandon requests whose server-side cost is already sunk, and
+goodput (completions within the client deadline) drops below throughput.
+That divergence is exactly what admission control (DESIGN.md §5h) is
+supposed to prevent.
+
+Each tenant is a bounded pool of request-issuing clients fed by one
+arrival process.  The bound (``max_outstanding``) models a finite
+client-side connection pool: arrivals past it are counted ``starved``
+rather than simulated, which keeps the event count proportional to what
+the platform can actually have in flight.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+from repro.errors import InvocationFailed, RequestTimeout
+from repro.sim.core import Simulation
+from repro.workload.metrics import percentile
+
+
+@dataclass
+class TenantStats:
+    """One tenant's view of an open-loop run (measurement window only)."""
+
+    tenant: str
+    offered_per_sec: float
+    #: arrivals inside the measurement window
+    offered: int = 0
+    #: completions inside the measurement window
+    completed: int = 0
+    #: timeouts / failures resolving inside the window
+    failed: int = 0
+    #: arrivals dropped because the outstanding cap was reached
+    starved: int = 0
+    latencies_ms: list[float] = field(repr=False, default_factory=list)
+
+    def completed_within(self, slo_ms: Optional[float]) -> int:
+        """Completions that met the latency SLO (all of them when no SLO)."""
+        if slo_ms is None:
+            return self.completed
+        return sum(1 for latency in self.latencies_ms if latency <= slo_ms)
+
+    def goodput_per_sec(
+        self, duration_ms: float, slo_ms: Optional[float] = None
+    ) -> float:
+        if duration_ms <= 0:
+            return 0.0
+        return self.completed_within(slo_ms) / (duration_ms / 1000.0)
+
+    def latency(self, fraction: float) -> float:
+        if not self.latencies_ms:
+            return float("nan")
+        return percentile(sorted(self.latencies_ms), fraction)
+
+
+@dataclass
+class OpenLoopResult:
+    """Everything one open-loop run produced."""
+
+    tenants: dict[str, TenantStats]
+    duration_ms: float
+
+    @property
+    def offered_per_sec(self) -> float:
+        if self.duration_ms <= 0:
+            return 0.0
+        offered = sum(t.offered for t in self.tenants.values())
+        return offered / (self.duration_ms / 1000.0)
+
+    def goodput_per_sec(self, slo_ms: Optional[float] = None) -> float:
+        """Completions/sec; with ``slo_ms``, only those meeting the SLO.
+
+        Under overload "completed eventually, after blowing through the
+        deadline budget" is not useful work — the SLO variant is what the
+        admission-control comparison plots.
+        """
+        if self.duration_ms <= 0:
+            return 0.0
+        completed = sum(t.completed_within(slo_ms) for t in self.tenants.values())
+        return completed / (self.duration_ms / 1000.0)
+
+    def fairness_index(self, slo_ms: Optional[float] = None) -> float:
+        """Jain's index over per-tenant goodput: 1.0 = perfectly even,
+        1/n = one tenant has everything."""
+        rates = [t.completed_within(slo_ms) for t in self.tenants.values()]
+        total = sum(rates)
+        if not rates or total == 0:
+            return 0.0
+        return total * total / (len(rates) * sum(r * r for r in rates))
+
+
+class OpenLoopDriver:
+    """Fixed-rate multi-tenant load against a platform's client API.
+
+    ``tenants`` maps tenant name -> offered rate (requests/sec).  Every
+    request is attributed to its tenant (the admission controller's
+    billing unit) via the platform client's ``tenant`` kwarg.
+
+    ``workload`` is either one workload shared by every tenant, or a
+    dict mapping tenant name -> its own workload (e.g. a reader tenant
+    sharing the cluster with write-storm tenants).
+    """
+
+    def __init__(
+        self,
+        sim: Simulation,
+        platform: Any,
+        workload: Any,
+        tenants: dict[str, float],
+        duration_ms: float = 2_000.0,
+        warmup_ms: float = 250.0,
+        max_outstanding: int = 32,
+        client_kwargs: Optional[dict] = None,
+    ) -> None:
+        self.sim = sim
+        self.platform = platform
+        self.workload = workload
+        self.tenants = dict(tenants)
+        self.duration_ms = duration_ms
+        self.warmup_ms = warmup_ms
+        self.max_outstanding = max_outstanding
+        self.client_kwargs = client_kwargs or {}
+        self.stats = {
+            name: TenantStats(tenant=name, offered_per_sec=rate)
+            for name, rate in self.tenants.items()
+        }
+        self._live: set = set()
+
+    def _one_request(self, tenant: str, client: Any, idle: list, operation) -> Any:
+        stats = self.stats[tenant]
+        window_start = self._window_start
+        window_end = self._window_end
+        object_id, method, args = operation
+        started = self.sim.now
+        try:
+            try:
+                yield from client.invoke(object_id, method, *args)
+            except (RequestTimeout, InvocationFailed):
+                if window_start <= self.sim.now <= window_end:
+                    stats.failed += 1
+                return
+            now = self.sim.now
+            if window_start <= now <= window_end:
+                stats.completed += 1
+                stats.latencies_ms.append(now - started)
+        finally:
+            idle.append(client)
+
+    def _arrivals(self, tenant: str, rate_per_sec: float, end_time: float):
+        rng = self.sim.rng(f"openloop.{tenant}")
+        stats = self.stats[tenant]
+        workload = (
+            self.workload[tenant]
+            if isinstance(self.workload, dict)
+            else self.workload
+        )
+        window_start = self._window_start
+        window_end = self._window_end
+        idle: list = []
+        created = 0
+        rate_per_ms = rate_per_sec / 1000.0
+        while True:
+            yield self.sim.timeout(rng.expovariate(rate_per_ms))
+            now = self.sim.now
+            if now >= end_time:
+                return
+            in_window = window_start <= now <= window_end
+            if in_window:
+                stats.offered += 1
+            # The operation is drawn in arrival order (not completion
+            # order), so the request sequence is a pure function of the
+            # tenant's stream regardless of how the platform behaves.
+            operation = workload.next_operation(rng)
+            if idle:
+                client = idle.pop()
+            elif created < self.max_outstanding:
+                created += 1
+                client = self.platform.client(
+                    f"{tenant}-{created}", tenant=tenant, **self.client_kwargs
+                )
+            else:
+                if in_window:
+                    stats.starved += 1
+                continue
+            process = self.sim.process(
+                self._one_request(tenant, client, idle, operation),
+                name=f"openloop.{tenant}.req",
+            )
+            self._live.add(process)
+            process.add_callback(self._live.discard)
+
+    def run(self) -> OpenLoopResult:
+        self.platform.start()
+        self._window_start = self.sim.now + self.warmup_ms
+        end_time = self.sim.now + self.duration_ms
+        self._window_end = end_time
+        arrival_procs = [
+            self.sim.process(
+                self._arrivals(name, rate, end_time), name=f"openloop.{name}"
+            )
+            for name, rate in self.tenants.items()
+        ]
+        gate = self.sim.all_of(arrival_procs)
+        self.sim.run_until_triggered(gate, limit=end_time + 600_000)
+        # Arrivals have stopped; let the in-flight tail drain so its
+        # server-side work is accounted, even though completions past
+        # ``end_time`` no longer count toward the window.
+        if self._live:
+            tail = self.sim.all_of(list(self._live))
+            self.sim.run_until_triggered(tail, limit=end_time + 600_000)
+        return OpenLoopResult(
+            tenants=self.stats, duration_ms=self.duration_ms - self.warmup_ms
+        )

@@ -279,3 +279,99 @@ def test_timed_out_waiter_leaves_the_waiter_list():
     sim.run()
     assert got == [None]
     assert stub._waiters == []
+
+
+def test_zero_delay_retries_floor_after_the_first_immediate_one():
+    """A zero-delay policy retrying zero-time attempts must not spin the
+    now-lane: the first immediate retry is free (the historical leader-
+    hint-chasing shape), every later consecutive one advances time by the
+    backoff floor."""
+    sim = Simulation(seed=1)
+    # Zero latency AND infinite bandwidth: every attempt completes at the
+    # instant it was sent, the case the floor exists for.
+    net = Network(sim, latency=ConstantLatency(0.0), bandwidth_mbps=float("inf"))
+    stub = RpcStub(sim, net, "client", default_deadline_ms=20.0)
+    endpoint = RpcEndpoint(sim, net, "server")
+    endpoint.on(Ping, lambda ping: endpoint.send("client", Pong(ping.seq)))
+    endpoint.start()
+    got = []
+
+    def caller():
+        # Pongs with seq < 3 are "retryable"; the payload callable bumps
+        # seq per attempt, so the fourth attempt succeeds.
+        reply = yield from stub.call(
+            "server",
+            lambda attempt: Ping(attempt),
+            lambda p: isinstance(p, Pong),
+            retry=RetryPolicy(max_attempts=4),
+            should_retry=lambda p: p.seq < 3,
+        )
+        got.append((reply, sim.now))
+
+    sim.process(caller())
+    sim.run()
+    reply, finished_at = got[0]
+    assert reply == Pong(3)
+    # attempt 0 -> 1 free, attempts 1 -> 2 and 2 -> 3 floored.
+    expected = 2 * RpcStub.MIN_BACKOFF_FLOOR_MS
+    assert abs(finished_at - expected) < 1e-9, finished_at
+
+
+def test_retry_after_overrides_policy_delay_and_returns_on_exhaustion():
+    """A RetryAfter matching the call's request_id always retries after
+    the *server's* advice; when attempts run out, the RetryAfter itself
+    comes back so the caller can classify the failure as overload."""
+    from repro.rpc import RetryAfter
+
+    sim, net, stub = build(latency_ms=1.0)
+    endpoint = RpcEndpoint(sim, net, "server")
+    mode = {"shed_first": 1, "request_id": "req-1", "advice_ms": 40.0}
+
+    def handle(ping):
+        if mode["shed_first"] > 0:
+            mode["shed_first"] -= 1
+            endpoint.send(
+                "client",
+                RetryAfter(mode["request_id"], mode["advice_ms"], server="server"),
+            )
+        else:
+            endpoint.send("client", Pong(ping.seq))
+
+    endpoint.on(Ping, handle)
+    endpoint.start()
+    got = []
+
+    def caller():
+        reply = yield from stub.call(
+            "server",
+            Ping(5),
+            lambda p: isinstance(p, Pong) and p.seq == 5,
+            retry=RetryPolicy(max_attempts=2),  # zero policy delay
+            request_id="req-1",
+        )
+        got.append((reply, sim.now))
+
+    sim.process(caller())
+    sim.run()
+    reply, finished_at = got[0]
+    assert reply == Pong(5)
+    # 2 ms round trip + the advised 40 ms + the second round trip: the
+    # 40 ms sleep came from the server, not the (zero-delay) policy.
+    assert finished_at >= 42.0
+
+    def exhausted():
+        reply = yield from stub.call(
+            "server",
+            Ping(6),
+            lambda p: isinstance(p, Pong) and p.seq == 6,
+            request_id="req-2",
+        )
+        got.append(reply)
+
+    # Shed every remaining attempt: the single-attempt call exhausts.
+    mode.update(shed_first=10_000, request_id="req-2", advice_ms=7.5)
+    sim.process(exhausted())
+    sim.run()
+    last = got[-1]
+    assert type(last) is RetryAfter
+    assert last.retry_after_ms == 7.5
