@@ -96,6 +96,13 @@ def main(argv: list[str] | None = None) -> int:
         "on a >30%% regression (skippable via SIMPERF_GUARD_SKIP=1)",
     )
     parser.add_argument(
+        "--profile",
+        action="store_true",
+        help="simperf only: run every row under cProfile and write a top-25 "
+        "cumulative report next to BENCH_simperf.json (wall clocks are "
+        "profiler-inflated; use for attribution, not for the guard)",
+    )
+    parser.add_argument(
         "--metrics-out",
         metavar="PATH",
         default=None,
@@ -121,6 +128,10 @@ def main(argv: list[str] | None = None) -> int:
     # result printing stay in the parent, in deterministic name order.
     prerun: dict[str, tuple[dict, float]] = {}
     workers = [n for n in names if n not in _MATRIX_EXPERIMENTS]
+    if args.profile:
+        # Profiled simperf must run in the parent (the report path and the
+        # profiler state live here).
+        workers = [n for n in workers if n != "simperf"]
     if jobs > 1 and len(workers) > 1:
         with ProcessPoolExecutor(max_workers=min(jobs, len(workers))) as pool:
             futures = {n: pool.submit(_experiment_worker, n, cal) for n in workers}
@@ -141,6 +152,11 @@ def main(argv: list[str] | None = None) -> int:
             elapsed = time.time() - started
         elif name in prerun:
             result, elapsed = prerun[name]
+        elif name == "simperf" and args.profile:
+            from repro.bench.simperf import simperf
+
+            result = simperf(cal, profile=True)
+            elapsed = time.time() - started
         else:
             result = ALL_EXPERIMENTS[name](cal)
             elapsed = time.time() - started

@@ -290,7 +290,10 @@ def run_overload(
 
 
 def run_replication_mix(
-    cal: Calibration, variant: str = AGGREGATED, mix: Optional[dict] = None
+    cal: Calibration,
+    variant: str = AGGREGATED,
+    mix: Optional[dict] = None,
+    trace_sample_rate: Optional[float] = None,
 ) -> tuple[DriverResult, Any, Simulation]:
     """Run a Retwis mix closed-loop; returns (result, platform, sim).
 
@@ -299,6 +302,10 @@ def run_replication_mix(
     so the caller gets the platform back to read ``net.stats`` alongside
     the reports.  Runs :data:`REPLICATION_MIX` (or ``mix``) at
     :data:`REPLICATION_MIX_NODES` replicas regardless of the preset.
+
+    ``trace_sample_rate`` turns the span tracer on at that head-sampling
+    rate (the simperf observability A/B rows); ``None`` leaves tracing
+    off, the historical measurement condition.
     """
     from dataclasses import replace
 
@@ -307,6 +314,8 @@ def run_replication_mix(
     cal = replace(cal, num_storage_nodes=REPLICATION_MIX_NODES)
     sim = Simulation(seed=cal.seed)
     platform = build_platform(variant, sim, cal)
+    if trace_sample_rate is not None:
+        platform.enable_tracing(sample_rate=trace_sample_rate)
     dataset = load_dataset(platform, cal)
     workload = MixedRetwisWorkload(dataset, dict(mix or REPLICATION_MIX))
     driver = ClosedLoopDriver(

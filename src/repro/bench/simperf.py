@@ -22,10 +22,16 @@ Four rows, from micro to macro:
 - ``retwis_invoke_nogc`` — the same run with group commit disabled (one
   replication round per mutating invocation): the reference that shows
   what pipelining saves in messages per invocation.
+- ``retwis_invoke_traced`` / ``retwis_invoke_sampled`` — the headline run
+  with the span tracer on at sample rate 1.0 vs 0.1: the observability
+  A/B pair that tracks the tracing-overhead gap (and what head sampling
+  buys back) across commits.
 
 Wall-clock numbers are machine-dependent; the guard therefore compares
 against a committed same-machine baseline with a generous (30%) margin
-and can be skipped via ``SIMPERF_GUARD_SKIP=1`` on incomparable hardware.
+— per row, so a regression in one path cannot hide behind a win in
+another — and can be skipped via ``SIMPERF_GUARD_SKIP=1`` on
+incomparable hardware.
 """
 
 from __future__ import annotations
@@ -34,7 +40,7 @@ import json
 import os
 import time
 from dataclasses import replace
-from typing import Optional
+from typing import Callable, Optional
 
 from repro.bench.calibration import Calibration, preset
 from repro.bench.report import format_comparison
@@ -129,17 +135,25 @@ def _bench_network(pairs: int, messages: int) -> dict:
     return row
 
 
-def _bench_retwis(cal: Calibration, bench: str = "retwis_invoke") -> dict:
+def _bench_retwis(
+    cal: Calibration,
+    bench: str = "retwis_invoke",
+    trace_sample_rate: Optional[float] = None,
+) -> dict:
     """One aggregated REPLICATION_MIX run end to end — the headline row.
 
     ``cal.group_commit`` selects pipelined vs one-round-per-invocation
     replication; the artifact carries one row of each so the messages
     per invocation delta is visible in every snapshot.
+    ``trace_sample_rate`` turns the span tracer on (the observability
+    A/B rows); the untraced rows leave it off, as the figures do.
     """
     from repro.bench.harness import run_replication_mix
 
     started = time.perf_counter()
-    result, platform, sim = run_replication_mix(cal)
+    result, platform, sim = run_replication_mix(
+        cal, trace_sample_rate=trace_sample_rate
+    )
     wall = time.perf_counter() - started
     completed = sum(r.completed for r in result.reports.values())
     row = _row(bench, events=sim.events_scheduled, wall_s=wall)
@@ -149,6 +163,9 @@ def _bench_retwis(cal: Calibration, bench: str = "retwis_invoke") -> dict:
     row["messages"] = sent
     row["messages_per_sec"] = round(sent / wall, 1) if wall > 0 else 0.0
     row["messages_per_invocation"] = round(sent / completed, 3) if completed else 0.0
+    if trace_sample_rate is not None:
+        row["trace_sample_rate"] = trace_sample_rate
+        row["spans_recorded"] = len(platform.tracer.spans)
     return row
 
 
@@ -178,11 +195,34 @@ def _sizes_for(cal: Calibration) -> dict:
     return _SIZES["quick"] if cal.duration_ms <= preset("quick").duration_ms else _SIZES["full"]
 
 
-def simperf(cal=None, out_path: Optional[str] = DEFAULT_OUT) -> dict:
+def _profile_row(name: str, thunk: Callable[[], dict]) -> tuple[dict, str]:
+    """Run one row under cProfile; return (row, top-25 cumulative text)."""
+    import cProfile
+    import io
+    import pstats
+
+    profiler = cProfile.Profile()
+    row = profiler.runcall(thunk)
+    buffer = io.StringIO()
+    stats = pstats.Stats(profiler, stream=buffer)
+    stats.sort_stats("cumulative").print_stats(25)
+    return row, f"=== {name} (top 25 by cumulative time) ===\n{buffer.getvalue()}"
+
+
+def profile_report_path(out_path: str) -> str:
+    """Where ``--profile`` writes its report, next to the JSON artifact."""
+    root, _ = os.path.splitext(out_path)
+    return f"{root}_profile.txt"
+
+
+def simperf(cal=None, out_path: Optional[str] = DEFAULT_OUT, profile: bool = False) -> dict:
     """Run the simulator microbenchmark; write ``BENCH_simperf.json``.
 
     Returns the usual experiment dict (``rows`` + ``text``) plus a
-    ``headline`` dict with the retwis row's throughput numbers.
+    ``headline`` dict with the retwis row's throughput numbers.  With
+    ``profile`` set, every row runs under :mod:`cProfile` and a top-25
+    cumulative report lands next to the JSON artifact (wall clocks are
+    then profiler-inflated: useful for *where*, not *how fast*).
     """
     if cal is None:
         cal = preset("quick")
@@ -192,20 +232,48 @@ def simperf(cal=None, out_path: Optional[str] = DEFAULT_OUT) -> dict:
     # The retwis rows stay quick-sized even under --preset full: simperf
     # tracks simulator speed, which does not need the paper-scale dataset.
     # The headline row always runs with group commit ON; the _nogc row is
-    # the one-round-per-invocation reference.
+    # the one-round-per-invocation reference, and the traced/sampled pair
+    # is the same run with the span tracer on at rate 1.0 vs 0.1.
     retwis_cal = replace(preset("quick"), seed=cal.seed, group_commit=True)
 
-    rows = [
-        _bench_event_lane(sizes["ping_iters"]),
-        _bench_timers(sizes["chains"], sizes["steps"]),
-        _bench_network(sizes["pairs"], sizes["messages"]),
-        _bench_retwis(retwis_cal),
-        _bench_retwis(
-            replace(retwis_cal, group_commit=False), bench="retwis_invoke_nogc"
+    specs: list[tuple[str, Callable[[], dict]]] = [
+        ("event_lane", lambda: _bench_event_lane(sizes["ping_iters"])),
+        ("timers", lambda: _bench_timers(sizes["chains"], sizes["steps"])),
+        ("network", lambda: _bench_network(sizes["pairs"], sizes["messages"])),
+        ("retwis_invoke", lambda: _bench_retwis(retwis_cal)),
+        (
+            "retwis_invoke_nogc",
+            lambda: _bench_retwis(
+                replace(retwis_cal, group_commit=False), bench="retwis_invoke_nogc"
+            ),
+        ),
+        (
+            "retwis_invoke_traced",
+            lambda: _bench_retwis(
+                retwis_cal, bench="retwis_invoke_traced", trace_sample_rate=1.0
+            ),
+        ),
+        (
+            "retwis_invoke_sampled",
+            lambda: _bench_retwis(
+                retwis_cal, bench="retwis_invoke_sampled", trace_sample_rate=0.1
+            ),
         ),
     ]
-    headline_row = rows[-2]
-    reference_row = rows[-1]
+    rows = []
+    profile_sections = []
+    for name, thunk in specs:
+        if profile:
+            row, section = _profile_row(name, thunk)
+            profile_sections.append(section)
+        else:
+            row = thunk()
+        rows.append(row)
+    by_bench = {row["bench"]: row for row in rows}
+    headline_row = by_bench["retwis_invoke"]
+    reference_row = by_bench["retwis_invoke_nogc"]
+    traced_row = by_bench["retwis_invoke_traced"]
+    sampled_row = by_bench["retwis_invoke_sampled"]
     headline = {
         "events_per_sec": headline_row["events_per_sec"],
         "invocations_per_sec": headline_row["invocations_per_sec"],
@@ -213,7 +281,7 @@ def simperf(cal=None, out_path: Optional[str] = DEFAULT_OUT) -> dict:
         "messages_per_invocation": headline_row["messages_per_invocation"],
     }
     payload = {
-        "schema": 2,
+        "schema": 3,
         "seed": cal.seed,
         "sizes": sizes,
         "rows": rows,
@@ -238,8 +306,22 @@ def simperf(cal=None, out_path: Optional[str] = DEFAULT_OUT) -> dict:
         f"messages/invocation vs {reference_row['messages_per_invocation']:.2f} "
         f"without pipelining ({saved:.1%} fewer)"
     )
+    traced_eps = traced_row["events_per_sec"]
+    sampled_eps = sampled_row["events_per_sec"]
+    recovered = (sampled_eps / traced_eps - 1.0) if traced_eps else 0.0
+    text += (
+        f"\n  tracing A/B: {traced_eps:,.0f} events/s at sample rate 1.0 vs "
+        f"{sampled_eps:,.0f} at 0.1 ({recovered:+.1%}; "
+        f"{traced_row['spans_recorded']:,} vs "
+        f"{sampled_row['spans_recorded']:,} spans recorded)"
+    )
     if out_path:
         text += f"\n  artifact written to {out_path}"
+        if profile:
+            report_path = profile_report_path(out_path)
+            with open(report_path, "w", encoding="utf-8") as fh:
+                fh.write("\n".join(profile_sections))
+            text += f"\n  cProfile report written to {report_path}"
     return {"name": "simperf", "rows": rows, "headline": headline, "text": text}
 
 
@@ -251,10 +333,14 @@ def simperf(cal=None, out_path: Optional[str] = DEFAULT_OUT) -> dict:
 def check_guard(result: dict, baseline_path: str) -> tuple[bool, str]:
     """Compare a simperf result against a committed baseline.
 
-    Returns ``(ok, message)``.  Fails when the headline events/sec fell
-    more than :data:`GUARD_TOLERANCE` below the baseline.  Skipped (ok)
-    when ``SIMPERF_GUARD_SKIP`` is set or the baseline file is missing
-    (first run on a new machine).
+    Returns ``(ok, message)``.  Every row present in both the result and
+    the baseline must hold ``events_per_sec`` at or above ``(1 -
+    GUARD_TOLERANCE)`` of its baseline — per row, so a regression in one
+    scheduler path (e.g. the timer heap) cannot hide behind a win in
+    another — plus the same check on the headline aggregate.  Rows only
+    on one side (schema growth) are ignored.  Skipped (ok) when
+    ``SIMPERF_GUARD_SKIP`` is set or the baseline file is missing (first
+    run on a new machine).
     """
     if os.environ.get(GUARD_SKIP_ENV):
         return True, f"simperf guard skipped ({GUARD_SKIP_ENV} set)"
@@ -263,15 +349,39 @@ def check_guard(result: dict, baseline_path: str) -> tuple[bool, str]:
             baseline = json.load(fh)
     except FileNotFoundError:
         return True, f"simperf guard skipped (no baseline at {baseline_path})"
+    baseline_rows = {
+        row["bench"]: row for row in baseline.get("rows", []) if "bench" in row
+    }
+    failures = []
+    checked = 0
+    for row in result.get("rows", []):
+        reference_row = baseline_rows.get(row.get("bench"))
+        if reference_row is None:
+            continue
+        reference = float(reference_row["events_per_sec"])
+        measured = float(row["events_per_sec"])
+        floor = reference * (1.0 - GUARD_TOLERANCE)
+        checked += 1
+        if measured < floor:
+            failures.append(
+                f"{row['bench']}: {measured:,.0f} events/s is below "
+                f"{floor:,.0f} (baseline {reference:,.0f})"
+            )
     reference = float(baseline["headline"]["events_per_sec"])
     measured = float(result["headline"]["events_per_sec"])
     floor = reference * (1.0 - GUARD_TOLERANCE)
     if measured < floor:
+        failures.append(
+            f"headline: {measured:,.0f} events/s is below "
+            f"{floor:,.0f} (baseline {reference:,.0f})"
+        )
+    if failures:
+        detail = "; ".join(failures)
         return False, (
-            f"simperf guard FAILED: headline {measured:,.0f} events/s is below "
-            f"{floor:,.0f} (baseline {reference:,.0f} - {GUARD_TOLERANCE:.0%})"
+            f"simperf guard FAILED (tolerance {GUARD_TOLERANCE:.0%}): {detail}"
         )
     return True, (
-        f"simperf guard ok: {measured:,.0f} events/s vs baseline "
-        f"{reference:,.0f} (floor {floor:,.0f})"
+        f"simperf guard ok: {checked} rows within {GUARD_TOLERANCE:.0%} of "
+        f"baseline; headline {measured:,.0f} events/s vs {reference:,.0f} "
+        f"(floor {floor:,.0f})"
     )

@@ -99,6 +99,10 @@ class ClusterConfig:
     #: when > 0, a background process samples every registry instrument's
     #: time series at this simulated-ms interval (0 disables the sampler)
     metrics_sample_interval_ms: float = 0.0
+    #: fraction of traces recorded when tracing is enabled (head-based,
+    #: deterministic per request id; 1.0 = record everything).  Requests
+    #: that hit an error/retry/shed are always escalated to a trace.
+    trace_sample_rate: float = 1.0
     seed: int = 0
 
 
@@ -270,16 +274,27 @@ class Cluster:
         for node in self.nodes.values():
             node.start()
 
-    def enable_tracing(self, max_spans: int = 100_000) -> SpanTracer:
+    def enable_tracing(
+        self, max_spans: int = 100_000, sample_rate: Optional[float] = None
+    ) -> SpanTracer:
         """Attach one cluster-wide span tracer (idempotent).
 
         Every node's runtime (and durable DB, if any) shares the tracer,
         so a cross-node nested dispatch lands in the caller's trace with
-        the callee's node name on the span.
+        the callee's node name on the span.  ``sample_rate`` overrides
+        ``config.trace_sample_rate`` (head-based sampling; anomalous
+        requests are escalated to always-traced regardless of the rate).
         """
         if self.tracer is None:
+            rate = (
+                sample_rate
+                if sample_rate is not None
+                else self.config.trace_sample_rate
+            )
             self.tracer = SpanTracer(
-                clock=lambda: self.sim.now, max_spans=max_spans
+                clock=lambda: self.sim.now,
+                max_spans=max_spans,
+                sample_rate=rate,
             )
             for node in self.nodes.values():
                 node.runtime.tracer = self.tracer
@@ -336,8 +351,16 @@ class Cluster:
         """
         oid = object_id if object_id is not None else ObjectId.generate(self._id_rng)
         replica_set = self.bootstrap_shard_map.shard_for(oid)
-        for member in replica_set.members:
-            self.nodes[member].runtime.create_object(type_name, object_id=oid, initial=initial)
+        # Encode the initial state once and apply the same batch to every
+        # replica member — dataset loads write identical bytes per member,
+        # so per-member re-encoding is pure waste.
+        members = iter(replica_set.members)
+        first = next(members)
+        first_runtime = self.nodes[first].runtime
+        batch = first_runtime.build_create_batch(type_name, oid, initial)
+        first_runtime.create_object_from_batch(oid, batch)
+        for member in members:
+            self.nodes[member].runtime.create_object_from_batch(oid, batch)
         self._object_types[str(oid)] = type_name
         return oid
 

@@ -12,7 +12,7 @@ from __future__ import annotations
 
 from typing import Callable, Optional
 
-from repro.kvstore.batch import WriteBatch
+from repro.kvstore.batch import WriteBatch, decode_shared
 from repro.obs.registry import MetricsRegistry, StatsView
 
 
@@ -194,7 +194,9 @@ class BackupApplier:
             next_sequence = self.applied_through + 1
             next_batches = self._pending.pop(next_sequence)
             for payload in next_batches:
-                self._apply(WriteBatch.decode(payload))
+                # decode_shared: all backups of a shard decode the same
+                # frame payloads; the memoised batch is applied read-only.
+                self._apply(decode_shared(payload))
             self.applied_through = next_sequence
             self.stats.applied += 1
             applied.append((next_sequence, next_batches))

@@ -45,8 +45,8 @@ class ObjectLockTable:
         self.stats = SchedulerStats(registry, labels)
         # acquire() runs once per mutating invocation; preresolved handles
         # keep the increments off the StatsView attribute protocol.
-        self._c_acquisitions = self.stats.handle("acquisitions")
-        self._c_contentions = self.stats.handle("contentions")
+        self._c_acquisitions = self.stats.cell("acquisitions")
+        self._c_contentions = self.stats.cell("contentions")
         self._g_max_queue_length = self.stats.handle("max_queue_length")
         self._queue_hist = None
         if registry is not None:

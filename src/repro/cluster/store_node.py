@@ -47,7 +47,7 @@ from repro.cluster.replication import (
 from repro.cluster.scheduler import ObjectLockTable
 from repro.core.fields import value_digest
 from repro.errors import InvocationError, UnknownObjectError
-from repro.kvstore.batch import WriteBatch
+from repro.kvstore.batch import WriteBatch, decode_shared
 from repro.obs.registry import StatsView
 from repro.rpc import RetryAfter, RpcEndpoint
 from repro.sim.core import Simulation
@@ -157,7 +157,7 @@ def _objects_in_batches(batches: list[bytes]) -> tuple:
     paths that did not capture objects at commit time)."""
     objects = set()
     for payload in batches:
-        for _kind, key, _value in WriteBatch.decode(payload).items():
+        for _kind, key, _value in decode_shared(payload).items():
             objects.add(_object_id_bytes(key))
     return tuple(sorted(objects))
 
@@ -404,13 +404,13 @@ class StoreNode:
         self.stats = NodeStats(registry, labels)
         # Preresolved counter handles for the per-request hot path (see
         # StatsView.handle): one attribute bump instead of dict lookups.
-        self._c_requests = self.stats.handle("requests")
-        self._c_readonly_requests = self.stats.handle("readonly_requests")
-        self._c_mutating_requests = self.stats.handle("mutating_requests")
-        self._c_failed_invocations = self.stats.handle("failed_invocations")
-        self._c_replication_rounds = self.stats.handle("replication_rounds")
-        self._c_replica_reads_served = self.stats.handle("replica_reads_served")
-        self._c_busy_ms = self.stats.handle("busy_ms")
+        self._c_requests = self.stats.cell("requests")
+        self._c_readonly_requests = self.stats.cell("readonly_requests")
+        self._c_mutating_requests = self.stats.cell("mutating_requests")
+        self._c_failed_invocations = self.stats.cell("failed_invocations")
+        self._c_replication_rounds = self.stats.cell("replication_rounds")
+        self._c_replica_reads_served = self.stats.cell("replica_reads_served")
+        self._c_busy_ms = self.stats.cell("busy_ms")
         if self.runtime.cache is not None:
             # Primary-side half of cross-replica cache sharing: freshly
             # stored entries are queued for piggybacking (no-op while
@@ -603,11 +603,11 @@ class StoreNode:
         # depend on them must not be served stale.  The applier may have
         # drained buffered out-of-order sequences beyond the triggering
         # message, so invalidate the keys of *every* applied batch —
-        # decoding each batch exactly once.
+        # through the shared decode memo, which the applier just warmed.
         written_keys: list[bytes] = []
         for _sequence, applied_batches in applied:
             for payload in applied_batches:
-                batch = WriteBatch.decode(payload)
+                batch = decode_shared(payload)
                 written_keys.extend(key for _kind, key, _v in batch.items())
         if written_keys:
             self.runtime.cache.invalidate_keys(written_keys)
@@ -1174,6 +1174,12 @@ class StoreNode:
                 if not completion.triggered:
                     completion.succeed()
 
+    def _escalate_trace(self, request_id: str, reason: str) -> None:
+        """Force-trace an anomalous request despite head sampling."""
+        tracer = self.tracer
+        if tracer is not None:
+            tracer.escalate(request_id, reason=reason, node=self.name)
+
     def _shed(self, request: ClientRequest, decision: Any) -> None:
         """Answer a shed request with server-advised backoff.
 
@@ -1181,6 +1187,7 @@ class StoreNode:
         retry of a shed request is a fresh admission decision.
         """
         self.stats.shed_requests += 1
+        self._escalate_trace(request.request_id, "shed")
         self.endpoint.send(
             request.client,
             RetryAfter(
@@ -1225,6 +1232,7 @@ class StoreNode:
                 result = self._invoke_traced(root, request)
             except (InvocationError, UnknownObjectError) as error:
                 self._c_failed_invocations.inc()
+                self._escalate_trace(request.request_id, "invoke.error")
                 self._reply(request, ClientReply(request.request_id, False, error=str(error)))
                 return
             yield self.sim.timeout(result.fuel_used * self.ms_per_fuel)
@@ -1263,6 +1271,7 @@ class StoreNode:
                 result = self._invoke_traced(root, request)
             except (InvocationError, UnknownObjectError) as error:
                 self._c_failed_invocations.inc()
+                self._escalate_trace(request.request_id, "invoke.error")
                 error_text = str(error)
             if result is not None:
                 yield self.sim.timeout(result.fuel_used * self.ms_per_fuel)
@@ -1365,6 +1374,7 @@ class StoreNode:
                     result = self._invoke_traced(root, request)
                 except (InvocationError, UnknownObjectError) as error:
                     self._c_failed_invocations.inc()
+                    self._escalate_trace(request.request_id, "invoke.error")
                     error_text = str(error)
                 if result is not None:
                     yield self.sim.timeout(result.fuel_used * self.ms_per_fuel)
@@ -1490,6 +1500,7 @@ class StoreNode:
                     result = self._invoke_traced(root, request)
                 except (InvocationError, UnknownObjectError) as error:
                     self._c_failed_invocations.inc()
+                    self._escalate_trace(request.request_id, "invoke.error")
                     reply = ClientReply(request.request_id, False, error=str(error))
                     self._completed.record(request.request_id, reply)
                     self._reply(request, reply)

@@ -76,12 +76,12 @@ class ResultCache:
         # Preresolved counter handles: lookup() runs on every read-only
         # invocation, so increments must not pay the StatsView attribute
         # protocol (see StatsView.handle).
-        self._c_hits = self.stats.handle("hits")
-        self._c_misses = self.stats.handle("misses")
-        self._c_validation_failures = self.stats.handle("validation_failures")
-        self._c_invalidations = self.stats.handle("invalidations")
-        self._c_stores = self.stats.handle("stores")
-        self._c_installs = self.stats.handle("installs")
+        self._c_hits = self.stats.cell("hits")
+        self._c_misses = self.stats.cell("misses")
+        self._c_validation_failures = self.stats.cell("validation_failures")
+        self._c_invalidations = self.stats.cell("invalidations")
+        self._c_stores = self.stats.cell("stores")
+        self._c_installs = self.stats.cell("installs")
         #: optional hook fired after every locally-originated store()
         #: (NOT after install()) — the cluster layer uses it to piggyback
         #: fresh entries to the shard's other replicas

@@ -87,15 +87,16 @@ class LocalRuntime:
         self.costs = costs or OpCosts()
         self._memory_limit = memory_limit_bytes
         self.stats = InvocationStats(registry, metrics_labels)
-        # Preresolved counter handles for the invoke hot path (see
-        # StatsView.handle): one bound-method call per increment.
-        self._c_invocations = self.stats.handle("invocations")
-        self._c_nested_invocations = self.stats.handle("nested_invocations")
-        self._c_commits = self.stats.handle("commits")
-        self._c_aborts = self.stats.handle("aborts")
-        self._c_cache_hits = self.stats.handle("cache_hits")
-        self._c_cache_misses = self.stats.handle("cache_misses")
-        self._c_fuel_used = self.stats.handle("fuel_used")
+        # Preresolved counter cells for the invoke hot path (see
+        # StatsView.cell): increments land in a handle-local slot and
+        # fold into the registry at read/sample time.
+        self._c_invocations = self.stats.cell("invocations")
+        self._c_nested_invocations = self.stats.cell("nested_invocations")
+        self._c_commits = self.stats.cell("commits")
+        self._c_aborts = self.stats.cell("aborts")
+        self._c_cache_hits = self.stats.cell("cache_hits")
+        self._c_cache_misses = self.stats.cell("cache_misses")
+        self._c_fuel_used = self.stats.cell("fuel_used")
         #: span tracer for invocation-lifecycle tracing (platforms share one
         #: tracer across nodes; ``trace_node`` names this runtime's host)
         self.tracer = tracer
@@ -135,11 +136,24 @@ class LocalRuntime:
         ``initial`` maps value fields to values and collection fields to
         either a list (appended in order) or a dict of entries.
         """
-        object_type = self.type_named(type_name)
         oid = object_id if object_id is not None else ObjectId.generate(self._id_rng)
-        if self.storage.get(keyspace.meta_key(oid)) is not None:
-            raise ObjectExistsError(f"object {oid.short} already exists")
+        batch = self.build_create_batch(type_name, oid, initial)
+        return self.create_object_from_batch(oid, batch)
 
+    def build_create_batch(
+        self,
+        type_name: str,
+        oid: ObjectId,
+        initial: Optional[dict[str, Any]] = None,
+    ) -> WriteBatch:
+        """Validate ``initial`` and encode the creation write batch.
+
+        Split out from :meth:`create_object` so a replicated platform can
+        encode the initial state once and apply the same batch to every
+        replica member (see ``Cluster.create_object``) instead of
+        re-encoding per member.
+        """
+        object_type = self.type_named(type_name)
         batch = WriteBatch()
         batch.put(keyspace.meta_key(oid), encode_value(type_name))
         initial = dict(initial or {})
@@ -166,6 +180,12 @@ class LocalRuntime:
                     batch.put(keyspace.counter_key(oid, spec.name), encode_value(count))
         if initial:
             object_type.field(next(iter(initial)))  # raises UnknownFieldError
+        return batch
+
+    def create_object_from_batch(self, oid: ObjectId, batch: WriteBatch) -> ObjectId:
+        """Apply a pre-built creation batch (exists-check + commit)."""
+        if self.storage.get(keyspace.meta_key(oid)) is not None:
+            raise ObjectExistsError(f"object {oid.short} already exists")
         self.storage.apply(batch)
         return oid
 

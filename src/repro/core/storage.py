@@ -44,12 +44,26 @@ class StorageBackend(Protocol):
         ...
 
 
+#: target block size of the blocked key index; blocks split at twice this
+_INDEX_BLOCK = 512
+
+
 class MemoryBackend:
-    """Ordered in-memory storage (dict + sorted key index)."""
+    """Ordered in-memory storage (dict + blocked sorted key index).
+
+    The key index is a B-tree-leaf-style list of bounded sorted blocks
+    (split at ``2 * _INDEX_BLOCK`` entries) instead of one flat sorted
+    list: an insert memmoves at most one block, not the whole keyspace,
+    which keeps ``apply`` cheap at benchmark scale (hundreds of thousands
+    of keys per node) while ``iterate`` still walks keys in order.
+    """
 
     def __init__(self) -> None:
         self._data: dict[bytes, bytes] = {}
-        self._keys: list[bytes] = []
+        #: sorted, bounded key blocks; globally ordered end to end
+        self._blocks: list[list[bytes]] = []
+        #: first key of each block (the block routing index)
+        self._firsts: list[bytes] = []
         self._sequence = 0
         # Plain ints, not registry instruments: `get` is the hottest call in
         # the simulator, so platforms expose these via callback gauges.
@@ -62,31 +76,78 @@ class MemoryBackend:
         self.gets += 1
         return self._data.get(key)
 
+    def _block_for(self, key: bytes) -> int:
+        """Index of the block whose range covers ``key``."""
+        index = bisect.bisect_right(self._firsts, key) - 1
+        return index if index > 0 else 0
+
+    def _insert_key(self, key: bytes) -> None:
+        blocks = self._blocks
+        if not blocks:
+            blocks.append([key])
+            self._firsts.append(key)
+            return
+        at = self._block_for(key)
+        block = blocks[at]
+        bisect.insort(block, key)
+        if block[0] is key:  # new smallest: refresh the routing index
+            self._firsts[at] = key
+        if len(block) > 2 * _INDEX_BLOCK:
+            half = len(block) // 2
+            tail = block[half:]
+            del block[half:]
+            blocks.insert(at + 1, tail)
+            self._firsts.insert(at + 1, tail[0])
+
+    def _remove_key(self, key: bytes) -> None:
+        blocks = self._blocks
+        if not blocks:
+            return
+        at = self._block_for(key)
+        block = blocks[at]
+        index = bisect.bisect_left(block, key)
+        if index < len(block) and block[index] == key:
+            del block[index]
+            if not block:
+                del blocks[at]
+                del self._firsts[at]
+            elif index == 0:
+                self._firsts[at] = block[0]
+
     def apply(self, batch: WriteBatch) -> int:
         self.applies += 1
+        data = self._data
         for kind, key, value in batch.items():
             if kind == ValueType.VALUE:
                 self.puts += 1
-                if key not in self._data:
-                    bisect.insort(self._keys, key)
-                self._data[key] = value
+                if key not in data:
+                    self._insert_key(key)
+                data[key] = value
             else:
                 self.deletes += 1
-                if key in self._data:
-                    del self._data[key]
-                    index = bisect.bisect_left(self._keys, key)
-                    del self._keys[index]
+                if key in data:
+                    del data[key]
+                    self._remove_key(key)
             self._sequence += 1
         return self._sequence
 
     def iterate(self, start: bytes, end: Optional[bytes]) -> Iterator[tuple[bytes, bytes]]:
-        index = bisect.bisect_left(self._keys, start)
-        while index < len(self._keys):
-            key = self._keys[index]
-            if end is not None and key >= end:
-                return
-            yield key, self._data[key]
-            index += 1
+        blocks = self._blocks
+        if not blocks:
+            return
+        at = self._block_for(start)
+        data = self._data
+        index = bisect.bisect_left(blocks[at], start)
+        while at < len(blocks):
+            block = blocks[at]
+            while index < len(block):
+                key = block[index]
+                if end is not None and key >= end:
+                    return
+                yield key, data[key]
+                index += 1
+            at += 1
+            index = 0
 
     @property
     def last_sequence(self) -> int:

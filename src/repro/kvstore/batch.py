@@ -29,6 +29,11 @@ class WriteBatch:
 
     def put(self, key: bytes, value: bytes) -> "WriteBatch":
         """Record a put; later operations on the same key win."""
+        # Fast path: callers overwhelmingly pass real bytes, and
+        # ``bytes(b)`` on a bytes object returns the same object anyway.
+        if type(key) is bytes and type(value) is bytes:
+            self._ops.append((ValueType.VALUE, key, value))
+            return self
         _check_bytes("key", key)
         _check_bytes("value", value)
         self._ops.append((ValueType.VALUE, bytes(key), bytes(value)))
@@ -36,6 +41,9 @@ class WriteBatch:
 
     def delete(self, key: bytes) -> "WriteBatch":
         """Record a deletion of ``key``."""
+        if type(key) is bytes:
+            self._ops.append((ValueType.DELETION, key, b""))
+            return self
         _check_bytes("key", key)
         self._ops.append((ValueType.DELETION, bytes(key), b""))
         return self
@@ -75,9 +83,11 @@ class WriteBatch:
     def decode(cls, data: bytes) -> "WriteBatch":
         """Inverse of :meth:`encode`; raises ``CorruptionError`` on damage."""
         batch = cls()
+        ops = batch._ops
         count, pos = decode_varint(data, 0)
+        size = len(data)
         for _ in range(count):
-            if pos >= len(data):
+            if pos >= size:
                 raise CorruptionError("write batch truncated (missing op)")
             kind_byte = data[pos]
             pos += 1
@@ -86,22 +96,48 @@ class WriteBatch:
             except ValueError:
                 raise CorruptionError(f"write batch has bad op kind {kind_byte}") from None
             key_len, pos = decode_varint(data, pos)
-            key = bytes(data[pos : pos + key_len])
+            key = data[pos : pos + key_len]
             if len(key) != key_len:
                 raise CorruptionError("write batch truncated (short key)")
             pos += key_len
             if kind == ValueType.VALUE:
                 value_len, pos = decode_varint(data, pos)
-                value = bytes(data[pos : pos + value_len])
+                value = data[pos : pos + value_len]
                 if len(value) != value_len:
                     raise CorruptionError("write batch truncated (short value)")
                 pos += value_len
-                batch.put(key, value)
+                ops.append((ValueType.VALUE, key, value))
             else:
-                batch.delete(key)
-        if pos != len(data):
+                ops.append((ValueType.DELETION, key, b""))
+        if pos != size:
             raise CorruptionError("write batch has trailing garbage")
         return batch
+
+
+#: bounded memo of decoded batches keyed by their encoded payload.
+#: Replication fans one frame out to every backup and re-reads applied
+#: payloads during cache invalidation, so identical bytes are decoded
+#: several times; bytes objects cache their own hash, making hits one
+#: dict probe.  Bounded by clearing when full (payload reuse is bursty
+#: and short-lived, so an LRU order buys nothing over a clear).
+_DECODE_MEMO: dict[bytes, WriteBatch] = {}
+_DECODE_MEMO_MAX = 1024
+
+
+def decode_shared(data: bytes) -> WriteBatch:
+    """Decode ``data``, memoising the result across identical payloads.
+
+    The returned batch is SHARED: callers must treat it as read-only
+    (iterate it, apply it to storage) and never mutate, extend, or clear
+    it.  Use :meth:`WriteBatch.decode` when a private copy is needed.
+    """
+    batch = _DECODE_MEMO.get(data)
+    if batch is None:
+        batch = WriteBatch.decode(data)
+        if len(_DECODE_MEMO) >= _DECODE_MEMO_MAX:
+            _DECODE_MEMO.clear()
+        _DECODE_MEMO[data] = batch
+    return batch
 
 
 def _check_bytes(label: str, data: bytes) -> None:

@@ -97,26 +97,64 @@ class Instrument:
         }
 
 
+class CounterCell:
+    """A handle-local pre-aggregation cell of one :class:`Counter`.
+
+    Ultra-hot paths increment the cell (one attribute add on a two-slot
+    object) instead of calling into the registry instrument; the parent
+    counter folds every cell lazily whenever its value is read — which
+    includes each sim-clock sampling tick, so exported series see cell
+    increments at the metrics flush cadence.
+    """
+
+    __slots__ = ("n",)
+
+    def __init__(self) -> None:
+        self.n: float = 0
+
+    def inc(self, amount: float = 1) -> None:
+        self.n += amount
+
+
 class Counter(Instrument):
     """A numeric total.  ``set()`` exists so :class:`StatsView` attribute
     assignment (``stats.x += 1`` desugars to a read + a set) works."""
 
-    __slots__ = ("_value",)
+    __slots__ = ("_value", "_cells")
 
     kind = "counter"
 
     def __init__(self, name: str, labels: LabelSet, help: str = "") -> None:
         super().__init__(name, labels, help)
         self._value: float = 0.0
+        self._cells: list[CounterCell] = []
+
+    def cell(self) -> CounterCell:
+        """Mint a pre-aggregation cell owned by this counter."""
+        cell = CounterCell()
+        self._cells.append(cell)
+        return cell
+
+    def _fold(self) -> None:
+        for cell in self._cells:
+            if cell.n:
+                self._value += cell.n
+                cell.n = 0
 
     @property
     def value(self) -> float:
+        if self._cells:
+            self._fold()
         return self._value
 
     def inc(self, amount: float = 1.0) -> None:
         self._value += amount
 
     def set(self, value: float) -> None:
+        # Setting overrides the total: discard unfolded cell increments so
+        # they cannot resurface on the next fold.
+        for cell in self._cells:
+            cell.n = 0
         self._value = value
 
 
@@ -225,6 +263,8 @@ class MetricsRegistry:
     def __init__(self, clock: Optional[Callable[[], float]] = None) -> None:
         self._clock = clock or (lambda: 0.0)
         self._instruments: dict[tuple[str, LabelSet], Instrument] = {}
+        #: flat instrument list the sampler walks (rebuilt on registration)
+        self._sample_list: Optional[list[Instrument]] = None
 
     # -- get-or-create ----------------------------------------------------
 
@@ -241,6 +281,7 @@ class MetricsRegistry:
             return existing
         instrument = cls(name, key[1], help=help, **kwargs)
         self._instruments[key] = instrument
+        self._sample_list = None
         return instrument
 
     def counter(
@@ -294,9 +335,17 @@ class MetricsRegistry:
     # -- time series -------------------------------------------------------
 
     def sample(self, now: Optional[float] = None) -> None:
-        """Append one ``(now, value)`` point to every instrument's series."""
+        """Append one ``(now, value)`` point to every instrument's series.
+
+        One batched pass over a flat, cached instrument list: gauges are
+        snapshotted and counter cells folded in a single sweep per tick
+        instead of per-event registry traffic.
+        """
         at = self._clock() if now is None else now
-        for instrument in self._instruments.values():
+        instruments = self._sample_list
+        if instruments is None:
+            instruments = self._sample_list = list(self._instruments.values())
+        for instrument in instruments:
             instrument.sample(at)
 
     def sampler_process(self, sim, interval_ms: float):
@@ -396,6 +445,19 @@ class StatsView:
             raise AttributeError(
                 f"{type(self).__name__} has no stat {name!r}"
             ) from None
+
+    def cell(self, name: str) -> CounterCell:
+        """A pre-aggregation cell for counter ``name``.
+
+        The step past :meth:`handle` for the hottest counters: increments
+        land in a handle-local cell and fold into the registry instrument
+        when it is next read or sampled, so per-event cost is one slot
+        add.  Only counters have cells; gauges keep their handles.
+        """
+        metric = self.handle(name)
+        if not isinstance(metric, Counter):
+            raise TypeError(f"stat {name!r} is a {metric.kind}, not a counter")
+        return metric.cell()
 
     def as_dict(self) -> dict[str, float]:
         return {name: getattr(self, name) for name in self._metrics}

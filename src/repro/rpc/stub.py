@@ -263,6 +263,9 @@ class RpcStub:
         started = self.sim.now
         reply = None
         immediate_retries = 0
+        #: the id an anomalous call escalates to always-traced (retries
+        #: and timeouts must stay visible under head sampling)
+        escalate_id = trace_id if trace_id is not None else request_id
         try:
             for attempt in range(policy.max_attempts):
                 dst = target(attempt) if callable(target) else target
@@ -280,8 +283,13 @@ class RpcStub:
                         )
                     if handles is not None:
                         handles.calls.inc()
-                elif handles is not None:
-                    handles.retries.inc()
+                else:
+                    if handles is not None:
+                        handles.retries.inc()
+                    if tracer is not None and escalate_id is not None:
+                        tracer.escalate(
+                            escalate_id, reason="rpc.retry", node=self.name
+                        )
                 attempt_started = self.sim.now
                 self.net.send(
                     self.name, dst, message, size_bytes=message.size()
@@ -291,6 +299,10 @@ class RpcStub:
                 if reply is None:
                     if handles is not None:
                         handles.timeouts.inc()
+                    if tracer is not None and escalate_id is not None:
+                        tracer.escalate(
+                            escalate_id, reason="rpc.timeout", node=self.name
+                        )
                 elif type(reply) is RetryAfter:
                     # An admission gate shed the request: always
                     # retryable, and the server said exactly when.

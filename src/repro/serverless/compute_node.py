@@ -119,11 +119,11 @@ class ComputeNode:
         self.stats = ComputeStats(registry, labels)
         # Preresolved counter handles for the per-request hot path (see
         # StatsView.handle).
-        self._c_requests = self.stats.handle("requests")
-        self._c_failed = self.stats.handle("failed")
-        self._c_shed = self.stats.handle("shed_requests")
-        self._c_storage_round_trips = self.stats.handle("storage_round_trips")
-        self._c_busy_ms = self.stats.handle("busy_ms")
+        self._c_requests = self.stats.cell("requests")
+        self._c_failed = self.stats.cell("failed")
+        self._c_shed = self.stats.cell("shed_requests")
+        self._c_storage_round_trips = self.stats.cell("storage_round_trips")
+        self._c_busy_ms = self.stats.cell("busy_ms")
         self._request_hist = None
         if registry is not None:
             self._request_hist = registry.histogram(

@@ -72,6 +72,9 @@ class ServerlessConfig:
     #: when > 0, a background process samples every registry instrument's
     #: time series at this simulated-ms interval (0 disables the sampler)
     metrics_sample_interval_ms: float = 0.0
+    #: fraction of traces recorded when tracing is enabled (head-based,
+    #: deterministic per request id; 1.0 = record everything)
+    trace_sample_rate: float = 1.0
     seed: int = 0
 
 
@@ -250,11 +253,22 @@ class ServerlessPlatform:
         if self.gateway is not None:
             self.gateway.start()
 
-    def enable_tracing(self, max_spans: int = 100_000) -> SpanTracer:
-        """Attach one platform-wide span tracer (idempotent)."""
+    def enable_tracing(
+        self, max_spans: int = 100_000, sample_rate: Optional[float] = None
+    ) -> SpanTracer:
+        """Attach one platform-wide span tracer (idempotent).
+
+        ``sample_rate`` overrides ``config.trace_sample_rate``."""
         if self.tracer is None:
+            rate = (
+                sample_rate
+                if sample_rate is not None
+                else self.config.trace_sample_rate
+            )
             self.tracer = SpanTracer(
-                clock=lambda: self.sim.now, max_spans=max_spans
+                clock=lambda: self.sim.now,
+                max_spans=max_spans,
+                sample_rate=rate,
             )
             for node in self.compute_nodes:
                 node.runtime.tracer = self.tracer

@@ -126,27 +126,48 @@ class Simulation:
         self._running = True
         lane = self._now_lane
         queue = self._queue
+        heappop = heapq.heappop
+        popleft = lane.popleft
         try:
-            while lane or queue:
+            if until is None:
+                # Unbounded drain: pop-and-execute directly, no peek step.
                 # (when, seq) tuple order; seqs are unique so the compare
-                # never reaches the callables.
-                if lane and not (queue and queue[0] < lane[0]):
-                    entry = lane[0]
-                    from_lane = True
-                else:
-                    entry = queue[0]
-                    from_lane = False
-                when = entry[0]
-                if until is not None and when > until:
-                    break
-                if from_lane:
-                    lane.popleft()
-                else:
-                    heapq.heappop(queue)
-                self._now = when
-                entry[2]()
-            if until is not None and until > self._now:
-                self._now = until
+                # never reaches the callables.  The heap head is re-read
+                # every iteration because a callback may push an earlier
+                # entry; zero-delay runs still drain as O(1) poplefts.
+                while True:
+                    if lane:
+                        if queue and queue[0] < lane[0]:
+                            entry = heappop(queue)
+                        else:
+                            entry = popleft()
+                    elif queue:
+                        entry = heappop(queue)
+                    else:
+                        break
+                    self._now = entry[0]
+                    entry[2]()
+            else:
+                # Bounded run: peek before popping so the first entry past
+                # ``until`` stays queued.
+                while lane or queue:
+                    if lane and not (queue and queue[0] < lane[0]):
+                        entry = lane[0]
+                        from_lane = True
+                    else:
+                        entry = queue[0]
+                        from_lane = False
+                    when = entry[0]
+                    if when > until:
+                        break
+                    if from_lane:
+                        popleft()
+                    else:
+                        heappop(queue)
+                    self._now = when
+                    entry[2]()
+                if until > self._now:
+                    self._now = until
         finally:
             self._running = False
         return self._now
@@ -165,27 +186,51 @@ class Simulation:
         self._running = True
         lane = self._now_lane
         queue = self._queue
+        heappop = heapq.heappop
+        popleft = lane.popleft
         try:
-            while not event.triggered:
-                if lane and not (queue and queue[0] < lane[0]):
-                    entry = lane[0]
-                    from_lane = True
-                elif queue:
-                    entry = queue[0]
-                    from_lane = False
-                else:
-                    raise SimulationError(
-                        "deadlock: event queue drained before target event triggered"
-                    )
-                when = entry[0]
-                if when > limit:
-                    raise SimulationError(f"simulated time limit {limit} ms exceeded")
-                if from_lane:
-                    lane.popleft()
-                else:
-                    heapq.heappop(queue)
-                self._now = when
-                entry[2]()
+            if limit == float("inf"):
+                # Unlimited (the common case): pop-and-execute directly.
+                # The lane drains in runs of O(1) poplefts between heap
+                # entries; the heap head is re-read per iteration because
+                # a callback may push an earlier entry.
+                while not event.triggered:
+                    if lane:
+                        if queue and queue[0] < lane[0]:
+                            entry = heappop(queue)
+                        else:
+                            entry = popleft()
+                    elif queue:
+                        entry = heappop(queue)
+                    else:
+                        raise SimulationError(
+                            "deadlock: event queue drained before target event triggered"
+                        )
+                    self._now = entry[0]
+                    entry[2]()
+            else:
+                while not event.triggered:
+                    if lane and not (queue and queue[0] < lane[0]):
+                        entry = lane[0]
+                        from_lane = True
+                    elif queue:
+                        entry = queue[0]
+                        from_lane = False
+                    else:
+                        raise SimulationError(
+                            "deadlock: event queue drained before target event triggered"
+                        )
+                    when = entry[0]
+                    if when > limit:
+                        raise SimulationError(
+                            f"simulated time limit {limit} ms exceeded"
+                        )
+                    if from_lane:
+                        popleft()
+                    else:
+                        heappop(queue)
+                    self._now = when
+                    entry[2]()
         finally:
             self._running = False
         if event.ok:

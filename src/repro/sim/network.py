@@ -145,6 +145,34 @@ class NetworkHost:
         return self.inbox.get()
 
 
+class _Delivery:
+    """One scheduled delivery: a slotted callable instead of a per-send
+    closure (no function object + captured cells per message)."""
+
+    __slots__ = ("net", "message", "dst_host")
+
+    def __init__(self, net: "Network", message: Message, dst_host: NetworkHost) -> None:
+        self.net = net
+        self.message = message
+        self.dst_host = dst_host
+
+    def __call__(self) -> None:
+        net = self.net
+        message = self.message
+        dst_host = self.dst_host
+        # Faults may have activated while the message was in flight.
+        if net._faults_active and (
+            dst_host.crashed or net.is_partitioned(message.src, message.dst)
+        ):
+            stats = net.stats
+            stats.messages_dropped += 1
+            link = (message.src, message.dst)
+            stats.per_link_dropped[link] = stats.per_link_dropped.get(link, 0) + 1
+            return
+        net.stats.messages_delivered += 1
+        dst_host.inbox.put(message)
+
+
 class Network:
     """Connects hosts, applying latency, bandwidth, and failure injection."""
 
@@ -302,8 +330,12 @@ class Network:
         RNG draw order is unchanged because the fault checks draw only
         when their respective fault is configured.
         """
-        src_host = self.host(src)
-        dst_host = self.host(dst)
+        hosts = self._hosts
+        src_host = hosts.get(src)
+        dst_host = hosts.get(dst)
+        if src_host is None or dst_host is None:
+            missing = src if src_host is None else dst
+            raise SimulationError(f"unknown host {missing!r}")
         message = Message(src, dst, payload, size_bytes, sent_at=self.sim.now)
         stats = self.stats
         stats.messages_sent += 1
@@ -333,14 +365,4 @@ class Network:
         else:
             delay = self.latency.sample(self._rng) + size_bytes / self._bytes_per_ms
 
-        def deliver() -> None:
-            # Faults may have activated while the message was in flight.
-            if self._faults_active and (dst_host.crashed or self.is_partitioned(src, dst)):
-                self.stats.messages_dropped += 1
-                link = (src, dst)
-                self.stats.per_link_dropped[link] = self.stats.per_link_dropped.get(link, 0) + 1
-                return
-            self.stats.messages_delivered += 1
-            dst_host.inbox.put(message)
-
-        self.sim._schedule(delay, deliver)
+        self.sim._schedule(delay, _Delivery(self, message, dst_host))

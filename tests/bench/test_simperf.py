@@ -27,27 +27,36 @@ def test_network_row_reports_messages():
     assert row["messages_per_sec"] > 0
 
 
-def test_simperf_writes_artifact(tmp_path, monkeypatch):
-    # Stub the macro row: the full retwis run is seconds of wall clock and
-    # is exercised by the bench CLI; here we pin the payload shape.
+def _fake_retwis(cal, bench="retwis_invoke", trace_sample_rate=None):
+    per_invocation = 4.0 if cal.group_commit else 8.0
+    row = {
+        "bench": bench,
+        "events": 1000,
+        "wall_s": 0.1,
+        "events_per_sec": 10_000.0,
+        "invocations": 50,
+        "invocations_per_sec": 500.0,
+        "messages": 200,
+        "messages_per_sec": 2_000.0,
+        "messages_per_invocation": per_invocation,
+    }
+    if trace_sample_rate is not None:
+        row["trace_sample_rate"] = trace_sample_rate
+        row["spans_recorded"] = 10 if trace_sample_rate < 1.0 else 100
+    return row
+
+
+def _tiny_sizes(monkeypatch):
     monkeypatch.setitem(
         sp._SIZES, "quick", {"ping_iters": 100, "chains": 3, "steps": 3, "pairs": 2, "messages": 5}
     )
-    def fake_retwis(cal, bench="retwis_invoke"):
-        per_invocation = 4.0 if cal.group_commit else 8.0
-        return {
-            "bench": bench,
-            "events": 1000,
-            "wall_s": 0.1,
-            "events_per_sec": 10_000.0,
-            "invocations": 50,
-            "invocations_per_sec": 500.0,
-            "messages": 200,
-            "messages_per_sec": 2_000.0,
-            "messages_per_invocation": per_invocation,
-        }
 
-    monkeypatch.setattr(sp, "_bench_retwis", fake_retwis)
+
+def test_simperf_writes_artifact(tmp_path, monkeypatch):
+    # Stub the macro rows: the full retwis runs are seconds of wall clock
+    # and are exercised by the bench CLI; here we pin the payload shape.
+    _tiny_sizes(monkeypatch)
+    monkeypatch.setattr(sp, "_bench_retwis", _fake_retwis)
     out = tmp_path / "BENCH_simperf.json"
     result = sp.simperf(out_path=str(out))
     assert [row["bench"] for row in result["rows"]] == [
@@ -56,22 +65,47 @@ def test_simperf_writes_artifact(tmp_path, monkeypatch):
         "network",
         "retwis_invoke",
         "retwis_invoke_nogc",
+        "retwis_invoke_traced",
+        "retwis_invoke_sampled",
     ]
     assert result["headline"]["events_per_sec"] == 10_000.0
     assert result["headline"]["messages_per_invocation"] == 4.0
     assert "50.0% fewer" in result["text"]
+    assert "tracing A/B" in result["text"]
     payload = json.loads(out.read_text())
-    assert payload["schema"] == 2
+    assert payload["schema"] == 3
     assert payload["headline"] == result["headline"]
+    by_bench = {row["bench"]: row for row in payload["rows"]}
+    assert by_bench["retwis_invoke_sampled"]["trace_sample_rate"] == 0.1
+    assert by_bench["retwis_invoke_traced"]["trace_sample_rate"] == 1.0
 
 
-def _result(events_per_sec: float) -> dict:
-    return {"headline": {"events_per_sec": events_per_sec}}
+def test_simperf_profile_writes_report(tmp_path, monkeypatch):
+    _tiny_sizes(monkeypatch)
+    monkeypatch.setattr(sp, "_bench_retwis", _fake_retwis)
+    out = tmp_path / "BENCH_simperf.json"
+    result = sp.simperf(out_path=str(out), profile=True)
+    report = tmp_path / "BENCH_simperf_profile.txt"
+    assert report.exists()
+    text = report.read_text()
+    # One section per row, sorted by cumulative time, truncated to 25.
+    for bench in ("event_lane", "timers", "network", "retwis_invoke_sampled"):
+        assert f"=== {bench} " in text
+    assert "cumulative" in text
+    assert str(report) in result["text"]
 
 
-def _baseline(tmp_path, events_per_sec: float) -> str:
+def _result(events_per_sec: float, rows=()) -> dict:
+    return {"headline": {"events_per_sec": events_per_sec}, "rows": list(rows)}
+
+
+def _baseline(tmp_path, events_per_sec: float, rows=()) -> str:
     path = tmp_path / "baseline.json"
-    path.write_text(json.dumps({"headline": {"events_per_sec": events_per_sec}}))
+    path.write_text(
+        json.dumps(
+            {"headline": {"events_per_sec": events_per_sec}, "rows": list(rows)}
+        )
+    )
     return str(path)
 
 
@@ -85,6 +119,35 @@ def test_guard_fails_below_tolerance(tmp_path):
     ok, message = sp.check_guard(_result(50_000), _baseline(tmp_path, 100_000))
     assert not ok
     assert "FAILED" in message
+
+
+def test_guard_checks_every_row(tmp_path):
+    # A regression in one micro row fails the guard even when the headline
+    # (and every other row) improved.
+    rows = [
+        {"bench": "event_lane", "events_per_sec": 50_000.0},
+        {"bench": "timers", "events_per_sec": 200_000.0},
+    ]
+    baseline_rows = [
+        {"bench": "event_lane", "events_per_sec": 100_000.0},
+        {"bench": "timers", "events_per_sec": 100_000.0},
+    ]
+    ok, message = sp.check_guard(
+        _result(120_000, rows), _baseline(tmp_path, 100_000, baseline_rows)
+    )
+    assert not ok
+    assert "event_lane" in message
+    assert "timers" not in message
+
+
+def test_guard_ignores_rows_missing_from_baseline(tmp_path):
+    # Schema growth: new rows without a baseline counterpart are skipped.
+    rows = [{"bench": "retwis_invoke_sampled", "events_per_sec": 1.0}]
+    ok, message = sp.check_guard(
+        _result(100_000, rows), _baseline(tmp_path, 100_000)
+    )
+    assert ok
+    assert "1 rows" not in message  # zero rows checked, headline only
 
 
 def test_guard_skipped_without_baseline(tmp_path):

@@ -190,3 +190,48 @@ def test_drop_storms_with_admission_control(seed):
     # request was shed and retried into this clean history.
     shed = sum(node.stats.shed_requests for node in result.cluster.nodes.values())
     assert shed > 0
+
+
+@pytest.mark.parametrize("seed", [3, 7])
+def test_drop_storms_with_sampled_tracing(seed):
+    """The chaos suite stays green with head sampling at 0.1.
+
+    The consistency checkers read the invocation *history*, never spans,
+    so sampling must not change any verdict — and the drop storms force
+    retries/timeouts, whose traces must be escalated to always-recorded
+    despite the low rate.
+    """
+
+    def enable_sampled_tracing(cluster):
+        use_bimodal_latency(cluster)
+        cluster.enable_tracing()  # rate comes from config.trace_sample_rate
+
+    def run(post_build, **config):
+        return run_scenario(
+            seed=seed,
+            nemesis_config=NemesisConfig(
+                events=("drop_storm",),
+                mean_interval_ms=15.0,
+                drop_probability_range=(0.1, 0.35),
+            ),
+            num_objects=3,
+            duration_ms=400.0,
+            post_build=post_build,
+            **config,
+        )
+
+    sampled = run(enable_sampled_tracing, trace_sample_rate=0.1)
+    report = assert_consistent(sampled)
+    assert report.checked_operations > 50
+
+    tracer = sampled.cluster.tracer
+    assert tracer.sample_rate == 0.1
+    # Drop storms guarantee anomalous requests; sampling never hides them.
+    escalated = [s for s in tracer.spans if s.name == "escalated"]
+    assert escalated, "retry/timeout traces must be escalated at rate 0.1"
+
+    # Sampling is simulation-invisible: the same scenario without tracing
+    # replays the identical history.
+    untraced = run(use_bimodal_latency)
+    assert untraced.cluster.sim.events_scheduled == sampled.cluster.sim.events_scheduled
+    assert len(untraced.recorder) == len(sampled.recorder)

@@ -157,3 +157,57 @@ def test_stats_view_equality_and_repr():
     a.requests += 1
     assert a != b
     assert "requests=1" in repr(a)
+
+
+def test_counter_cells_fold_lazily_on_read():
+    registry = MetricsRegistry()
+    counter = registry.counter("requests")
+    cell_a = counter.cell()
+    cell_b = counter.cell()
+    cell_a.inc()
+    cell_a.inc(3)
+    cell_b.inc(2)
+    counter.inc()  # direct increments still work alongside cells
+    assert counter.value == 7
+    # Reading folded the cells: they are empty, the total persists.
+    assert cell_a.n == 0 and cell_b.n == 0
+    assert counter.value == 7
+    cell_b.inc(5)
+    assert counter.value == 12
+
+
+def test_counter_set_discards_unfolded_cell_increments():
+    registry = MetricsRegistry()
+    counter = registry.counter("requests")
+    cell = counter.cell()
+    cell.inc(10)
+    counter.set(2)
+    # The pre-set cell increments must not resurface on the next fold.
+    assert counter.value == 2
+    cell.inc()
+    assert counter.value == 3
+
+
+def test_counter_cells_visible_at_sampling_ticks():
+    registry = MetricsRegistry()
+    counter = registry.counter("requests")
+    cell = counter.cell()
+    cell.inc(4)
+    registry.sample(10.0)
+    assert counter.series == [(10.0, 4.0)]
+    cell.inc(2)
+    registry.sample(20.0)
+    assert counter.series == [(10.0, 4.0), (20.0, 6.0)]
+
+
+def test_stats_view_cell_requires_counter():
+    registry = MetricsRegistry()
+    stats = _DemoStats(registry, labels={"node": "store-0"})
+    cell = stats.cell("requests")
+    cell.inc(2)
+    assert stats.requests == 2
+    # stats.x += 1 (read-fold + set) composes with concurrent cells
+    stats.requests += 1
+    assert stats.requests == 3
+    with pytest.raises(TypeError):
+        stats.cell("depth")

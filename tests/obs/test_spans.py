@@ -131,3 +131,130 @@ def test_snapshot_serializable():
     payload = json.loads(json.dumps(tracer.snapshot("req-6")))
     assert payload["spans"][0]["name"] == "request"
     assert payload["spans"][0]["attrs"] == {"method": "get"}
+
+
+# -- head sampling ---------------------------------------------------------
+
+
+def _partition_by_sample(rate: float, count: int = 200):
+    """Trace ids split into (sampled, unsampled) at ``rate`` by the same
+    crc32 head decision the tracer uses."""
+    from zlib import crc32
+
+    threshold = int(rate * (1 << 32))
+    sampled, unsampled = [], []
+    for i in range(count):
+        tid = f"req-{i}"
+        (sampled if crc32(tid.encode()) < threshold else unsampled).append(tid)
+    return sampled, unsampled
+
+
+def test_head_sampling_is_deterministic_and_roughly_proportional():
+    sampled, unsampled = _partition_by_sample(0.1)
+    tracer = SpanTracer(sample_rate=0.1)
+    for tid in sampled:
+        assert tracer.sampled(tid)
+    for tid in unsampled:
+        assert not tracer.sampled(tid)
+    # A second tracer makes identical decisions (no salted hash, no rng).
+    again = SpanTracer(sample_rate=0.1)
+    assert [again.sampled(f"req-{i}") for i in range(200)] == [
+        tracer.sampled(f"req-{i}") for i in range(200)
+    ]
+    assert 5 <= len(sampled) <= 60  # ~10% of 200, generously bounded
+
+
+def test_unsampled_trace_records_shared_noop_span():
+    from repro.obs.spans import NOOP_SPAN
+
+    sampled, unsampled = _partition_by_sample(0.1)
+    tracer = SpanTracer(sample_rate=0.1)
+    span = tracer.start("request", trace_id=unsampled[0], node="store-0")
+    assert span is NOOP_SPAN
+    # Children parented on a noop span are the same shared instance, even
+    # through the synchronous stack.
+    with tracer.activate(span):
+        child = tracer.start("execute")
+        assert child is NOOP_SPAN
+    tracer.end(span)  # no-op: already "finished"
+    assert len(tracer) == 0
+    # A sampled trace on the same tracer records real spans.
+    real = tracer.start("request", trace_id=sampled[0], node="store-0")
+    assert real is not NOOP_SPAN
+    tracer.end(real)
+    assert len(tracer) == 1
+
+
+def test_noop_span_swallows_writes_and_snapshots_empty():
+    from repro.obs.spans import NOOP_SPAN
+
+    NOOP_SPAN.attrs["key"] = "value"
+    NOOP_SPAN.attrs.update(other=1)
+    NOOP_SPAN.status = "error"
+    assert NOOP_SPAN.attrs == {}
+    assert NOOP_SPAN.status == "ok"
+    assert NOOP_SPAN.snapshot() == {}
+    assert NOOP_SPAN.finished
+    assert NOOP_SPAN.duration_ms == 0.0
+
+
+def test_escalate_forces_recording_with_marker():
+    _sampled, unsampled = _partition_by_sample(0.1)
+    anomalous = unsampled[0]
+    tracer = SpanTracer(sample_rate=0.1)
+    assert tracer.start("request", trace_id=anomalous).snapshot() == {}
+    tracer.escalate(anomalous, reason="invoke.error", node="store-1")
+    # The marker span makes the trace non-empty...
+    (marker,) = tracer.trace(anomalous)
+    assert marker.name == "escalated"
+    assert marker.attrs["reason"] == "invoke.error"
+    assert marker.node == "store-1"
+    # ...and every span opened for it from now on is real.
+    span = tracer.start("retry", trace_id=anomalous)
+    assert span.snapshot() != {}
+    # Idempotent: a second escalation adds nothing.
+    before = len(tracer)
+    tracer.escalate(anomalous, reason="rpc.retry")
+    assert len(tracer) == before
+
+
+def test_escalate_is_noop_at_full_rate():
+    tracer, _now = make_tracer()
+    tracer.escalate("req-1", reason="shed")
+    assert len(tracer) == 0
+    assert tracer.trace("req-1") == []
+
+
+def test_trace_eviction_bounds_completed_traces():
+    now = {"t": 0.0}
+    tracer = SpanTracer(
+        clock=lambda: now["t"], max_traces=16, keep_slowest=2, sample_rate=1.0
+    )
+    # One early error trace and one early ultra-slow trace, then a stream
+    # of fast completed traces that overflows the cap.
+    with pytest.raises(ValueError):
+        with tracer.span("request", trace_id="err-0", node="n"):
+            raise ValueError("boom")
+    slow = tracer.start("request", trace_id="slow-0", node="n")
+    now["t"] += 500.0
+    tracer.end(slow)
+    for i in range(40):
+        span = tracer.start("request", trace_id=f"fast-{i}", node="n")
+        now["t"] += 0.1
+        tracer.end(span)
+    assert len(tracer.trace_ids()) <= 16
+    assert tracer.dropped_traces > 0
+    # The error trace and the slowest trace survived the churn.
+    assert tracer.trace("err-0")
+    assert tracer.trace("slow-0")
+    # spans list stays consistent with the per-trace index.
+    assert {s.trace_id for s in tracer.spans} == set(tracer.trace_ids())
+
+
+def test_open_traces_are_never_evicted():
+    tracer = SpanTracer(max_traces=8, keep_slowest=0)
+    open_span = tracer.start("request", trace_id="open-0", node="n")
+    for i in range(30):
+        span = tracer.start("request", trace_id=f"done-{i}", node="n")
+        tracer.end(span)
+    assert tracer.trace("open-0") == [open_span]
