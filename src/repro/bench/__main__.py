@@ -69,6 +69,16 @@ def main(argv: list[str] | None = None) -> int:
         "commit; ignored when --group-commit off",
     )
     parser.add_argument(
+        "--coalescing",
+        choices=["on", "off"],
+        default="off",
+        help="transport egress coalescing + deferred-ack piggybacking "
+        "(same-instant frames to one destination share one wire message "
+        "and one latency draw; backups batch cumulative acks; DESIGN.md "
+        "§5j); 'off' (the default) keeps one message per send, the "
+        "historical behavior — see abl_coalescing for the measured delta",
+    )
+    parser.add_argument(
         "--admission",
         choices=["on", "off"],
         default="off",
@@ -116,6 +126,7 @@ def main(argv: list[str] | None = None) -> int:
         args.preset,
         group_commit=(args.group_commit == "on"),
         replica_reads=(args.replica_reads == "on"),
+        transport_coalescing=(args.coalescing == "on"),
         admission_control=(args.admission == "on"),
         tenant_rate_limit=args.tenant_rate_limit,
     )

@@ -55,6 +55,10 @@ class Calibration:
     #: locally under a primary-granted lease); requires group_commit.
     #: The on/off delta is measured in ``abl_replica_reads``.
     replica_reads: bool = True
+    #: transport egress coalescing + deferred-ack piggybacking
+    #: (DESIGN.md §5j); off preserves one-message-per-send.  The on/off
+    #: delta is measured in ``abl_coalescing``.
+    transport_coalescing: bool = False
     #: per-tenant admission control + overload shedding (DESIGN.md §5h);
     #: off everywhere except ``abl_overload``, which measures the
     #: goodput-under-overload delta.

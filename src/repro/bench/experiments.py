@@ -433,6 +433,58 @@ def abl_replica_reads(cal: CalibrationLike = None) -> dict:
     return {"name": "abl_replica_reads", "rows": rows, "text": text}
 
 
+def abl_coalescing(cal: CalibrationLike = None) -> dict:
+    """Transport egress coalescing + ack piggybacking on vs off (§5j).
+
+    The mutation-heavy mix (REPLICATION_MIX) on the aggregated cluster:
+    with coalescing on, same-window frames to one destination share a
+    wire message (one latency draw, one delivery event) and backups
+    defer their cumulative acks so several per-frame acks merge into
+    one watermark send.  The bill is wire messages per invocation plus
+    the mutation latency distribution (which must not regress — the
+    deferral window is bounded by ``ack_flush_ms``).
+    """
+    cal = _calibration(cal)
+    rows = []
+    for label, enabled in (
+        ("off (message per send)", False),
+        ("on (coalesced + deferred acks)", True),
+    ):
+        result, platform, _sim = run_replication_mix(
+            replace(cal, transport_coalescing=enabled)
+        )
+        completed = sum(r.completed for r in result.reports.values())
+        stats = platform.net.stats
+        post = result.reports["create_post"]
+        deferred = sum(
+            node.stats.acks_deferred for node in platform.nodes.values()
+        )
+        rows.append(
+            {
+                "coalescing": label,
+                "throughput_per_sec": round(
+                    sum(r.throughput_per_sec for r in result.reports.values()), 1
+                ),
+                "post_median_ms": round(post.median_ms, 3),
+                "post_p99_ms": round(post.p99_ms, 3),
+                "acks_deferred": deferred,
+                "frames": stats.frames_sent,
+                "messages": stats.messages_sent,
+                "messages_per_invocation": round(stats.messages_sent / completed, 2),
+            }
+        )
+    off_row, on_row = rows
+    reduction = 100.0 * (
+        1.0 - on_row["messages_per_invocation"] / off_row["messages_per_invocation"]
+    )
+    text = format_comparison(
+        "Ablation: transport egress coalescing (mixed workload, aggregated)",
+        rows,
+    )
+    text += f"\n  messages/invocation reduction with coalescing: {reduction:.1f}%"
+    return {"name": "abl_coalescing", "rows": rows, "text": text}
+
+
 #: open-loop sweep points, as multiples of the probed saturation rate
 OVERLOAD_MULTIPLIERS = (1.0, 2.0, 3.0, 4.0)
 
@@ -963,6 +1015,7 @@ ALL_EXPERIMENTS = {
     "fig2": fig2,
     "table1": table1,
     "abl_cache": abl_cache,
+    "abl_coalescing": abl_coalescing,
     "abl_group_commit": abl_group_commit,
     "abl_replica_reads": abl_replica_reads,
     "abl_replication": abl_replication,

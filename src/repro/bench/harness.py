@@ -84,6 +84,7 @@ def build_aggregated(sim: Simulation, cal: Calibration, **config_overrides) -> C
         enable_cache=cal.enable_cache,
         group_commit=cal.group_commit,
         replica_reads=cal.replica_reads,
+        transport_coalescing=cal.transport_coalescing,
         admission_control=cal.admission_control,
         tenant_rate_limit=cal.tenant_rate_limit,
         max_inflight_requests=cal.max_inflight_requests,
@@ -104,6 +105,7 @@ def build_disaggregated(sim: Simulation, cal: Calibration, **config_overrides) -
         net_median_ms=cal.net_median_ms,
         net_sigma=cal.net_sigma,
         net_cap_ms=cal.net_cap_ms,
+        transport_coalescing=cal.transport_coalescing,
         seed=cal.seed,
         **config_overrides,
     )
@@ -294,6 +296,7 @@ def run_replication_mix(
     variant: str = AGGREGATED,
     mix: Optional[dict] = None,
     trace_sample_rate: Optional[float] = None,
+    **config_overrides: Any,
 ) -> tuple[DriverResult, Any, Simulation]:
     """Run a Retwis mix closed-loop; returns (result, platform, sim).
 
@@ -305,7 +308,9 @@ def run_replication_mix(
 
     ``trace_sample_rate`` turns the span tracer on at that head-sampling
     rate (the simperf observability A/B rows); ``None`` leaves tracing
-    off, the historical measurement condition.
+    off, the historical measurement condition.  Extra keyword arguments
+    are platform-config overrides (e.g. ``ack_flush_ms=0.5`` for the
+    coalescing sweep).
     """
     from dataclasses import replace
 
@@ -313,7 +318,7 @@ def run_replication_mix(
 
     cal = replace(cal, num_storage_nodes=REPLICATION_MIX_NODES)
     sim = Simulation(seed=cal.seed)
-    platform = build_platform(variant, sim, cal)
+    platform = build_platform(variant, sim, cal, **config_overrides)
     if trace_sample_rate is not None:
         platform.enable_tracing(sample_rate=trace_sample_rate)
     dataset = load_dataset(platform, cal)

@@ -77,10 +77,19 @@ def instrumented_run(
     report = result.reports.get(WORKLOAD_METHOD[workload_name])
 
     slowest = tracer.slowest_trace()
+    net_stats = platform.net.stats
     return {
         "variant": variant,
         "workload": workload_name,
         "report": report.to_row() if report is not None else None,
+        "network": {
+            "messages_sent": net_stats.messages_sent,
+            "messages_delivered": net_stats.messages_delivered,
+            "messages_dropped": net_stats.messages_dropped,
+            "frames_sent": net_stats.frames_sent,
+            "bytes_sent": net_stats.bytes_sent,
+            "bytes_delivered": net_stats.bytes_delivered,
+        },
         "metrics": platform.metrics.snapshot()["metrics"],
         "spans": {
             "recorded": len(tracer),

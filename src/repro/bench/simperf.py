@@ -22,6 +22,10 @@ Four rows, from micro to macro:
 - ``retwis_invoke_nogc`` — the same run with group commit disabled (one
   replication round per mutating invocation): the reference that shows
   what pipelining saves in messages per invocation.
+- ``retwis_invoke_coalesced`` — the headline run with transport egress
+  coalescing + deferred-ack piggybacking on (DESIGN.md §5j): the A/B
+  row that tracks what the wire-message diet buys (and costs) across
+  commits.
 - ``retwis_invoke_traced`` / ``retwis_invoke_sampled`` — the headline run
   with the span tracer on at sample rate 1.0 vs 0.1: the observability
   A/B pair that tracks the tracing-overhead gap (and what head sampling
@@ -248,6 +252,13 @@ def simperf(cal=None, out_path: Optional[str] = DEFAULT_OUT, profile: bool = Fal
             ),
         ),
         (
+            "retwis_invoke_coalesced",
+            lambda: _bench_retwis(
+                replace(retwis_cal, transport_coalescing=True),
+                bench="retwis_invoke_coalesced",
+            ),
+        ),
+        (
             "retwis_invoke_traced",
             lambda: _bench_retwis(
                 retwis_cal, bench="retwis_invoke_traced", trace_sample_rate=1.0
@@ -272,6 +283,7 @@ def simperf(cal=None, out_path: Optional[str] = DEFAULT_OUT, profile: bool = Fal
     by_bench = {row["bench"]: row for row in rows}
     headline_row = by_bench["retwis_invoke"]
     reference_row = by_bench["retwis_invoke_nogc"]
+    coalesced_row = by_bench["retwis_invoke_coalesced"]
     traced_row = by_bench["retwis_invoke_traced"]
     sampled_row = by_bench["retwis_invoke_sampled"]
     headline = {
@@ -281,7 +293,7 @@ def simperf(cal=None, out_path: Optional[str] = DEFAULT_OUT, profile: bool = Fal
         "messages_per_invocation": headline_row["messages_per_invocation"],
     }
     payload = {
-        "schema": 3,
+        "schema": 4,
         "seed": cal.seed,
         "sizes": sizes,
         "rows": rows,
@@ -305,6 +317,16 @@ def simperf(cal=None, out_path: Optional[str] = DEFAULT_OUT, profile: bool = Fal
         f"\n  group commit: {headline_row['messages_per_invocation']:.2f} "
         f"messages/invocation vs {reference_row['messages_per_invocation']:.2f} "
         f"without pipelining ({saved:.1%} fewer)"
+    )
+    coalesce_saved = 1.0 - (
+        coalesced_row["messages_per_invocation"]
+        / headline_row["messages_per_invocation"]
+    )
+    text += (
+        f"\n  coalescing: {coalesced_row['messages_per_invocation']:.2f} "
+        f"messages/invocation vs {headline_row['messages_per_invocation']:.2f} "
+        f"without ({coalesce_saved:.1%} fewer; "
+        f"{coalesced_row['events_per_sec']:,.0f} events/s)"
     )
     traced_eps = traced_row["events_per_sec"]
     sampled_eps = sampled_row["events_per_sec"]

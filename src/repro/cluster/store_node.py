@@ -192,6 +192,9 @@ class NodeStats(StatsView):
         "lease_rejections": 0,
         "replica_behind_rejections": 0,
         "lease_grants": 0,
+        "acks_deferred": 0,
+        "acks_piggybacked": 0,
+        "acks_timer_flushed": 0,
         "busy_ms": 0.0,
     }
 
@@ -297,6 +300,8 @@ class StoreNode:
         replica_reads: bool = False,
         replica_read_lease_ms: float = 40.0,
         admission: Optional[Any] = None,
+        transport_coalescing: bool = False,
+        ack_flush_ms: float = 1.0,
     ) -> None:
         self.sim = sim
         self.net = net
@@ -377,6 +382,16 @@ class StoreNode:
         self._parked_reads = 0
         #: shard -> last LeaseQuery send time (rate limiting)
         self._last_lease_query: dict[int, float] = {}
+        #: transport egress coalescing (§5j): defer cumulative acks so
+        #: they piggyback on reverse-direction wire messages, with a
+        #: fallback timer for idle links
+        self._coalescing = bool(transport_coalescing)
+        self._ack_flush_ms = ack_flush_ms
+        #: primary name -> {shard_id: applied_through} awaiting send;
+        #: cumulative, so the latest watermark per shard wins
+        self._pending_acks: dict[str, dict[int, int]] = {}
+        #: destinations with a fallback ack timer currently armed
+        self._ack_timer_armed: set[str] = set()
         #: jitter stream for legacy-path retransmission backoff, created
         #: lazily so faultless runs never touch it
         self._legacy_retry_rng = None
@@ -420,6 +435,10 @@ class StoreNode:
         self._hb_generation = 0
         self._config_query_counter = 0
         self._last_config_query = float("-inf")
+        if self._coalescing:
+            # Backup half of ack piggybacking: any coalesced wire message
+            # leaving this node carries the deferred watermarks for free.
+            self.endpoint.set_piggyback_provider(self._piggyback_frames)
         self._register_handlers()
 
     def _register_handlers(self) -> None:
@@ -460,6 +479,9 @@ class StoreNode:
         """Fail-stop: no further sends or receives."""
         self.crashed = True
         self.net.crash(self.name)
+        # Deferred acks die with the node; the primary's watchdog
+        # retransmits and fresh acks accumulate after recovery.
+        self._pending_acks.clear()
 
     def recover(self) -> None:
         """Bring a crashed node back online (state intact, inbox resumes).
@@ -631,10 +653,102 @@ class StoreNode:
         for offset, batches in enumerate(message.rounds):
             applied.extend(applier.receive(message.first_sequence + offset, batches))
         self._invalidate_applied(applied)
-        reply = ReplicateAck(message.shard_id, applier.applied_through, self.name)
-        self.endpoint.send(message.primary, reply)
+        if self._coalescing:
+            # §5j: the ack is cumulative, so it can wait for the next
+            # reverse-direction wire message (or the fallback timer)
+            # instead of being a dedicated network message per frame.
+            self._defer_ack(message.primary, message.shard_id, applier.applied_through)
+        else:
+            reply = ReplicateAck(message.shard_id, applier.applied_through, self.name)
+            self.endpoint.send(message.primary, reply)
         if self._replica_reads:
             self._absorb_frame_lease(message)
+
+    # -- deferred / piggybacked acks (§5j) ----------------------------------
+
+    def _defer_ack(self, primary: str, shard_id: int, applied_through: int) -> None:
+        """Park a cumulative ack for ``primary``: it leaves either
+        piggybacked on the next coalesced wire message toward the
+        primary, or on the ``ack_flush_ms`` fallback timer — whichever
+        fires first.  Later watermarks for the same shard overwrite
+        earlier ones, which is exactly what cumulative acks allow."""
+        pending = self._pending_acks.get(primary)
+        if pending is None:
+            pending = self._pending_acks[primary] = {}
+        pending[shard_id] = applied_through
+        self.stats.acks_deferred += 1
+        if primary not in self._ack_timer_armed:
+            self._ack_timer_armed.add(primary)
+            self.sim._schedule(
+                self._ack_flush_ms, lambda dst=primary: self._flush_acks(dst)
+            )
+
+    def _drain_deferred_acks(self, dst: str) -> list:
+        """Pop every deferred ack bound for ``dst`` as ``(payload,
+        size_bytes)`` frames, attaching a lease renewal query when the
+        shard's lease is past half-life (§5g state rides along for
+        free).  Shared by the piggyback provider and the fallback timer
+        so whichever fires first wins and the other is a no-op."""
+        pending = self._pending_acks.pop(dst, None)
+        if not pending:
+            return []
+        frames = []
+        for shard_id, applied_through in pending.items():
+            ack = ReplicateAck(shard_id, applied_through, self.name)
+            frames.append((ack, ack.size()))
+            if self._replica_reads:
+                query = self._lease_renewal_query(shard_id, dst)
+                if query is not None:
+                    frames.append((query, query.size()))
+        return frames
+
+    def _lease_renewal_query(self, shard_id: int, primary: str):
+        """A LeaseQuery to ride along with a drained ack, but only when
+        the lease is below half-life and the per-shard rate limiter
+        allows it (replication frames renew leases for free, so this
+        only fires on shards whose write traffic just went quiet)."""
+        state = self._replica_read_state.get(shard_id)
+        if state is None or state.primary != primary:
+            return None
+        if state.lease_expiry - self.sim.now > self._lease_ms * 0.5:
+            return None
+        last = self._last_lease_query.get(shard_id, float("-inf"))
+        if self.sim.now - last < self._ack_timeout:
+            return None
+        self._last_lease_query[shard_id] = self.sim.now
+        return LeaseQuery(shard_id, self.name, self.epoch)
+
+    def _piggyback_frames(self, dst: str):
+        """Network-side piggyback provider: called once per outbound
+        coalesced wire message, drains any acks waiting for ``dst``."""
+        if self.crashed:
+            return None
+        frames = self._drain_deferred_acks(dst)
+        if not frames:
+            return None
+        self.stats.acks_piggybacked += sum(
+            1 for payload, _size in frames if type(payload) is ReplicateAck
+        )
+        return frames
+
+    def _flush_acks(self, dst: str) -> None:
+        """Fallback timer path: no reverse-direction traffic showed up
+        within ``ack_flush_ms``, so send the deferred acks as their own
+        frames (the egress coalescer still packs them into one wire
+        message per destination)."""
+        self._ack_timer_armed.discard(dst)
+        if self.crashed:
+            self._pending_acks.pop(dst, None)
+            return
+        frames = self._drain_deferred_acks(dst)
+        if not frames:
+            return
+        self.stats.acks_timer_flushed += sum(
+            1 for payload, _size in frames if type(payload) is ReplicateAck
+        )
+        send = self.endpoint.send
+        for payload, size_bytes in frames:
+            send(dst, payload, size_bytes=size_bytes)
 
     def _absorb_frame_lease(self, message: ReplicateWritesRange) -> None:
         """Backup half of the lease protocol, fed by a replication frame:

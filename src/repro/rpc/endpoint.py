@@ -201,3 +201,15 @@ class RpcEndpoint:
             payload,
             size_bytes=payload.size() if size_bytes is None else size_bytes,
         )
+
+    def set_piggyback_provider(
+        self, provider: Optional[Callable[[str], Optional[list]]]
+    ) -> None:
+        """Register this node's egress piggyback provider with the
+        transport (see :meth:`Network.set_piggyback_provider`): called
+        per outbound coalesced wire message, it may return extra
+        ``(payload, size_bytes)`` frames to attach — e.g. deferred
+        replication acks riding reverse-direction traffic.  Frames
+        injected this way bypass the per-type out-counters; the
+        network-level ``frames_sent`` counter still sees them."""
+        self.net.set_piggyback_provider(self.name, provider)

@@ -54,6 +54,14 @@ class ServerlessConfig:
     #: avoids; the aggregated variant's equivalent is the (much smaller)
     #: wasm call_base cost.
     dispatch_overhead_fuel: float = 300.0
+    #: transport egress coalescing (DESIGN.md §5j): frames to the same
+    #: destination within the coalesce window share one wire message.
+    #: The baseline has no replication acks to piggyback, so here the
+    #: knob only packs same-window frames; off preserves the historical
+    #: one-message-per-send behavior byte-for-byte.
+    transport_coalescing: bool = False
+    #: how long an egress frame may wait for companions (simulated ms)
+    coalesce_window_ms: float = 0.0
     #: gateway admission control (DESIGN.md §5h): per-tenant token-bucket
     #: rate limiting + concurrency caps + container-pool backpressure.
     #: Off by default — the historical front door admits everything.
@@ -93,6 +101,8 @@ class ServerlessPlatform:
             ),
             bandwidth_mbps=self.config.bandwidth_mbps,
         )
+        if self.config.transport_coalescing:
+            self.net.enable_coalescing(self.config.coalesce_window_ms)
         self.costs = OpCosts()
         self._id_rng = sim.rng("serverless.ids")
         #: same observability surface as the LambdaStore cluster, so the

@@ -114,6 +114,15 @@ class Message:
 class NetworkStats:
     """Counters the benchmarks read after a run.
 
+    ``messages_*`` count **wire messages** — what actually crosses a
+    link.  ``frames_sent`` counts logical payloads handed to
+    :meth:`Network.send`; without egress coalescing the two are equal,
+    with it one wire message may carry several frames.  ``bytes_sent``
+    is charged at send time (a message dropped at send still counts —
+    the sender serialized it); ``bytes_delivered`` counts only bytes
+    that reached an inbox, so ``bytes_sent - bytes_delivered`` is the
+    on-wire loss.
+
     Per-link accounting is maintained only while fault injection is
     active (the fault-free fast path skips it): ``per_link`` counts
     messages that passed the send-time drop decision on each link,
@@ -124,7 +133,9 @@ class NetworkStats:
     messages_sent: int = 0
     messages_delivered: int = 0
     messages_dropped: int = 0
+    frames_sent: int = 0
     bytes_sent: int = 0
+    bytes_delivered: int = 0
     per_link: dict = field(default_factory=dict)
     per_link_dropped: dict = field(default_factory=dict)
 
@@ -169,8 +180,49 @@ class _Delivery:
             link = (message.src, message.dst)
             stats.per_link_dropped[link] = stats.per_link_dropped.get(link, 0) + 1
             return
-        net.stats.messages_delivered += 1
+        stats = net.stats
+        stats.messages_delivered += 1
+        stats.bytes_delivered += message.size_bytes
         dst_host.inbox.put(message)
+
+
+class _BatchDelivery:
+    """One scheduled delivery of a coalesced wire message: every frame
+    packed into it arrives at one instant, in send order, or none do —
+    a wire message drops atomically."""
+
+    __slots__ = ("net", "messages", "dst_host", "size_bytes")
+
+    def __init__(
+        self,
+        net: "Network",
+        messages: list[Message],
+        dst_host: NetworkHost,
+        size_bytes: int,
+    ) -> None:
+        self.net = net
+        self.messages = messages
+        self.dst_host = dst_host
+        self.size_bytes = size_bytes
+
+    def __call__(self) -> None:
+        net = self.net
+        messages = self.messages
+        dst_host = self.dst_host
+        src, dst = messages[0].src, messages[0].dst
+        if net._faults_active and (dst_host.crashed or net.is_partitioned(src, dst)):
+            stats = net.stats
+            stats.messages_dropped += 1
+            stats.per_link_dropped[(src, dst)] = (
+                stats.per_link_dropped.get((src, dst), 0) + 1
+            )
+            return
+        stats = net.stats
+        stats.messages_delivered += 1
+        stats.bytes_delivered += self.size_bytes
+        put = dst_host.inbox.put
+        for message in messages:
+            put(message)
 
 
 class Network:
@@ -204,6 +256,103 @@ class Network:
         #: True while any fault injection is configured; ``send`` skips the
         #: drop checks entirely when clear.  Every fault setter refreshes it.
         self._faults_active = False
+        #: egress coalescing (off by default; the classic one-message-per-
+        #: send path is byte-identical while disabled)
+        self._coalescing = False
+        self._coalesce_window = 0.0
+        #: (src, dst) -> frames queued for the next wire message, in send
+        #: order; insertion order is the deterministic flush order
+        self._egress: dict[tuple[str, str], list[Message]] = {}
+        #: one armed flush callback covers every link with queued egress
+        self._flush_armed = False
+        #: src -> provider called at flush time per outbound wire message;
+        #: returns extra ``(payload, size_bytes)`` frames to piggyback
+        self._piggyback: dict[str, Callable[[str], Optional[list]]] = {}
+
+    # -- egress coalescing --------------------------------------------------
+
+    def enable_coalescing(self, window_ms: float = 0.0) -> None:
+        """Turn on egress coalescing: frames sent to the same destination
+        within the coalesce window (the same simulated instant when
+        ``window_ms`` is 0) are packed into one wire message with one
+        latency draw, one serialisation cost for the summed bytes, and
+        one delivery event.  Loopback traffic bypasses coalescing."""
+        if window_ms < 0:
+            raise SimulationError(f"coalesce window must be >= 0, got {window_ms}")
+        self._coalescing = True
+        self._coalesce_window = window_ms
+
+    def set_piggyback_provider(
+        self, src: str, provider: Optional[Callable[[str], Optional[list]]]
+    ) -> None:
+        """Register ``provider(dst)`` for ``src``: called once per
+        outbound wire message at flush time, it may return extra
+        ``(payload, size_bytes)`` frames to append (e.g. deferred
+        replication acks riding on reverse-direction traffic).  Only
+        consulted while coalescing is enabled."""
+        if provider is None:
+            self._piggyback.pop(src, None)
+        else:
+            self._piggyback[src] = provider
+
+    def _flush_egress(self) -> None:
+        """Pack and ship every queued egress link (one wire message per
+        (src, dst)): one drop decision, one latency draw, one delivery."""
+        self._flush_armed = False
+        egress, self._egress = self._egress, {}
+        stats = self.stats
+        piggyback = self._piggyback
+        for (src, dst), frames in egress.items():
+            provider = piggyback.get(src)
+            if provider is not None:
+                extra = provider(dst)
+                if extra:
+                    now = self.sim.now
+                    for payload, size_bytes in extra:
+                        message = Message(src, dst, payload, size_bytes, sent_at=now)
+                        stats.frames_sent += 1
+                        stats.bytes_sent += size_bytes
+                        if self.tap is not None:
+                            self.tap(message)
+                        frames.append(message)
+            total_bytes = 0
+            for message in frames:
+                total_bytes += message.size_bytes
+            stats.messages_sent += 1
+            link = (src, dst)
+            if self._faults_active:
+                # One atomic drop decision per wire message: the whole
+                # batch drops or the whole batch flies.
+                link_drop = self._link_drop.get(link, 0.0)
+                drop_filter = self._drop_filter
+                dropped = (
+                    self._hosts[src].crashed
+                    or self.is_partitioned(src, dst)
+                    or (
+                        self._drop_probability > 0
+                        and self._rng.random() < self._drop_probability
+                    )
+                    or (link_drop > 0 and self._rng.random() < link_drop)
+                    or (
+                        drop_filter is not None
+                        and any(drop_filter(m) for m in frames)
+                    )
+                )
+                if dropped:
+                    stats.messages_dropped += 1
+                    stats.per_link_dropped[link] = (
+                        stats.per_link_dropped.get(link, 0) + 1
+                    )
+                    continue
+                stats.per_link[link] = stats.per_link.get(link, 0) + 1
+            delay = self.latency.sample(self._rng) + total_bytes / self._bytes_per_ms
+            dst_host = self._hosts[dst]
+            if len(frames) == 1:
+                self.sim._schedule(delay, _Delivery(self, frames[0], dst_host))
+            else:
+                self.sim._schedule(
+                    delay, _BatchDelivery(self, frames, dst_host, total_bytes)
+                )
 
     def _refresh_faults(self) -> None:
         self._faults_active = bool(
@@ -338,12 +487,29 @@ class Network:
             raise SimulationError(f"unknown host {missing!r}")
         message = Message(src, dst, payload, size_bytes, sent_at=self.sim.now)
         stats = self.stats
-        stats.messages_sent += 1
+        stats.frames_sent += 1
         stats.bytes_sent += size_bytes
         if self.tap is not None:
             # Taps see every attempted send, including ones dropped below.
             self.tap(message)
 
+        if self._coalescing and src != dst:
+            # Queue the frame on the egress link; one flush callback per
+            # coalesce window ships every queued link as wire messages.
+            queue = self._egress.get((src, dst))
+            if queue is None:
+                self._egress[(src, dst)] = [message]
+            else:
+                queue.append(message)
+            if not self._flush_armed:
+                self._flush_armed = True
+                if self._coalesce_window == 0.0:
+                    self.sim._schedule_now(self._flush_egress)
+                else:
+                    self.sim._schedule(self._coalesce_window, self._flush_egress)
+            return
+
+        stats.messages_sent += 1
         if self._faults_active:
             link = (src, dst)
             link_drop = self._link_drop.get(link, 0.0)

@@ -18,7 +18,7 @@ from repro.sim.events import Event
 class Process(Event):
     """A running simulated activity; also an event for its completion."""
 
-    __slots__ = ("_generator", "_waiting_on")
+    __slots__ = ("_generator", "_waiting_on", "_gen_send", "_gen_throw", "_on_event_cb")
 
     def __init__(self, sim: Any, generator: Generator[Event, Any, Any], name: str = "") -> None:
         if not hasattr(generator, "send"):
@@ -26,6 +26,12 @@ class Process(Event):
         super().__init__(sim, name=name or getattr(generator, "__name__", "process"))
         self._generator = generator
         self._waiting_on: Event | None = None
+        # _resume runs once per generator step for every process in the
+        # simulation; pre-binding its per-step calls here turns three
+        # method creations per resume into slot loads.
+        self._gen_send = generator.send
+        self._gen_throw = generator.throw
+        self._on_event_cb = self._on_event
         # Kick off at the current instant.
         sim._schedule_now(self._start)
 
@@ -49,15 +55,15 @@ class Process(Event):
 
     # -- engine ----------------------------------------------------------
 
-    def _resume(self, value: Any, exc: BaseException | None) -> None:
+    def _resume(self, value: Any, exc: BaseException | None, _Event: type = Event) -> None:
         if self._ok is not None:
             return  # interrupted after completion, or double resume
         self._waiting_on = None
         try:
-            if exc is not None:
-                target = self._generator.throw(exc)
+            if exc is None:
+                target = self._gen_send(value)
             else:
-                target = self._generator.send(value)
+                target = self._gen_throw(exc)
         except StopIteration as stop:
             self.succeed(stop.value)
             return
@@ -70,13 +76,13 @@ class Process(Event):
             self.fail(error)
             return
 
-        if not isinstance(target, Event):
+        if not isinstance(target, _Event):
             self._generator.close()
             self.fail(SimulationError(f"process yielded non-event {target!r}"))
             return
 
         self._waiting_on = target
-        target.add_callback(self._on_event)
+        target.add_callback(self._on_event_cb)
 
     def _on_event(self, event: Event) -> None:
         if self._waiting_on is not event:

@@ -28,7 +28,12 @@ def test_network_row_reports_messages():
 
 
 def _fake_retwis(cal, bench="retwis_invoke", trace_sample_rate=None):
-    per_invocation = 4.0 if cal.group_commit else 8.0
+    if not cal.group_commit:
+        per_invocation = 8.0
+    elif cal.transport_coalescing:
+        per_invocation = 2.0
+    else:
+        per_invocation = 4.0
     row = {
         "bench": bench,
         "events": 1000,
@@ -65,15 +70,17 @@ def test_simperf_writes_artifact(tmp_path, monkeypatch):
         "network",
         "retwis_invoke",
         "retwis_invoke_nogc",
+        "retwis_invoke_coalesced",
         "retwis_invoke_traced",
         "retwis_invoke_sampled",
     ]
     assert result["headline"]["events_per_sec"] == 10_000.0
     assert result["headline"]["messages_per_invocation"] == 4.0
     assert "50.0% fewer" in result["text"]
+    assert "coalescing: 2.00 messages/invocation vs 4.00 without" in result["text"]
     assert "tracing A/B" in result["text"]
     payload = json.loads(out.read_text())
-    assert payload["schema"] == 3
+    assert payload["schema"] == 4
     assert payload["headline"] == result["headline"]
     by_bench = {row["bench"]: row for row in payload["rows"]}
     assert by_bench["retwis_invoke_sampled"]["trace_sample_rate"] == 0.1

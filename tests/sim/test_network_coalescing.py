@@ -1,0 +1,208 @@
+"""Unit tests for transport egress coalescing (DESIGN.md §5j).
+
+One wire message per (src, dst) per coalesce window: one latency draw,
+one serialisation cost for the summed bytes, one delivery event, and an
+atomic drop-or-arrive decision for every frame packed inside.
+"""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim import ConstantLatency, Network, Simulation
+
+
+def make_net(latency=None, coalescing=True, window_ms=0.0, **kwargs):
+    sim = Simulation(seed=1)
+    net = Network(sim, latency=latency or ConstantLatency(1.0), **kwargs)
+    if coalescing:
+        net.enable_coalescing(window_ms)
+    net.add_host("a")
+    net.add_host("b")
+    net.add_host("c")
+    return sim, net
+
+
+def collect(sim, net, host):
+    got = []
+
+    def receiver():
+        while True:
+            msg = yield net.host(host).recv()
+            got.append((msg.payload, sim.now))
+
+    sim.process(receiver())
+    return got
+
+
+def test_same_instant_frames_share_one_wire_message():
+    sim, net = make_net()
+    got = collect(sim, net, "b")
+    net.send("a", "b", "one", size_bytes=0)
+    net.send("a", "b", "two", size_bytes=0)
+    net.send("a", "b", "three", size_bytes=0)
+    sim.run()
+    # All three frames arrive at one instant, in send order.
+    assert got == [("one", 1.0), ("two", 1.0), ("three", 1.0)]
+    stats = net.stats
+    assert stats.frames_sent == 3
+    assert stats.messages_sent == 1
+    assert stats.messages_delivered == 1
+
+
+def test_distinct_destinations_get_distinct_wire_messages():
+    sim, net = make_net()
+    collect(sim, net, "b")
+    collect(sim, net, "c")
+    net.send("a", "b", "to-b", size_bytes=0)
+    net.send("a", "c", "to-c", size_bytes=0)
+    sim.run()
+    assert net.stats.frames_sent == 2
+    assert net.stats.messages_sent == 2
+
+
+def test_serialisation_cost_charged_on_summed_bytes():
+    sim = Simulation(seed=1)
+    net = Network(sim, latency=ConstantLatency(1.0), bandwidth_mbps=8.0)
+    net.enable_coalescing()
+    net.add_host("a")
+    net.add_host("b")
+    got = collect(sim, net, "b")
+    # 8 Mbps = 1000 bytes/ms: 1000 + 2000 bytes = 3 ms on top of 1 ms.
+    net.send("a", "b", "x", size_bytes=1000)
+    net.send("a", "b", "y", size_bytes=2000)
+    sim.run()
+    assert [t for _p, t in got] == [pytest.approx(4.0), pytest.approx(4.0)]
+
+
+def test_stats_split_bytes_sent_vs_delivered():
+    sim, net = make_net()
+    collect(sim, net, "b")
+    net.crash("c")
+    net.send("a", "b", "ok", size_bytes=100)
+    net.send("a", "c", "lost", size_bytes=50)
+    sim.run()
+    stats = net.stats
+    # Send-time bytes include the dropped wire message; delivered do not.
+    assert stats.bytes_sent == 150
+    assert stats.bytes_delivered == 100
+    assert stats.messages_dropped == 1
+
+
+def test_bytes_split_without_coalescing_too():
+    sim, net = make_net(coalescing=False)
+    collect(sim, net, "b")
+    net.crash("c")
+    net.send("a", "b", "ok", size_bytes=100)
+    net.send("a", "c", "lost", size_bytes=50)
+    sim.run()
+    stats = net.stats
+    assert stats.frames_sent == 2
+    assert stats.messages_sent == 2
+    assert stats.bytes_sent == 150
+    assert stats.bytes_delivered == 100
+
+
+def test_coalesce_window_collects_later_frames():
+    sim, net = make_net(window_ms=0.5)
+    got = collect(sim, net, "b")
+    net.send("a", "b", "first", size_bytes=0)
+    # A frame sent 0.3 ms later still lands in the same window.
+    net.schedule(0.3, lambda: net.send("a", "b", "second", size_bytes=0))
+    sim.run()
+    assert net.stats.messages_sent == 1
+    # One delivery at window close (0.5) + latency (1.0).
+    assert [t for _p, t in got] == [pytest.approx(1.5), pytest.approx(1.5)]
+
+
+def test_drop_filter_drops_whole_wire_message_atomically():
+    sim, net = make_net()
+    got = collect(sim, net, "b")
+    net.drop_filter = lambda m: m.payload == "poison"
+    net.send("a", "b", "innocent", size_bytes=0)
+    net.send("a", "b", "poison", size_bytes=0)
+    sim.run()
+    # The wire message carrying both frames drops as a unit.
+    assert got == []
+    assert net.stats.messages_dropped == 1
+    assert net.stats.frames_sent == 2
+    net.drop_filter = None
+    net.send("a", "b", "after", size_bytes=0)
+    sim.run()
+    assert [p for p, _t in got] == ["after"]
+
+
+def test_crash_at_delivery_time_drops_whole_batch():
+    sim, net = make_net()
+    net.send("a", "b", "one", size_bytes=0)
+    net.send("a", "b", "two", size_bytes=0)
+    # Crash the destination while the wire message is in flight.
+    net.schedule(0.5, lambda: net.crash("b"))
+    sim.run()
+    assert net.stats.messages_dropped == 1
+    assert net.stats.messages_delivered == 0
+    assert len(net.host("b").inbox) == 0
+
+
+def test_loopback_bypasses_coalescing():
+    sim, net = make_net(latency=ConstantLatency(10.0))
+    got = collect(sim, net, "a")
+    net.send("a", "a", "self", size_bytes=0)
+    sim.run()
+    assert [t for _p, t in got][0] < 1.0
+    assert net.stats.messages_sent == 1
+
+
+def test_piggyback_provider_frames_ride_the_wire_message():
+    sim, net = make_net()
+    got = collect(sim, net, "b")
+    extras = [("piggy", 64)]
+
+    def provider(dst):
+        assert dst == "b"
+        out, extras[:] = list(extras), []
+        return out
+
+    net.set_piggyback_provider("a", provider)
+    net.send("a", "b", "carrier", size_bytes=32)
+    sim.run()
+    assert [p for p, _t in got] == ["carrier", "piggy"]
+    stats = net.stats
+    assert stats.messages_sent == 1
+    assert stats.frames_sent == 2
+    assert stats.bytes_sent == 96
+    assert stats.bytes_delivered == 96
+
+
+def test_tap_sees_every_frame_including_piggybacked():
+    sim, net = make_net()
+    collect(sim, net, "b")
+    seen = []
+    net.tap = lambda m: seen.append(m.payload)
+    net.set_piggyback_provider("a", lambda dst: [("piggy", 8)])
+    net.send("a", "b", "carrier", size_bytes=8)
+    sim.run(until=0.1)
+    assert seen == ["carrier", "piggy"]
+
+
+def test_event_counts_are_deterministic():
+    def run(coalescing):
+        sim, net = make_net(coalescing=coalescing)
+        collect(sim, net, "b")
+        for i in range(10):
+            net.send("a", "b", i, size_bytes=0)
+        sim.run()
+        return sim.events_scheduled, net.stats.messages_sent
+
+    events_a, messages_a = run(True)
+    events_b, messages_b = run(True)
+    assert (events_a, messages_a) == (events_b, messages_b)
+    _events_off, messages_off = run(False)
+    assert messages_a == 1
+    assert messages_off == 10
+
+
+def test_negative_window_rejected():
+    sim = Simulation(seed=1)
+    net = Network(sim)
+    with pytest.raises(SimulationError):
+        net.enable_coalescing(-1.0)
