@@ -174,6 +174,12 @@ def main(argv: list[str] | None = None) -> int:
         results.append(result)
         print(result["text"])
         print(f"\n[{name} completed in {elapsed:.1f}s wall clock]\n")
+        if name == "mc" and (
+            result.get("violation_count") or not result.get("sensitivity_ok", True)
+        ):
+            # A §3.1 violation on the real protocol (or a vacuous
+            # detector) must fail the run — CI keys off this exit code.
+            exit_code = 1
         if name == "simperf" and args.simperf_baseline:
             from repro.bench.simperf import check_guard
 

@@ -443,15 +443,23 @@ def abl_coalescing(cal: CalibrationLike = None) -> dict:
     one watermark send.  The bill is wire messages per invocation plus
     the mutation latency distribution (which must not regress — the
     deferral window is bounded by ``ack_flush_ms``).
+
+    Besides on/off, the experiment sweeps ``coalesce_window_ms`` > 0:
+    a positive window holds an egress frame back to pack more
+    companions into one wire message, trading added mutation latency
+    for fewer messages.  The sweep shows where that trade stops paying.
     """
     cal = _calibration(cal)
     rows = []
-    for label, enabled in (
-        ("off (message per send)", False),
-        ("on (coalesced + deferred acks)", True),
+    for label, enabled, window in (
+        ("off (message per send)", False, 0.0),
+        ("on (coalesced + deferred acks)", True, 0.0),
+        ("on, window 0.05 ms", True, 0.05),
+        ("on, window 0.2 ms", True, 0.2),
     ):
         result, platform, _sim = run_replication_mix(
-            replace(cal, transport_coalescing=enabled)
+            replace(cal, transport_coalescing=enabled),
+            coalesce_window_ms=window,
         )
         completed = sum(r.completed for r in result.reports.values())
         stats = platform.net.stats
@@ -473,7 +481,7 @@ def abl_coalescing(cal: CalibrationLike = None) -> dict:
                 "messages_per_invocation": round(stats.messages_sent / completed, 2),
             }
         )
-    off_row, on_row = rows
+    off_row, on_row = rows[0], rows[1]
     reduction = 100.0 * (
         1.0 - on_row["messages_per_invocation"] / off_row["messages_per_invocation"]
     )
@@ -994,6 +1002,133 @@ def abl_elasticity(cal: CalibrationLike = None) -> dict:
     }
 
 
+#: model-checking configurations swept by the ``mc`` experiment; every
+#: §3.1-relevant protocol variant gets an exhaustive small-config pass
+_MC_CONFIGS = (
+    ("group-commit", dict()),
+    ("replica-reads", dict(replica_reads=True)),
+    ("coalescing", dict(ops_per_client=1, transport_coalescing=True)),
+    ("crash-recovery", dict(ops_per_client=1, max_crashes=1)),
+)
+
+#: the seeded-bug sensitivity probe: two writers race while a third
+#: client reads the first register at a replica (see repro.mc tests)
+_MC_SEEDED_PLANS = (
+    ((0, "write", ("a",)),),
+    ((1, "write", ("b",)),),
+    ((0, "read", ()), (0, "read", ())),
+)
+
+
+def mc(cal: CalibrationLike = None, out_path: str = "BENCH_mc.json") -> dict:
+    """Exhaustively model-check the §3.1 guarantees on small configs.
+
+    For every protocol variant, the ``repro.mc`` explorer enumerates all
+    data-plane delivery orders (and fail-stop crash points, where
+    budgeted) of a 2-object/2-node workload, asserting linearizability,
+    replica convergence, cache coherence, and bookkeeping on each
+    schedule.  Each config is explored twice — naive DFS and
+    sleep-set/DPOR + fingerprint reduction — so the row reports the
+    pruning ratio alongside the verdict.  A final sensitivity probe
+    reintroduces PR 1's drain-invalidation bug behind the test-only
+    ``seeded_bugs`` flag and reports how quickly the explorer finds a
+    counterexample (the detector must not be vacuous).
+    """
+    import json
+
+    from repro.mc import McBudget, McConfig, explore
+
+    cal = _calibration(cal)
+    full = cal.duration_ms > 500.0  # the "full" preset adds a 3-node pass
+    budget = McBudget(max_schedules=50_000, max_wall_s=240.0 if full else 90.0)
+    configs = list(_MC_CONFIGS)
+    if full:
+        configs.append(("group-commit-3node", dict(num_nodes=3, ops_per_client=1)))
+
+    rows = []
+    counterexamples = []
+    for label, overrides in configs:
+        config = McConfig(**overrides)
+        reduced = explore(config, budget)
+        naive = explore(
+            config, budget, use_sleep_sets=False, use_fingerprints=False
+        )
+        counterexamples.extend(
+            dict(c.to_json(), config=label)
+            for report in (reduced, naive)
+            for c in report.counterexamples
+        )
+        ratio = naive.schedules_run / max(1, reduced.schedules_run)
+        rows.append(
+            {
+                "config": label,
+                "schedules": reduced.schedules_run,
+                "checked": reduced.schedules_checked,
+                "pruned": reduced.sleep_pruned + reduced.fingerprint_pruned,
+                "naive_schedules": naive.schedules_run,
+                "dpor_ratio": round(ratio, 1),
+                "exhausted": reduced.exhausted and naive.exhausted,
+                "violations": len(reduced.counterexamples)
+                + len(naive.counterexamples),
+                "wall_s": round(reduced.wall_s + naive.wall_s, 1),
+            }
+        )
+
+    seeded = McConfig(
+        num_nodes=2,
+        num_objects=2,
+        replica_reads=True,
+        plans=_MC_SEEDED_PLANS,
+        seeded_bugs=("drain-invalidation",),
+    )
+    probe = explore(seeded, budget)
+    sensitivity = {
+        "config": "seeded drain-invalidation (expected counterexample)",
+        "schedules": probe.schedules_run,
+        "checked": probe.schedules_checked,
+        "found": bool(probe.counterexamples),
+        "violations": len(probe.counterexamples),
+    }
+
+    violation_count = sum(row["violations"] for row in rows)
+    not_exhausted = [row["config"] for row in rows if not row["exhausted"]]
+    text = format_comparison(
+        "Model checking: exhaustive interleavings, §3.1 assertions per schedule",
+        rows,
+    )
+    text += (
+        f"\n  schedule-space verdict: {violation_count} violation(s); "
+        + ("every config exhausted" if not not_exhausted
+           else f"budget exhausted first on {', '.join(not_exhausted)}")
+    )
+    text += (
+        f"\n  seeded-bug sensitivity: drain-invalidation counterexample "
+        + (f"found after {sensitivity['schedules']} schedules"
+           if sensitivity["found"] else "NOT FOUND (detector is vacuous!)")
+    )
+
+    payload = {
+        "rows": rows,
+        "sensitivity": sensitivity,
+        "counterexamples": counterexamples,
+        "seeded_counterexample": (
+            probe.counterexamples[0].to_json() if probe.counterexamples else None
+        ),
+    }
+    with open(out_path, "w") as fh:
+        json.dump(payload, fh, indent=2, default=str)
+    text += f"\n  schedules + counterexample traces written to {out_path}"
+
+    result = {
+        "name": "mc",
+        "rows": rows,
+        "text": text,
+        "violation_count": violation_count,
+        "sensitivity_ok": sensitivity["found"],
+    }
+    return result
+
+
 def _counter_type() -> ObjectType:
     def bump(self):
         value = (self.get("value") or 0) + 1
@@ -1027,5 +1162,6 @@ ALL_EXPERIMENTS = {
     "abl_migration": abl_migration,
     "abl_failover": abl_failover,
     "chaos_soak": chaos_soak,
+    "mc": mc,
     "simperf": simperf,
 }

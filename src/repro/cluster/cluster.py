@@ -119,6 +119,11 @@ class ClusterConfig:
     #: deterministic per request id; 1.0 = record everything).  Requests
     #: that hit an error/retry/shed are always escalated to a trace.
     trace_sample_rate: float = 1.0
+    #: test-only: names of deliberately reintroduced historical bugs, for
+    #: the model checker's seeded-bug self-tests (see repro.mc).  Known
+    #: names: "drain-invalidation" (PR 1's out-of-order replica
+    #: cache-invalidation drain bug).  Empty in every real deployment.
+    seeded_bugs: tuple = ()
     seed: int = 0
 
 
@@ -150,6 +155,11 @@ class Cluster:
         #: for the whole deployment; nodes register labelled instruments
         self.metrics = MetricsRegistry(clock=lambda: sim.now)
         self.tracer: Optional[SpanTracer] = None
+        #: model-checker crash-point hook: ``probe(node_name, site)`` is
+        #: called at named protocol sites (e.g. "pre-replicate") on live
+        #: nodes and may fail-stop the node via :meth:`crash_node`.  None
+        #: (always, outside repro.mc) keeps the sites inert.
+        self.mc_crash_probe = None
 
         storage_names = [f"store-{i}" for i in range(self.config.num_storage_nodes)]
         coordinator_names = [f"coord-{i}" for i in range(self.config.num_coordinators)]
@@ -221,6 +231,7 @@ class Cluster:
                 ack_flush_ms=min(
                     self.config.ack_flush_ms, self.config.ack_timeout_ms / 2
                 ),
+                seeded_bugs=frozenset(self.config.seeded_bugs),
             )
             node.install_config(self.bootstrap_epoch, self.bootstrap_shard_map.copy())
             self.nodes[name] = node

@@ -80,10 +80,17 @@ class ClientRequest:
     #: the tenant this request bills against for admission control
     #: ("" falls back to the client name — every client its own tenant)
     tenant: str = ""
+    #: memoized wire size; retransmitted requests re-send this object
+    _size_memo: Optional[int] = field(
+        default=None, init=False, repr=False, compare=False
+    )
 
     def size(self) -> int:
-        # Tuples and lists size identically, so no need to copy the args.
-        return 64 + estimate_size(self.args)
+        memo = self._size_memo
+        if memo is None:
+            # Tuples and lists size identically, so no need to copy the args.
+            self._size_memo = memo = 64 + estimate_size(self.args)
+        return memo
 
 
 @dataclass
@@ -121,9 +128,16 @@ class ReplicateWrites:
     #: encoded WriteBatch payloads, one per commit segment
     batches: list[bytes]
     primary: str
+    #: memoized wire size; one round goes to every backup as this object
+    _size_memo: Optional[int] = field(
+        default=None, init=False, repr=False, compare=False
+    )
 
     def size(self) -> int:
-        return 48 + sum(len(b) for b in self.batches)
+        memo = self._size_memo
+        if memo is None:
+            self._size_memo = memo = 48 + sum(len(b) for b in self.batches)
+        return memo
 
 
 @dataclass
@@ -154,8 +168,16 @@ class ReplicateWritesRange:
     #: ``(object_id_str, method, digest, value, read_set)`` tuples that
     #: the backup validates against local applied state before installing
     cache_entries: list = field(default_factory=list)
+    #: memoized wire size — frames are the heaviest payloads to size and
+    #: one frame object is sent to every behind backup
+    _size_memo: Optional[int] = field(
+        default=None, init=False, repr=False, compare=False
+    )
 
     def size(self) -> int:
+        memo = self._size_memo
+        if memo is not None:
+            return memo
         # Frame header + a small per-round header + the batch payloads
         # (+ the piggybacked cache entries, sized like any payload).
         total = 48 + 8 * len(self.rounds) + sum(
@@ -165,6 +187,7 @@ class ReplicateWritesRange:
             total += 8 * len(entry)
         if self.cache_entries:
             total += estimate_size(self.cache_entries)
+        self._size_memo = total
         return total
 
 

@@ -302,11 +302,14 @@ class StoreNode:
         admission: Optional[Any] = None,
         transport_coalescing: bool = False,
         ack_flush_ms: float = 1.0,
+        seeded_bugs: frozenset = frozenset(),
     ) -> None:
         self.sim = sim
         self.net = net
         self.cluster = cluster
         self.name = name
+        #: test-only reintroduced historical bugs (model-checker self-tests)
+        self._seeded_bugs = seeded_bugs
         registry = getattr(cluster, "metrics", None)
         labels = {"node": name}
         #: the node's comms substrate: typed dispatch, per-RPC metrics,
@@ -618,9 +621,23 @@ class StoreNode:
             self.backup_appliers[shard_id] = applier
         return applier
 
-    def _invalidate_applied(self, applied: list[tuple[int, list[bytes]]]) -> None:
+    def _invalidate_applied(
+        self,
+        applied: list[tuple[int, list[bytes]]],
+        direct_sequences: Optional[set] = None,
+    ) -> None:
         if self.runtime.cache is None:
             return
+        if direct_sequences is not None and "drain-invalidation" in self._seeded_bugs:
+            # Seeded bug for the model checker's self-test: reintroduces
+            # the pre-PR-1 behavior of invalidating only the sequences the
+            # triggering message carried, silently skipping buffered
+            # out-of-order sequences the applier drained along with it.
+            applied = [
+                (sequence, batches)
+                for sequence, batches in applied
+                if sequence in direct_sequences
+            ]
         # Writes landed on this replica; cached read-only results that
         # depend on them must not be served stale.  The applier may have
         # drained buffered out-of-order sequences beyond the triggering
@@ -637,7 +654,7 @@ class StoreNode:
     def _on_replicate(self, message: ReplicateWrites) -> None:
         applier = self._applier_for(message.shard_id, message.primary)
         applied = applier.receive(message.sequence, message.batches)
-        self._invalidate_applied(applied)
+        self._invalidate_applied(applied, direct_sequences={message.sequence})
         for sequence, _batches in applied:
             reply = ReplicateAck(message.shard_id, sequence, self.name)
             self.endpoint.send(message.primary, reply)
@@ -652,7 +669,20 @@ class StoreNode:
         applied: list[tuple[int, list[bytes]]] = []
         for offset, batches in enumerate(message.rounds):
             applied.extend(applier.receive(message.first_sequence + offset, batches))
-        self._invalidate_applied(applied)
+        self._invalidate_applied(
+            applied,
+            direct_sequences=set(
+                range(
+                    message.first_sequence,
+                    message.first_sequence + len(message.rounds),
+                )
+            ),
+        )
+        probe = getattr(self.cluster, "mc_crash_probe", None)
+        if probe is not None and not self.crashed:
+            # Crash point: the backup applied the frame but its ack (and
+            # any lease absorption) may never leave the node.
+            probe(self.name, "backup-applied")
         if self._coalescing:
             # §5j: the ack is cumulative, so it can wait for the next
             # reverse-direction wire message (or the fallback timer)
@@ -1644,6 +1674,11 @@ class StoreNode:
 
             # Replication of this node's own writes.
             own_batches = capture.batches.get(self.name, [])
+            probe = getattr(self.cluster, "mc_crash_probe", None)
+            if probe is not None and not self.crashed:
+                # Crash point: the write set is committed locally but has
+                # not entered replication — the classic lost-update site.
+                probe(self.name, "pre-replicate")
             if self._group_commit:
                 # Group commit decouples execution from replication: the
                 # write set is committed locally and enqueued on the
@@ -1663,6 +1698,11 @@ class StoreNode:
                     self._c_replication_rounds.inc()
                 self.locks.release(object_key)
                 locked = False
+                if probe is not None and not self.crashed:
+                    # Crash point: the round is on the pipeline (frame
+                    # possibly in flight) but the reply is still parked
+                    # on the settlement watermark.
+                    probe(self.name, "post-submit")
             elif own_batches:
                 yield from self._replicate(shard_id, own_batches, parent=root)
 

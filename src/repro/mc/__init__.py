@@ -1,0 +1,52 @@
+"""Exhaustive-interleaving model checker for the §3.1 guarantees.
+
+The deterministic simulator plus the :class:`~repro.sim.SchedulerPolicy`
+seam make stateless model checking practical: a run's only source of
+nondeterminism is the order message deliveries are dispatched in (and
+where crashes land), so a *schedule* — the sequence of decisions taken at
+those choice points — fully determines a run.  This package explores the
+schedule space of small configurations (2–3 objects over 2–3 nodes,
+bounded horizon) and asserts invocation linearizability, replica
+convergence, cache coherence, and quiescence bookkeeping on every
+schedule via the existing :class:`repro.chaos.ConsistencyChecker`.
+
+Layout:
+
+- :mod:`repro.mc.schedule` — action descriptors, the commutativity
+  relation, decision-point records, schedule (de)serialization
+- :mod:`repro.mc.policy` — the :class:`McPolicy` scheduler policy that
+  replays a schedule prefix and continues with recorded defaults
+- :mod:`repro.mc.harness` — :class:`McConfig` small-config cluster
+  builder + single-schedule executor + state fingerprinting
+- :mod:`repro.mc.explorer` — DFS over schedules with sleep-set pruning,
+  fingerprint deduplication, budgets, and counterexample capture
+
+See DESIGN.md §5k for the architecture and the soundness argument.
+"""
+
+from repro.mc.explorer import Counterexample, McBudget, McReport, explore
+from repro.mc.harness import DEFAULT_CHOICE_KINDS, McConfig, McRunResult, run_schedule
+from repro.mc.policy import McPolicy, McReplayError
+from repro.mc.schedule import (
+    DecisionPoint,
+    deserialize_schedule,
+    independent,
+    serialize_schedule,
+)
+
+__all__ = [
+    "Counterexample",
+    "DEFAULT_CHOICE_KINDS",
+    "DecisionPoint",
+    "McBudget",
+    "McConfig",
+    "McPolicy",
+    "McReplayError",
+    "McReport",
+    "McRunResult",
+    "deserialize_schedule",
+    "explore",
+    "independent",
+    "run_schedule",
+    "serialize_schedule",
+]

@@ -1,0 +1,238 @@
+"""The model checker's :class:`~repro.sim.SchedulerPolicy`.
+
+:class:`McPolicy` turns the simulator's same-instant choice points into
+an explorable decision sequence:
+
+- *Internal* work (unlabeled callbacks — timer expiries, process
+  resumes, lock hand-offs — plus deliveries to crashed hosts and
+  payload kinds outside ``choice_kinds``) always runs eagerly in seq
+  order.  Decision points therefore only occur at internally-quiescent
+  states, which collapses the astronomically many equivalent
+  interleavings of deterministic bookkeeping into one.
+- When every runnable candidate is a labeled data-plane delivery, the
+  policy reaches a *decision point*: it replays the next step of the
+  scheduled prefix if one remains, otherwise picks the first candidate
+  not in the current sleep set and records the decision.
+- Crash points are separate binary decisions raised mid-handler via
+  :meth:`probe_crash` (wired through ``Cluster.mc_crash_probe``); they
+  only become decisions while the crash budget lasts.
+
+Descriptor identity, replay, and the sleep-set wake rule are documented
+in :mod:`repro.mc.schedule` and DESIGN.md §5k.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterable, Optional
+
+from repro.mc.schedule import (
+    CRASH,
+    DELIVER,
+    NOCRASH,
+    Action,
+    DecisionPoint,
+    independent,
+)
+from repro.sim.core import SchedulerPolicy
+
+
+class McReplayError(RuntimeError):
+    """A schedule did not match the run it was replayed against."""
+
+
+class SleepBlocked(Exception):
+    """Control-flow: every candidate at a free decision point was asleep.
+
+    The run is provably redundant (each candidate was explored from an
+    earlier branch whose exploration covers this continuation), so the
+    harness aborts it without checking.
+    """
+
+
+class TraceLimit(Exception):
+    """Control-flow: the run exceeded ``max_decisions`` choice points."""
+
+
+class McPolicy(SchedulerPolicy):
+    def __init__(
+        self,
+        *,
+        schedule: Iterable[Action] = (),
+        sleep: Iterable[Action] = (),
+        choice_kinds: Iterable[str] = (),
+        is_crashed: Callable[[str], bool] = lambda host: False,
+        crash_fn: Optional[Callable[[str], Any]] = None,
+        max_crashes: int = 0,
+        fingerprint_fn: Optional[Callable[[tuple], int]] = None,
+        use_sleep: bool = True,
+        max_decisions: int = 10_000,
+    ) -> None:
+        self._schedule = list(schedule)
+        self._cursor = 0
+        self._sleep = set(sleep)
+        self._use_sleep = use_sleep
+        self._choice_kinds = frozenset(choice_kinds)
+        self._choice_cache: dict = {}
+        self._is_crashed = is_crashed
+        self._crash_fn = crash_fn
+        self.crashes_remaining = max_crashes
+        self._fingerprint_fn = fingerprint_fn
+        self._max_decisions = max_decisions
+        #: per-run identity: scheduler seq -> descriptor (seqs are unique
+        #: and stable, unlike id() of a released callback object)
+        self._desc_by_seq: dict = {}
+        self._label_counts: dict = {}
+        self._site_counts: dict = {}
+        #: 1:1 with ``chosen``: every recorded decision point, replayed
+        #: and free alike (singleton deliver points are not recorded —
+        #: they branch nowhere and replay identically by determinism)
+        self.trace: list = []
+        self.chosen: list = []
+
+    # -- SchedulerPolicy -------------------------------------------------
+
+    def choose(self, now: float, candidates: list) -> int:
+        if len(self.chosen) > self._max_decisions:
+            # Checked here rather than in _record: probe_crash runs inside
+            # a request handler, where a raise would be swallowed by the
+            # process machinery instead of stopping the run.
+            raise TraceLimit()
+        choice_indexes = []
+        for index, entry in enumerate(candidates):
+            label = getattr(entry[2], "mc_label", None)
+            if label is None or not self._is_choice(label):
+                return index  # internal work runs eagerly, in seq order
+            choice_indexes.append(index)
+
+        descs = [self._desc(candidates[index]) for index in choice_indexes]
+        if self._cursor < len(self._schedule):
+            return choice_indexes[self._replay_deliver(descs)]
+        if len(descs) == 1:
+            # No alternatives: not a branch point, but the action is still
+            # subject to sleep-blocking and the wake rule.
+            if self._use_sleep and descs[0] in self._sleep:
+                raise SleepBlocked()
+            self._wake(descs[0])
+            return choice_indexes[0]
+        return choice_indexes[self._free_deliver(descs)]
+
+    # -- crash points ----------------------------------------------------
+
+    def probe_crash(self, node: str, site: str) -> None:
+        count = self._site_counts.get((node, site), 0)
+        self._site_counts[(node, site)] = count + 1
+        no_crash = (NOCRASH, node, site, count)
+        yes_crash = (CRASH, node, site, count)
+        if self._cursor < len(self._schedule):
+            # Only sites the prefix explicitly recorded a decision at
+            # consume a step; every other site was passed silently in the
+            # originating run (crash budget exhausted there) and must be
+            # passed silently here too.
+            want = self._schedule[self._cursor]
+            if want == no_crash or want == yes_crash:
+                self._cursor += 1
+                self._record(
+                    DecisionPoint(
+                        "crashpoint", (no_crash, yes_crash), want, frozenset()
+                    )
+                )
+                if want == yes_crash:
+                    self._do_crash(node)
+            return
+        if self.crashes_remaining <= 0:
+            return  # no branch possible: not a decision point at all
+        fingerprint = self._fingerprint((node, site))
+        self._record(
+            DecisionPoint(
+                "crashpoint",
+                (no_crash, yes_crash),
+                no_crash,
+                frozenset(self._sleep),
+                fingerprint,
+            )
+        )
+        # Default arm: keep running.  The explorer branches into the
+        # crash arm from the recorded point.
+
+    # -- internals -------------------------------------------------------
+
+    def _is_choice(self, label: tuple) -> bool:
+        verdict = self._choice_cache.get(label)
+        if verdict is None:
+            kinds = label[3].split(",")
+            verdict = any(kind in self._choice_kinds for kind in kinds)
+            self._choice_cache[label] = verdict
+        if verdict and self._is_crashed(label[2]):
+            return False  # delivery to a crashed host is a no-op: internal
+        return verdict
+
+    def _desc(self, entry: tuple) -> Action:
+        seq = entry[1]
+        desc = self._desc_by_seq.get(seq)
+        if desc is None:
+            label = entry[2].mc_label
+            n = self._label_counts.get(label, 0)
+            self._label_counts[label] = n + 1
+            desc = label + (n,)
+            self._desc_by_seq[seq] = desc
+        return desc
+
+    def _replay_deliver(self, descs: list) -> int:
+        want = self._schedule[self._cursor]
+        if len(descs) == 1:
+            # Singleton points are never recorded, so the scheduled step
+            # belongs to a later (recorded) decision.
+            if descs[0] == want:
+                raise McReplayError(
+                    f"schedule step {self._cursor} {want!r} matched a singleton "
+                    "decision point, which replay never records"
+                )
+            return 0
+        try:
+            index = descs.index(want)
+        except ValueError:
+            raise McReplayError(
+                f"schedule step {self._cursor} expected {want!r} but the enabled "
+                f"candidates were {descs!r}"
+            ) from None
+        self._cursor += 1
+        self._record(DecisionPoint(DELIVER, tuple(descs), want, frozenset()))
+        # The caller-supplied sleep set describes the state *after* the
+        # whole prefix, so replayed steps leave it untouched.
+        return index
+
+    def _free_deliver(self, descs: list) -> int:
+        index = 0
+        if self._use_sleep:
+            for index, desc in enumerate(descs):
+                if desc not in self._sleep:
+                    break
+            else:
+                raise SleepBlocked()
+        chosen = descs[index]
+        fingerprint = self._fingerprint(tuple(descs))
+        self._record(
+            DecisionPoint(
+                DELIVER, tuple(descs), chosen, frozenset(self._sleep), fingerprint
+            )
+        )
+        self._wake(chosen)
+        return index
+
+    def _wake(self, executed: Action) -> None:
+        if self._sleep:
+            self._sleep = {u for u in self._sleep if independent(u, executed)}
+
+    def _fingerprint(self, extra: tuple) -> Optional[int]:
+        if self._fingerprint_fn is None:
+            return None
+        return self._fingerprint_fn(extra)
+
+    def _record(self, point: DecisionPoint) -> None:
+        self.trace.append(point)
+        self.chosen.append(point.chosen)
+
+    def _do_crash(self, node: str) -> None:
+        self.crashes_remaining -= 1
+        if self._crash_fn is not None:
+            self._crash_fn(node)

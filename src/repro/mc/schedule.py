@@ -1,0 +1,77 @@
+"""Action descriptors, commutativity, and schedule serialization.
+
+An *action descriptor* is the cross-run identity of one scheduling
+decision.  Descriptors are plain tuples so they hash, compare, and
+round-trip through JSON as lists:
+
+- ``("deliver", src, dst, kinds, n)`` — dispatch the *n*-th delivery
+  (first-sighting order) from ``src`` to ``dst`` whose payload kinds are
+  ``kinds`` (a comma-joined, sorted set of payload type names — one name
+  for plain deliveries, possibly several for coalesced egress batches).
+- ``("crash", node, site, n)`` / ``("nocrash", node, site, n)`` — at the
+  *n*-th time execution passes the crash-point ``site`` on ``node``,
+  fail-stop the node (or don't).
+
+The occurrence index ``n`` is assigned at first sighting.  Because the
+simulator is deterministic given a schedule prefix, two runs that share
+a prefix assign identical descriptors to identical pending work, which
+is what lets sleep sets and serialized schedules transfer across runs.
+
+Commutativity: a "deliver" decision atomically runs the handler on the
+destination host plus all its same-instant internal fallout (lock
+hand-offs, applier continuations, sends that merely *enqueue* future
+choice points).  That coarse transition reads and writes only
+destination-local state, so two deliveries commute iff their
+destinations differ.  This is deliberately coarser than per-(dst, shard)
+commutativity — node-wide structures (the replication pipelines' shared
+settle path, the consistent cache, the inflight table) make same-node
+different-shard deliveries genuinely non-commutative, so dst-level
+independence is the sound refinement (DESIGN.md §5k).  Crash decisions
+commute with nothing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Optional
+
+Action = tuple  # descriptor tuples, see module docstring
+
+DELIVER = "deliver"
+CRASH = "crash"
+NOCRASH = "nocrash"
+
+
+def independent(a: Action, b: Action) -> bool:
+    """True iff the coarse transitions for ``a`` and ``b`` commute."""
+    if a[0] != DELIVER or b[0] != DELIVER:
+        return False
+    return a[2] != b[2]  # different destination hosts
+
+
+@dataclass(frozen=True)
+class DecisionPoint:
+    """One choice point recorded during a run.
+
+    ``candidates`` lists every enabled alternative in canonical order
+    (seq order for deliveries; no-crash before crash for crash points).
+    ``sleep`` is the sleep set in force when the decision was taken, and
+    ``fingerprint`` the state hash at the point (``None`` while replaying
+    a forced prefix or when fingerprinting is disabled).
+    """
+
+    kind: str  # "deliver" | "crashpoint"
+    candidates: tuple  # tuple[Action, ...]
+    chosen: Action
+    sleep: frozenset
+    fingerprint: Optional[int] = None
+
+
+def serialize_schedule(schedule: Iterable[Action]) -> list:
+    """JSON-ready form of a schedule (tuples become lists)."""
+    return [list(action) for action in schedule]
+
+
+def deserialize_schedule(data: Iterable) -> list:
+    """Inverse of :func:`serialize_schedule`."""
+    return [tuple(action) for action in data]

@@ -20,7 +20,7 @@ ordinary coroutine code::
 
 from repro.sim.events import Event, AllOf, AnyOf
 from repro.sim.process import Process
-from repro.sim.core import Simulation
+from repro.sim.core import RECOLLECT, FifoPolicy, SchedulerPolicy, Simulation
 from repro.sim.resources import Resource, Store
 from repro.sim.network import (
     BimodalLatency,
@@ -39,13 +39,16 @@ __all__ = [
     "BimodalLatency",
     "ConstantLatency",
     "Event",
+    "FifoPolicy",
     "LatencyModel",
     "LogNormalLatency",
     "Network",
     "NetworkHost",
     "Process",
+    "RECOLLECT",
     "RandomStreams",
     "Resource",
+    "SchedulerPolicy",
     "Simulation",
     "Store",
     "UniformLatency",

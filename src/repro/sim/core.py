@@ -5,12 +5,51 @@ from __future__ import annotations
 import heapq
 import random
 from collections import deque
+from operator import itemgetter
 from typing import Any, Callable, Generator, Iterable, Optional
 
 from repro.errors import SimulationError
 from repro.sim.events import AllOf, AnyOf, Event
 from repro.sim.process import Process
 from repro.sim.rand import RandomStreams
+
+#: sentinel a :class:`SchedulerPolicy` may return from ``choose`` instead
+#: of an index: the scheduler pushes every candidate back and re-collects.
+#: Used by policies that mutate external state at a choice point (e.g. a
+#: model checker injecting a crash) and then want a fresh candidate set.
+RECOLLECT = object()
+
+_entry_seq = itemgetter(1)
+
+
+class SchedulerPolicy:
+    """Chooses which enabled entry the scheduler dispatches next.
+
+    At every step the scheduler collects the *candidates* — all scheduled
+    ``(when, seq, fn)`` entries at the earliest pending instant, sorted by
+    ``seq`` — and asks the policy to ``choose`` one.  Returning index 0
+    everywhere reproduces the built-in FIFO ``(time, seq)`` order; other
+    policies may reorder same-instant work (the model checker in
+    :mod:`repro.mc` explores every such reordering of message
+    deliveries).  Entries are opaque callables; delivery callables carry
+    an ``mc_label`` attribute a policy can duck-type on.
+    """
+
+    def choose(self, now: float, candidates: list) -> Any:
+        """Return an index into ``candidates`` or :data:`RECOLLECT`."""
+        raise NotImplementedError
+
+
+class FifoPolicy(SchedulerPolicy):
+    """The default order, expressed as a policy: lowest ``seq`` first.
+
+    Byte-identical to running with no policy installed (the built-in fast
+    loops); exists so the policy-driven step core has a reference
+    implementation to pin equivalence tests against.
+    """
+
+    def choose(self, now: float, candidates: list) -> int:
+        return 0
 
 
 class _Timeout(Event):
@@ -55,6 +94,28 @@ class Simulation:
         self._seq = 0
         self._streams = RandomStreams(seed)
         self._running = False
+        #: None = built-in FIFO fast loops; a SchedulerPolicy routes every
+        #: run through the (slower) policy-driven step core
+        self._policy: Optional[SchedulerPolicy] = None
+
+    # -- scheduling policy -------------------------------------------------
+
+    @property
+    def policy(self) -> Optional[SchedulerPolicy]:
+        """The installed :class:`SchedulerPolicy` (None = built-in FIFO)."""
+        return self._policy
+
+    def set_policy(self, policy: Optional[SchedulerPolicy]) -> None:
+        """Install ``policy`` (or None to restore the built-in FIFO loops).
+
+        The built-in loops and ``FifoPolicy`` produce byte-identical
+        execution orders; a non-FIFO policy may reorder same-instant
+        entries, so install it before any work is scheduled if the run
+        must be reproducible from the policy's own decisions alone.
+        """
+        if self._running:
+            raise SimulationError("cannot change the scheduler policy mid-run")
+        self._policy = policy
 
     # -- time --------------------------------------------------------------
 
@@ -124,50 +185,17 @@ class Simulation:
         if self._running:
             raise SimulationError("simulation is already running (re-entrant run())")
         self._running = True
-        lane = self._now_lane
-        queue = self._queue
-        heappop = heapq.heappop
-        popleft = lane.popleft
         try:
-            if until is None:
-                # Unbounded drain: pop-and-execute directly, no peek step.
-                # (when, seq) tuple order; seqs are unique so the compare
-                # never reaches the callables.  The heap head is re-read
-                # every iteration because a callback may push an earlier
-                # entry; zero-delay runs still drain as O(1) poplefts.
-                while True:
-                    if lane:
-                        if queue and queue[0] < lane[0]:
-                            entry = heappop(queue)
-                        else:
-                            entry = popleft()
-                    elif queue:
-                        entry = heappop(queue)
-                    else:
-                        break
-                    self._now = entry[0]
-                    entry[2]()
+            if self._policy is not None:
+                self._drain_policy(
+                    self._policy, None, float("inf") if until is None else until
+                )
+            elif until is None:
+                self._drain_fast(None)
             else:
-                # Bounded run: peek before popping so the first entry past
-                # ``until`` stays queued.
-                while lane or queue:
-                    if lane and not (queue and queue[0] < lane[0]):
-                        entry = lane[0]
-                        from_lane = True
-                    else:
-                        entry = queue[0]
-                        from_lane = False
-                    when = entry[0]
-                    if when > until:
-                        break
-                    if from_lane:
-                        popleft()
-                    else:
-                        heappop(queue)
-                    self._now = when
-                    entry[2]()
-                if until > self._now:
-                    self._now = until
+                self._drain_bounded(until, None)
+            if until is not None and until > self._now:
+                self._now = until
         finally:
             self._running = False
         return self._now
@@ -184,56 +212,138 @@ class Simulation:
         if self._running:
             raise SimulationError("simulation is already running (re-entrant run())")
         self._running = True
-        lane = self._now_lane
-        queue = self._queue
-        heappop = heapq.heappop
-        popleft = lane.popleft
         try:
-            if limit == float("inf"):
-                # Unlimited (the common case): pop-and-execute directly.
-                # The lane drains in runs of O(1) poplefts between heap
-                # entries; the heap head is re-read per iteration because
-                # a callback may push an earlier entry.
-                while not event.triggered:
-                    if lane:
-                        if queue and queue[0] < lane[0]:
-                            entry = heappop(queue)
-                        else:
-                            entry = popleft()
-                    elif queue:
-                        entry = heappop(queue)
-                    else:
-                        raise SimulationError(
-                            "deadlock: event queue drained before target event triggered"
-                        )
-                    self._now = entry[0]
-                    entry[2]()
+            if self._policy is not None:
+                self._drain_policy(self._policy, event, limit)
+            elif limit == float("inf"):
+                self._drain_fast(event)
             else:
-                while not event.triggered:
-                    if lane and not (queue and queue[0] < lane[0]):
-                        entry = lane[0]
-                        from_lane = True
-                    elif queue:
-                        entry = queue[0]
-                        from_lane = False
-                    else:
-                        raise SimulationError(
-                            "deadlock: event queue drained before target event triggered"
-                        )
-                    when = entry[0]
-                    if when > limit:
-                        raise SimulationError(
-                            f"simulated time limit {limit} ms exceeded"
-                        )
-                    if from_lane:
-                        popleft()
-                    else:
-                        heappop(queue)
-                    self._now = when
-                    entry[2]()
+                self._drain_bounded(limit, event)
         finally:
             self._running = False
         if event.ok:
             return event.value
         event._defused = True
         raise event.value
+
+    # -- step cores --------------------------------------------------------
+    #
+    # One shared drain per loop shape, parameterised by the stop event:
+    # ``stop_event is None`` is the ``run()`` family (stop when drained /
+    # past the bound), a stop event is the ``run_until_triggered`` family
+    # (deadlock on drained, raise on past the bound).
+
+    def _drain_fast(self, stop_event: Optional[Event]) -> None:
+        """Unbounded pop-and-execute drain, no peek step.
+
+        (when, seq) tuple order; seqs are unique so the compare never
+        reaches the callables.  The heap head is re-read every iteration
+        because a callback may push an earlier entry; zero-delay runs
+        drain as O(1) poplefts.
+        """
+        lane = self._now_lane
+        queue = self._queue
+        heappop = heapq.heappop
+        popleft = lane.popleft
+        while stop_event is None or not stop_event.triggered:
+            if lane:
+                if queue and queue[0] < lane[0]:
+                    entry = heappop(queue)
+                else:
+                    entry = popleft()
+            elif queue:
+                entry = heappop(queue)
+            elif stop_event is None:
+                return
+            else:
+                raise SimulationError(
+                    "deadlock: event queue drained before target event triggered"
+                )
+            self._now = entry[0]
+            entry[2]()
+
+    def _drain_bounded(self, bound: float, stop_event: Optional[Event]) -> None:
+        """Bounded drain: peek before popping so the first entry past
+        ``bound`` stays queued and the clock does not advance to it —
+        ``run(until=...)`` returns, ``run_until_triggered`` raises, and
+        either way a caller can keep running without losing an event.
+        """
+        lane = self._now_lane
+        queue = self._queue
+        heappop = heapq.heappop
+        popleft = lane.popleft
+        while stop_event is None or not stop_event.triggered:
+            if lane and not (queue and queue[0] < lane[0]):
+                entry = lane[0]
+                from_lane = True
+            elif queue:
+                entry = queue[0]
+                from_lane = False
+            elif stop_event is None:
+                return
+            else:
+                raise SimulationError(
+                    "deadlock: event queue drained before target event triggered"
+                )
+            when = entry[0]
+            if when > bound:
+                if stop_event is None:
+                    return
+                raise SimulationError(f"simulated time limit {bound} ms exceeded")
+            if from_lane:
+                popleft()
+            else:
+                heappop(queue)
+            self._now = when
+            entry[2]()
+
+    def _drain_policy(
+        self, policy: SchedulerPolicy, stop_event: Optional[Event], bound: float
+    ) -> None:
+        """Policy-driven drain: collect every entry enabled at the earliest
+        pending instant (both lanes, sorted by seq), let the policy pick
+        one, push the rest back into the heap, execute, repeat.
+
+        Keeps the peek-before-pop bound contract of the fast loops: an
+        over-bound instant is never collected.  Entries pushed back keep
+        their (when, seq) keys, so a FIFO policy reproduces the fast
+        loops' order exactly.
+        """
+        lane = self._now_lane
+        queue = self._queue
+        heappop = heapq.heappop
+        heappush = heapq.heappush
+        popleft = lane.popleft
+        while stop_event is None or not stop_event.triggered:
+            if lane and not (queue and queue[0] < lane[0]):
+                when = lane[0][0]
+            elif queue:
+                when = queue[0][0]
+            elif stop_event is None:
+                return
+            else:
+                raise SimulationError(
+                    "deadlock: event queue drained before target event triggered"
+                )
+            if when > bound:
+                if stop_event is None:
+                    return
+                raise SimulationError(f"simulated time limit {bound} ms exceeded")
+            candidates = []
+            while lane and lane[0][0] == when:
+                candidates.append(popleft())
+            while queue and queue[0][0] == when:
+                candidates.append(heappop(queue))
+            if len(candidates) > 1:
+                candidates.sort(key=_entry_seq)
+            self._now = when
+            choice = policy.choose(when, candidates)
+            if choice is RECOLLECT:
+                for entry in candidates:
+                    heappush(queue, entry)
+                continue
+            chosen = candidates[choice]
+            for index, entry in enumerate(candidates):
+                if index != choice:
+                    heappush(queue, entry)
+            chosen[2]()

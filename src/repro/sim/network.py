@@ -167,6 +167,19 @@ class _Delivery:
         self.message = message
         self.dst_host = dst_host
 
+    @property
+    def mc_label(self) -> tuple:
+        """Stable choice-point label for the model checker's scheduler
+        policy: ``("deliver", src, dst, payload kind)``.  A property so
+        the fault-free send path pays nothing for it."""
+        message = self.message
+        return ("deliver", message.src, message.dst, type(message.payload).__name__)
+
+    @property
+    def mc_messages(self) -> list[Message]:
+        """The frames this delivery carries (one, here)."""
+        return [self.message]
+
     def __call__(self) -> None:
         net = self.net
         message = self.message
@@ -205,6 +218,19 @@ class _BatchDelivery:
         self.dst_host = dst_host
         self.size_bytes = size_bytes
 
+    @property
+    def mc_label(self) -> tuple:
+        """Choice-point label for a coalesced wire message: the sorted
+        set of frame payload kinds it carries."""
+        messages = self.messages
+        kinds = ",".join(sorted({type(m.payload).__name__ for m in messages}))
+        return ("deliver", messages[0].src, messages[0].dst, kinds)
+
+    @property
+    def mc_messages(self) -> list[Message]:
+        """The frames this wire message carries, in send order."""
+        return self.messages
+
     def __call__(self) -> None:
         net = self.net
         messages = self.messages
@@ -236,7 +262,7 @@ class Network:
         rng_name: str = "network",
     ) -> None:
         self.sim = sim
-        self.latency = latency or ConstantLatency(0.05)
+        self.latency = latency or ConstantLatency(0.05)  # property: binds _sample
         #: bytes transferred per millisecond
         self._bytes_per_ms = bandwidth_mbps * 1e6 / 8 / 1000
         self._rng = sim.rng(rng_name)
@@ -268,6 +294,25 @@ class Network:
         #: src -> provider called at flush time per outbound wire message;
         #: returns extra ``(payload, size_bytes)`` frames to piggyback
         self._piggyback: dict[str, Callable[[str], Optional[list]]] = {}
+
+    # -- latency model ------------------------------------------------------
+
+    @property
+    def latency(self) -> LatencyModel:
+        """The installed latency model; assigning rebinds the per-message
+        draw fast path (:attr:`_sample` / :attr:`_const_latency_ms`)."""
+        return self._latency
+
+    @latency.setter
+    def latency(self, model: LatencyModel) -> None:
+        self._latency = model
+        # Hot-path hoists: ``send`` draws via the pre-bound sample method
+        # (one attribute hop instead of two), and a ConstantLatency model
+        # skips the method call entirely.
+        self._sample = model.sample
+        self._const_latency_ms = (
+            model.latency_ms if type(model) is ConstantLatency else None
+        )
 
     # -- egress coalescing --------------------------------------------------
 
@@ -345,7 +390,10 @@ class Network:
                     )
                     continue
                 stats.per_link[link] = stats.per_link.get(link, 0) + 1
-            delay = self.latency.sample(self._rng) + total_bytes / self._bytes_per_ms
+            const = self._const_latency_ms
+            delay = (
+                const if const is not None else self._sample(self._rng)
+            ) + total_bytes / self._bytes_per_ms
             dst_host = self._hosts[dst]
             if len(frames) == 1:
                 self.sim._schedule(delay, _Delivery(self, frames[0], dst_host))
@@ -529,6 +577,9 @@ class Network:
         if src == dst:
             delay = 0.001  # loopback: scheduling cost only
         else:
-            delay = self.latency.sample(self._rng) + size_bytes / self._bytes_per_ms
+            const = self._const_latency_ms
+            delay = (
+                const if const is not None else self._sample(self._rng)
+            ) + size_bytes / self._bytes_per_ms
 
         self.sim._schedule(delay, _Delivery(self, message, dst_host))

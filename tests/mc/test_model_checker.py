@@ -1,0 +1,168 @@
+"""End-to-end tests for the repro.mc exhaustive-interleaving checker.
+
+Three claims are pinned here:
+
+1. **Exhaustion + soundness of the reductions** — small group-commit /
+   replica-read / coalescing / crash configs exhaust their schedule
+   space within a tight budget with zero §3.1 violations, and the
+   DPOR-reduced exploration agrees with the naive one.
+2. **Deterministic replay** — serializing a schedule and re-running it
+   reproduces the identical decision trace and verdict.
+3. **Seeded-bug sensitivity** — reintroducing PR 1's out-of-order
+   replica cache-invalidation drain bug (behind the test-only
+   ``seeded_bugs`` flag) makes the explorer produce a replayable
+   counterexample, while the clean protocol passes the identical
+   exploration.
+"""
+
+import pytest
+
+from repro.mc import (
+    McBudget,
+    McConfig,
+    deserialize_schedule,
+    explore,
+    independent,
+    run_schedule,
+    serialize_schedule,
+)
+
+#: the reader/two-writer shape that can exhibit the drain-invalidation bug
+_DRAIN_PLANS = (
+    ((0, "write", ("a",)),),
+    ((1, "write", ("b",)),),
+    ((0, "read", ()), (0, "read", ())),
+)
+
+
+def _explore(config, max_schedules=20_000, **kwargs):
+    report = explore(
+        config, McBudget(max_schedules=max_schedules, max_wall_s=120.0), **kwargs
+    )
+    return report
+
+
+class TestExhaustion:
+    def test_group_commit_two_by_two_exhausts_clean(self):
+        report = _explore(McConfig())
+        assert report.exhausted
+        assert report.truncated == 0
+        assert report.counterexamples == []
+        assert report.schedules_checked >= 10
+
+    def test_replica_reads_config_exhausts_clean(self):
+        report = _explore(McConfig(replica_reads=True))
+        assert report.exhausted and report.counterexamples == []
+
+    def test_coalescing_config_exhausts_clean(self):
+        report = _explore(
+            McConfig(ops_per_client=1, transport_coalescing=True)
+        )
+        assert report.exhausted and report.counterexamples == []
+
+    def test_crash_points_exhaust_clean(self):
+        """Fail-stop at every protocol crash site + recovery stays §3.1."""
+        report = _explore(McConfig(ops_per_client=1, max_crashes=1))
+        assert report.exhausted and report.counterexamples == []
+        # the crash arm actually branched (three probe sites exist)
+        assert report.schedules_run > 19
+
+    def test_three_node_config_exhausts_clean(self):
+        report = _explore(McConfig(num_nodes=3, ops_per_client=1))
+        assert report.exhausted and report.counterexamples == []
+
+
+class TestReductions:
+    def test_dpor_prunes_against_naive_and_agrees(self):
+        config = McConfig(ops_per_client=1)
+        naive = _explore(config, use_sleep_sets=False, use_fingerprints=False)
+        reduced = _explore(config)
+        assert naive.exhausted and reduced.exhausted
+        assert naive.counterexamples == [] and reduced.counterexamples == []
+        # the reduction must actually reduce (checked runs and total runs)
+        assert reduced.schedules_run < naive.schedules_run
+        assert reduced.sleep_pruned + reduced.sleep_blocked > 0
+
+    def test_independence_relation(self):
+        a = ("deliver", "store-0", "store-1", "ReplicateWritesRange", 0)
+        b = ("deliver", "store-1", "store-0", "ReplicateAck", 0)
+        same_dst = ("deliver", "mc-0", "store-1", "ClientRequest", 0)
+        crash = ("crash", "store-0", "pre-replicate", 0)
+        assert independent(a, b)  # different destination hosts commute
+        assert not independent(a, same_dst)
+        assert not independent(a, crash) and not independent(crash, a)
+
+
+class TestReplay:
+    def test_schedule_roundtrip_and_deterministic_replay(self):
+        config = McConfig()
+        first = run_schedule(config)
+        assert first.status == "checked"
+        wire = serialize_schedule(first.chosen)
+        replayed = run_schedule(config, deserialize_schedule(wire))
+        assert replayed.status == "checked"
+        assert replayed.chosen == first.chosen
+        assert [p.kind for p in replayed.trace] == [p.kind for p in first.trace]
+        assert replayed.violations == first.violations
+        assert replayed.completed_ops == first.completed_ops
+
+    def test_prefix_replay_preserves_candidate_sets(self):
+        """Replaying a full recorded schedule sees identical alternatives
+        at every decision point (the determinism the explorer relies on)."""
+        config = McConfig(ops_per_client=1)
+        first = run_schedule(config)
+        replayed = run_schedule(config, first.chosen)
+        assert [p.candidates for p in replayed.trace] == [
+            p.candidates for p in first.trace
+        ]
+
+
+class TestSeededBug:
+    CONFIG = dict(num_nodes=2, num_objects=2, replica_reads=True, plans=_DRAIN_PLANS)
+
+    def test_explorer_finds_drain_invalidation_counterexample(self):
+        config = McConfig(seeded_bugs=("drain-invalidation",), **self.CONFIG)
+        report = _explore(config)
+        assert report.counterexamples, "seeded bug not found"
+        cex = report.counterexamples[0]
+        assert any("stale-cache" in v or "linearizability" in v for v in cex.violations)
+
+        # the counterexample replays deterministically, through JSON
+        wire = cex.to_json()
+        replayed = run_schedule(config, deserialize_schedule(wire["schedule"]))
+        assert replayed.status == "checked"
+        assert replayed.violations == cex.violations
+
+    def test_clean_protocol_passes_identical_exploration(self):
+        report = _explore(McConfig(**self.CONFIG))
+        assert report.exhausted
+        assert report.counterexamples == []
+
+    def test_seeded_bug_flag_defaults_off(self):
+        """No real deployment carries seeded bugs."""
+        from repro.cluster import ClusterConfig
+
+        assert ClusterConfig().seeded_bugs == ()
+
+
+class TestHarness:
+    def test_free_run_completes_all_ops(self):
+        result = run_schedule(McConfig())
+        assert result.status == "checked"
+        assert result.completed_ops == 4  # 2 clients x 2 ops
+        assert result.gave_up == 0
+        assert result.quiesced
+        assert result.violations == []
+
+    def test_truncation_is_reported_not_raised(self):
+        result = run_schedule(McConfig(max_decisions=2))
+        assert result.status == "truncated"
+
+    def test_sleep_blocked_run_aborts(self):
+        """A run whose first free choice is entirely asleep self-aborts."""
+        first = run_schedule(McConfig(ops_per_client=1))
+        point = first.trace[0]
+        blocked = run_schedule(
+            McConfig(ops_per_client=1), sleep=frozenset(point.candidates)
+        )
+        assert blocked.status == "sleep-blocked"
